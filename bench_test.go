@@ -1,0 +1,341 @@
+package swarmavail
+
+// The benchmark harness regenerates every table and figure of the paper
+// at Quick scale — one benchmark per artefact, named after it — plus the
+// ablation studies from DESIGN.md §4 and micro-benchmarks for the hot
+// numerical and protocol paths. Headline quantities (optima,
+// probabilities) are attached to the benchmark output via ReportMetric
+// so `go test -bench` doubles as a results summary.
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"swarmavail/internal/bittorrent/bencode"
+	"swarmavail/internal/bittorrent/tracker"
+	"swarmavail/internal/bittorrent/wire"
+	"swarmavail/internal/core"
+	"swarmavail/internal/dist"
+	"swarmavail/internal/experiments"
+	"swarmavail/internal/queue"
+	"swarmavail/internal/swarm"
+)
+
+// benchDriver runs one experiment driver per iteration and reports a
+// numeric headline extracted from its notes when extract is non-nil.
+func benchDriver(b *testing.B, id string, metric string, extract func(*experiments.Result) float64) {
+	b.Helper()
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown driver %q", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := d.Run(experiments.Quick, int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if extract != nil && last != nil {
+		b.ReportMetric(extract(last), metric)
+	}
+}
+
+// noteNumber pulls the last parseable float from the first note
+// containing substr.
+func noteNumber(res *experiments.Result, substr string) float64 {
+	for _, n := range res.Notes {
+		if !strings.Contains(n, substr) {
+			continue
+		}
+		fields := strings.FieldsFunc(n, func(r rune) bool {
+			return !(r == '.' || r == '-' || r == '+' || (r >= '0' && r <= '9'))
+		})
+		for i := len(fields) - 1; i >= 0; i-- {
+			if v, err := strconv.ParseFloat(strings.Trim(fields[i], ".+-"), 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper artefact.
+
+func BenchmarkFig1SeedAvailabilityCDF(b *testing.B) {
+	benchDriver(b, "fig1", "pct_fully_seeded_month1", func(r *experiments.Result) float64 {
+		return noteNumber(r, "fully seeded")
+	})
+}
+
+func BenchmarkSec23BundlingExtent(b *testing.B) {
+	benchDriver(b, "sec2.3", "pct_seedless_bundles", func(r *experiments.Result) float64 {
+		return noteNumber(r, "seedless")
+	})
+}
+
+func BenchmarkFig2SamplePath(b *testing.B) {
+	benchDriver(b, "fig2", "busy_periods", func(r *experiments.Result) float64 {
+		return noteNumber(r, "busy periods")
+	})
+}
+
+func BenchmarkFig3DownloadTimeVsK(b *testing.B) {
+	benchDriver(b, "fig3", "optimal_K_at_900", func(r *experiments.Result) float64 {
+		return noteNumber(r, "1/R=900")
+	})
+}
+
+func BenchmarkFig4SeedlessAvailability(b *testing.B) {
+	benchDriver(b, "fig4", "peers_served_K10", func(r *experiments.Result) float64 {
+		return noteNumber(r, "K=10")
+	})
+}
+
+func BenchmarkTableBmResidualBusyPeriods(b *testing.B) {
+	benchDriver(b, "table-bm", "", nil)
+}
+
+func BenchmarkFig5PeerTimelines(b *testing.B) {
+	benchDriver(b, "fig5", "", nil)
+}
+
+func BenchmarkFig6aDownloadTimeVsK(b *testing.B) {
+	benchDriver(b, "fig6a", "testbed_optimal_K", func(r *experiments.Result) float64 {
+		return noteNumber(r, "testbed optimal")
+	})
+}
+
+func BenchmarkFig6bHeterogeneousUploads(b *testing.B) {
+	benchDriver(b, "fig6b", "optimal_K", func(r *experiments.Result) float64 {
+		return noteNumber(r, "optimal K")
+	})
+}
+
+func BenchmarkFig6cHeterogeneousDemand(b *testing.B) {
+	benchDriver(b, "fig6c", "bundle_mean_s", func(r *experiments.Result) float64 {
+		return noteNumber(r, "bundle mean")
+	})
+}
+
+func BenchmarkFig7ArrivalPatterns(b *testing.B) {
+	benchDriver(b, "fig7", "", nil)
+}
+
+func BenchmarkTheoremScalingLaws(b *testing.B) {
+	benchDriver(b, "scaling-laws", "doubling_ratio", func(r *experiments.Result) float64 {
+		return noteNumber(r, "doubling-difference ratio")
+	})
+}
+
+func BenchmarkFluidBaselineComparison(b *testing.B) {
+	benchDriver(b, "fluid-baseline", "avail_model_optimum", func(r *experiments.Result) float64 {
+		return noteNumber(r, "availability model optimum")
+	})
+}
+
+func BenchmarkEq16ModelValidation(b *testing.B) {
+	// The §4.3.1 validation curve evaluated directly from the model.
+	model := core.SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	var best int
+	for i := 0; i < b.N; i++ {
+		best, _ = model.OptimalBundleSizeThreshold(8, 9, core.ConstantPublisher)
+	}
+	b.ReportMetric(float64(best), "model_optimal_K")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+
+func BenchmarkAblationCoverageThreshold(b *testing.B) {
+	benchDriver(b, "ablation-threshold", "", nil)
+}
+
+func BenchmarkAblationPatience(b *testing.B) {
+	benchDriver(b, "ablation-patience", "", nil)
+}
+
+func BenchmarkAblationLingering(b *testing.B) {
+	benchDriver(b, "ablation-lingering", "", nil)
+}
+
+func BenchmarkAblationArrivalPattern(b *testing.B) {
+	benchDriver(b, "ablation-arrivals", "", nil)
+}
+
+func BenchmarkAblationPieceSelection(b *testing.B) {
+	benchDriver(b, "ablation-pieces", "", nil)
+}
+
+func BenchmarkAblationBusyPeriodModel(b *testing.B) {
+	benchDriver(b, "ablation-busyperiod", "", nil)
+}
+
+func BenchmarkAblationWaitingGroup(b *testing.B) {
+	benchDriver(b, "ablation-waitinggroup", "", nil)
+}
+
+func BenchmarkAblationDistributions(b *testing.B) {
+	benchDriver(b, "ablation-distributions", "", nil)
+}
+
+func BenchmarkAblationTraffic(b *testing.B) {
+	benchDriver(b, "ablation-traffic", "overhead_K4", func(r *experiments.Result) float64 {
+		return noteNumber(r, "K=4")
+	})
+}
+
+func BenchmarkAblationImpatience(b *testing.B) {
+	benchDriver(b, "ablation-impatience", "", nil)
+}
+
+func BenchmarkAblationUnchokeSlots(b *testing.B) {
+	benchDriver(b, "ablation-slots", "", nil)
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkEq9BusyPeriod(b *testing.B) {
+	// The Figure 3 hot spot: one eq. (9) evaluation at bundle scale.
+	p := experiments.Fig3Params
+	p.R = 1.0 / 900
+	bundle := p.Bundle(8, core.ConstantPublisher)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bundle.BusyPeriod()
+	}
+}
+
+func BenchmarkResidualBusyPeriodTable(b *testing.B) {
+	p := core.SwarmParams{Lambda: 1.0 / 150, Size: 4000, Mu: 33, R: 1.0 / 900, U: 300}
+	k6 := p.Bundle(6, core.ScaledPublisher)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k6.SteadyStateResidualBusyPeriod(9)
+	}
+}
+
+func BenchmarkSwarmSimulatorK4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		files := make([]swarm.FileSpec, 4)
+		for j := range files {
+			files[j] = swarm.FileSpec{SizeKB: 4000, Lambda: 1.0 / 60}
+		}
+		_, err := swarm.Run(swarm.Config{
+			Seed:                int64(i),
+			Files:               files,
+			PeerUpload:          dist.Deterministic{Value: 50},
+			PublisherUploadKBps: 100,
+			PublisherMode:       swarm.PublisherOnOff,
+			PublisherOn:         dist.NewExponentialFromMean(300),
+			PublisherOff:        dist.NewExponentialFromMean(900),
+			DepartureLagSeconds: 15,
+			ArrivalCutoff:       1200,
+			Horizon:             8000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMGInfBusyPeriodSimulation(b *testing.B) {
+	r := dist.NewRand(1)
+	cfg := queue.BusyPeriodConfig{
+		Beta:    0.02,
+		First:   dist.Exponential{Rate: 1.0 / 300},
+		Service: dist.Exponential{Rate: 1.0 / 80},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = queue.SimulateBusyPeriods(r, cfg, 100)
+	}
+}
+
+func BenchmarkBencodeRoundTrip(b *testing.B) {
+	v := map[string]any{
+		"announce": "http://127.0.0.1:7070/announce",
+		"info": map[string]any{
+			"name":         "bundle",
+			"piece length": int64(262144),
+			"pieces":       strings.Repeat("01234567890123456789", 64),
+			"files": []any{
+				map[string]any{"length": int64(4000000), "path": []any{"ep1.avi"}},
+				map[string]any{"length": int64(4000000), "path": []any{"ep2.avi"}},
+			},
+		},
+	}
+	enc, err := bencode.Encode(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc2, err := bencode.Encode(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bencode.Decode(enc2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireMessageRoundTrip(b *testing.B) {
+	block := make([]byte, 16*1024)
+	rand.New(rand.NewSource(1)).Read(block)
+	msg := &wire.Message{Type: wire.MsgPiece, Index: 3, Begin: 0, Block: block}
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.WriteMessage(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackerAnnounce(b *testing.B) {
+	srv := tracker.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var ih [20]byte
+	req := tracker.AnnounceRequest{
+		TrackerURL: ts.URL + "/announce",
+		InfoHash:   ih,
+		Port:       7000,
+		Left:       1000,
+		IP:         "127.0.0.1",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(req.PeerID[:], strconv.Itoa(i%500))
+		if _, err := tracker.Announce(ts.Client(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateStudy(DefaultStudyConfig(2000, int64(i)))
+	}
+}
+
+func BenchmarkSnapshotGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateSnapshot(SnapshotConfig{Seed: int64(i), NumSwarms: 5000})
+	}
+}

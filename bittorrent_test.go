@@ -1,0 +1,98 @@
+package swarmavail_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"swarmavail"
+)
+
+// TestBitTorrentFacadeEndToEnd drives a complete swarm purely through
+// the public API: tracker, bundle torrent, seeder, leecher, monitor.
+func TestBitTorrentFacadeEndToEnd(t *testing.T) {
+	srv := swarmavail.NewTracker()
+	ln, closeFn, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	content := make([]byte, 48*1024)
+	rand.New(rand.NewSource(3)).Read(content)
+	info, err := swarmavail.NewTorrentInfo("pack", 4096, []swarmavail.TorrentFile{
+		{Path: "a.mp3", Length: 20 * 1024},
+		{Path: "b.mp3", Length: 28 * 1024},
+	}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsBundle() {
+		t.Fatal("expected a bundle")
+	}
+	tor := &swarmavail.Torrent{
+		Announce: "http://" + ln.Addr().String() + "/announce",
+		Info:     *info,
+	}
+
+	// Round-trip the torrent file itself.
+	raw, err := tor.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := swarmavail.UnmarshalTorrent(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := tor.Info.Hash()
+	h2, _ := back.Info.Hash()
+	if h1 != h2 {
+		t.Fatal("infohash changed across marshal round trip")
+	}
+
+	seeder, err := swarmavail.NewPeer(swarmavail.PeerConfig{
+		Torrent: tor, Content: content, AnnounceInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seeder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Stop()
+
+	leecher, err := swarmavail.NewPeer(swarmavail.PeerConfig{
+		Torrent: tor, AnnounceInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leecher.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer leecher.Stop()
+
+	select {
+	case <-leecher.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("download did not complete")
+	}
+	if !bytes.Equal(leecher.Bytes(), content) {
+		t.Fatal("content mismatch")
+	}
+
+	results, err := swarmavail.Probe(tor, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := 0
+	for _, r := range results {
+		if r.Seed {
+			seeds++
+		}
+	}
+	if seeds < 1 {
+		t.Fatalf("probe found %d seeds", seeds)
+	}
+}

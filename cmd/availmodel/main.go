@@ -1,0 +1,83 @@
+// Command availmodel evaluates the availability model for a swarm and
+// its bundles from the command line.
+//
+// Usage:
+//
+//	availmodel -lambda 0.0167 -size 4000 -mu 50 -r 0.00111 -u 300 \
+//	           [-maxk 10] [-m 9] [-scaling scaled|constant] [-linger 0]
+//
+// It prints the Table-1 quantities, the eq. (9) busy period, the
+// unavailability and patient-peer download time, the threshold-coverage
+// variants, and the download-time-vs-K curve with its optimum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swarmavail/internal/core"
+)
+
+func main() {
+	var (
+		lambda  = flag.Float64("lambda", 1.0/60, "peer arrival rate λ (1/s)")
+		size    = flag.Float64("size", 4000, "content size s (KB)")
+		mu      = flag.Float64("mu", 50, "effective swarm capacity μ (KB/s)")
+		r       = flag.Float64("r", 1.0/900, "publisher arrival rate r (1/s)")
+		u       = flag.Float64("u", 300, "mean publisher residence u (s)")
+		maxK    = flag.Int("maxk", 10, "largest bundle size to evaluate")
+		m       = flag.Int("m", 9, "coverage threshold for §3.3.3 quantities")
+		scaling = flag.String("scaling", "scaled", "bundle publisher scaling: scaled or constant")
+		linger  = flag.Float64("linger", 0, "mean altruistic lingering 1/γ (s), 0 = selfish")
+	)
+	flag.Parse()
+
+	p := core.SwarmParams{Lambda: *lambda, Size: *size, Mu: *mu, R: *r, U: *u}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "availmodel: %v\n", err)
+		os.Exit(2)
+	}
+	var sc core.PublisherScaling
+	switch *scaling {
+	case "scaled":
+		sc = core.ScaledPublisher
+	case "constant":
+		sc = core.ConstantPublisher
+	default:
+		fmt.Fprintf(os.Stderr, "availmodel: unknown scaling %q\n", *scaling)
+		os.Exit(2)
+	}
+
+	fmt.Printf("swarm: λ=%g /s  s=%g KB  μ=%g KB/s  r=%g /s  u=%g s\n",
+		p.Lambda, p.Size, p.Mu, p.R, p.U)
+	fmt.Printf("  service time s/μ:          %.1f s\n", p.ServiceTime())
+	fmt.Printf("  offered load ρ:            %.3f concurrent peers\n", p.Rho())
+	fmt.Printf("  busy period E[B] (eq.9):   %.4g s\n", p.BusyPeriod())
+	fmt.Printf("  unavailability P (eq.10):  %.4g\n", p.Unavailability())
+	fmt.Printf("  download time E[T] (eq.11): %.4g s\n", p.DownloadTime())
+	fmt.Printf("  threshold m=%d: P (eq.14) = %.4g, E[T] = %.4g s\n",
+		*m, p.ThresholdUnavailability(*m), p.ThresholdDownloadTime(*m))
+	fmt.Printf("  single publisher (eq.16): P = %.4g, E[T] = %.4g s\n",
+		p.SinglePublisherUnavailability(*m), p.SinglePublisherDownloadTime(*m))
+
+	if *linger > 0 {
+		l := core.Lingering{SwarmParams: p, Gamma: 1 / *linger}
+		fmt.Printf("  with lingering 1/γ=%g s: P = %.4g, E[T] = %.4g s\n",
+			*linger, l.Unavailability(), l.DownloadTime())
+	}
+
+	best, curve := p.OptimalBundleSize(*maxK, sc)
+	fmt.Printf("\nbundling (%s publisher process):\n", sc)
+	fmt.Printf("  %-4s %-14s %-12s %-12s\n", "K", "E[T] (s)", "P", "-log P")
+	for k := 1; k <= *maxK; k++ {
+		b := p.Bundle(k, sc)
+		marker := " "
+		if k == best {
+			marker = "*"
+		}
+		fmt.Printf("%s %-4d %-14.4g %-12.4g %-12.4g\n",
+			marker, k, curve[k-1], b.Unavailability(), p.AvailabilityGainExponent(k, sc))
+	}
+	fmt.Printf("optimal bundle size: K=%d\n", best)
+}

@@ -1,0 +1,72 @@
+// Command btmon is the §2-style monitoring agent: it joins a swarm's
+// control plane, records the bitfields peers advertise, and reports seed
+// availability over time — without uploading or downloading content.
+//
+// Usage:
+//
+//	btmon -torrent bundle.torrent [-interval 10s] [-count 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swarmavail/internal/bittorrent/metainfo"
+	"swarmavail/internal/bittorrent/peer"
+)
+
+func main() {
+	var (
+		torrentPath = flag.String("torrent", "", "torrent file to monitor (required)")
+		interval    = flag.Duration("interval", 10*time.Second, "probe interval")
+		count       = flag.Int("count", 0, "number of probes (0 = forever)")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-peer connect timeout")
+	)
+	flag.Parse()
+	if *torrentPath == "" {
+		fmt.Fprintln(os.Stderr, "btmon: -torrent is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*torrentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btmon: %v\n", err)
+		os.Exit(1)
+	}
+	tor, err := metainfo.Unmarshal(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btmon: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("btmon: monitoring %q via %s\n", tor.Info.Name, tor.Announce)
+
+	probes := 0
+	withSeed := 0
+	for {
+		results, err := peer.Probe(tor, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "btmon: probe failed: %v\n", err)
+		} else {
+			seeds, leechers := 0, 0
+			for _, r := range results {
+				if r.Seed {
+					seeds++
+				} else {
+					leechers++
+				}
+			}
+			probes++
+			if seeds > 0 {
+				withSeed++
+			}
+			fmt.Printf("%s  peers=%d seeds=%d leechers=%d  seed-availability=%.2f\n",
+				time.Now().Format(time.TimeOnly), len(results), seeds, leechers,
+				float64(withSeed)/float64(probes))
+		}
+		if *count > 0 && probes >= *count {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

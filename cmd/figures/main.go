@@ -1,0 +1,85 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the reproduction's models, simulators and synthetic
+// datasets. ASCII renderings go to stdout; CSV series are written under
+// the output directory for external plotting.
+//
+// Usage:
+//
+//	figures [-fig all|fig1|fig3|fig4|fig5|fig6a|fig6b|fig6c|fig7|sec2.3|table-bm|...]
+//	        [-scale quick|full] [-seed N] [-out DIR] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarmavail/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "artefact ID to regenerate, or 'all'")
+		scale  = flag.String("scale", "quick", "quick or full")
+		seed   = flag.Int64("seed", 42, "random seed")
+		outDir = flag.String("out", "out", "directory for CSV output ('' disables)")
+		list   = flag.Bool("list", false, "list available artefacts and exit")
+		width  = flag.Int("width", 72, "ASCII chart width")
+		height = flag.Int("height", 16, "ASCII chart height")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-20s %s\n", d.ID, d.Description)
+		}
+		return
+	}
+
+	sc := experiments.Quick
+	if *scale == "full" {
+		sc = experiments.Full
+	}
+
+	var drivers []experiments.Driver
+	if *fig == "all" {
+		drivers = experiments.All()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			d, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown artefact %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			drivers = append(drivers, d)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, d := range drivers {
+		fmt.Printf("==== %s — %s (scale=%s, seed=%d) ====\n", d.ID, d.Description, sc, *seed)
+		res, err := d.Run(sc, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", d.ID, err)
+			failed = true
+			continue
+		}
+		opts := experiments.RenderOptions{Width: *width, Height: *height, CSVDir: *outDir}
+		if err := experiments.WriteResult(os.Stdout, res, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: emitting %s: %v\n", d.ID, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command swarmsim runs the block-level swarm simulator for a bundle of
+// identical files and prints the resulting availability and download
+// metrics, optionally with a peer timeline.
+//
+// Usage:
+//
+//	swarmsim -k 4 -lambda 0.0167 -size 4000 -peerup 50 -pubup 100 \
+//	         -pubmode onoff -on 300 -off 900 -horizon 1200 [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/plot"
+	"swarmavail/internal/stats"
+	"swarmavail/internal/swarm"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 1, "bundle size (number of identical files)")
+		lambda   = flag.Float64("lambda", 1.0/60, "peer arrival rate per file (1/s)")
+		size     = flag.Float64("size", 4000, "file size (KB)")
+		peerUp   = flag.Float64("peerup", 50, "peer upload capacity (KB/s); 0 = BitTyrant distribution")
+		pubUp    = flag.Float64("pubup", 100, "publisher upload capacity (KB/s)")
+		pubMode  = flag.String("pubmode", "onoff", "publisher mode: always, onoff, first")
+		onMean   = flag.Float64("on", 300, "mean publisher on time (s)")
+		offMean  = flag.Float64("off", 900, "mean publisher off time (s)")
+		horizon  = flag.Float64("horizon", 1200, "arrival horizon (s)")
+		drain    = flag.Float64("drain", 12000, "extra time to let stragglers finish (s)")
+		linger   = flag.Float64("linger", 0, "mean seeding time after completion (s)")
+		lag      = flag.Float64("lag", 15, "departure lag after completion (s)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		timeline = flag.Bool("timeline", false, "render the peer timeline")
+	)
+	flag.Parse()
+
+	files := make([]swarm.FileSpec, *k)
+	for i := range files {
+		files[i] = swarm.FileSpec{SizeKB: *size, Lambda: *lambda}
+	}
+	var upload dist.Dist = dist.Deterministic{Value: *peerUp}
+	if *peerUp == 0 {
+		upload = dist.BitTyrantUploadCapacities()
+	}
+	cfg := swarm.Config{
+		Seed:                *seed,
+		Files:               files,
+		PeerUpload:          upload,
+		PublisherUploadKBps: *pubUp,
+		LingerMeanSeconds:   *linger,
+		DepartureLagSeconds: *lag,
+		ArrivalCutoff:       *horizon,
+		Horizon:             *horizon + *drain,
+	}
+	switch *pubMode {
+	case "always":
+		cfg.PublisherMode = swarm.PublisherAlwaysOn
+	case "onoff":
+		cfg.PublisherMode = swarm.PublisherOnOff
+		cfg.PublisherOn = dist.NewExponentialFromMean(*onMean)
+		cfg.PublisherOff = dist.NewExponentialFromMean(*offMean)
+	case "first":
+		cfg.PublisherMode = swarm.PublisherUntilFirstCompletion
+	default:
+		fmt.Fprintf(os.Stderr, "swarmsim: unknown publisher mode %q\n", *pubMode)
+		os.Exit(2)
+	}
+
+	res, err := swarm.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swarmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	var acc stats.Accumulator
+	acc.AddAll(res.DownloadTimes())
+	fmt.Printf("bundle K=%d, aggregate λ=%.4g /s, %d pieces, horizon %g s (+%g s drain)\n",
+		*k, cfg.AggregateLambda(), res.TotalPieces, *horizon, *drain)
+	fmt.Printf("  arrivals:              %d\n", len(res.Records))
+	fmt.Printf("  completed:             %d\n", res.CompletedCount())
+	if acc.N() > 0 {
+		fmt.Printf("  mean download time:    %.0f s (± %.0f, 95%% CI)\n", acc.Mean(), acc.CI95())
+		med, _ := stats.Median(res.DownloadTimes())
+		fmt.Printf("  median download time:  %.0f s\n", med)
+	}
+	fmt.Printf("  publisher availability: %.3f\n", res.PublisherAvailabilityFraction())
+	fmt.Printf("  content availability:   %.3f\n", res.AvailabilityFraction())
+
+	if *timeline {
+		tl := &plot.Timeline{Title: "peer timeline", Horizon: res.Horizon}
+		for _, s := range res.PublisherSessions {
+			tl.Spans = append(tl.Spans, plot.Span{Label: "pub", Start: s.Start, End: s.End, Thick: true})
+		}
+		for _, p := range res.Records {
+			tl.Spans = append(tl.Spans, plot.Span{
+				Label: fmt.Sprintf("p%03d", p.ID),
+				Start: p.Arrive,
+				End:   p.Depart,
+				Open:  math.IsInf(p.Depart, 1),
+			})
+		}
+		plot.SortSpansByStart(tl.Spans)
+		if err := tl.Render(os.Stdout, 80); err != nil {
+			fmt.Fprintf(os.Stderr, "swarmsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command tracker runs the HTTP BitTorrent tracker used by the
+// repository's private swarms (announce on /announce, scrape on
+// /scrape).
+//
+// Usage:
+//
+//	tracker [-addr 127.0.0.1:7070]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"swarmavail/internal/bittorrent/tracker"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	flag.Parse()
+
+	srv := tracker.NewServer()
+	ln, closeFn, err := srv.Serve(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracker listening on http://%s/announce\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("tracker: shutting down")
+	_ = closeFn()
+}

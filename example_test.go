@@ -1,0 +1,63 @@
+package swarmavail_test
+
+import (
+	"fmt"
+
+	"swarmavail"
+)
+
+// The paper's headline scenario: an unpopular file behind a flaky
+// publisher becomes far more available when bundled.
+func ExampleSwarmParams_unavailability() {
+	p := swarmavail.SwarmParams{
+		Lambda: 1.0 / 60,  // one peer per minute
+		Size:   4000,      // 4 MB in KB
+		Mu:     50,        // 50 KB/s effective capacity
+		R:      1.0 / 900, // publisher returns every 15 minutes
+		U:      300,       // and stays for 5
+	}
+	fmt.Printf("single: P = %.2f\n", p.Unavailability())
+	fmt.Printf("K=4 bundle: P = %.1e\n", p.Bundle(4, swarmavail.ScaledPublisher).Unavailability())
+	// Output:
+	// single: P = 0.63
+	// K=4 bundle: P = 4.1e-11
+}
+
+// Download time combines active service with idle waiting (Lemma 3.2);
+// bundling trades more service for much less waiting.
+func ExampleSwarmParams_OptimalBundleSize() {
+	p := swarmavail.SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	k, curve := p.OptimalBundleSize(4, swarmavail.ScaledPublisher)
+	fmt.Printf("optimal K = %d\n", k)
+	fmt.Printf("E[T](1) = %.0f s, E[T](%d) = %.0f s\n", curve[0], k, curve[k-1])
+	// Output:
+	// optimal K = 2
+	// E[T](1) = 648 s, E[T](2) = 168 s
+}
+
+// The planning helpers answer the inverse question: how much bundling
+// does a target availability need?
+func ExampleSwarmParams_RequiredBundleSize() {
+	p := swarmavail.SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	k, err := p.RequiredBundleSize(1e-6, 10, swarmavail.ScaledPublisher)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bundle %d files for P ≤ 1e-6\n", k)
+	// Output:
+	// bundle 4 files for P ≤ 1e-6
+}
+
+// EvaluateBundle compares a catalog's solo swarms with their bundle in
+// one call — the §4.3.3 heterogeneous-popularity analysis.
+func ExampleEvaluateBundle() {
+	popular := swarmavail.SwarmParams{Lambda: 1.0 / 8, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	niche := swarmavail.SwarmParams{Lambda: 1.0 / 300, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	plan := swarmavail.EvaluateBundle([]swarmavail.SwarmParams{popular, niche}, 1.0/900, 300)
+	fmt.Printf("niche solo:   %.0f s\n", plan.SoloTimes[1])
+	fmt.Printf("in the bundle: %.0f s\n", plan.BundleTime)
+	// Output:
+	// niche solo:   713 s
+	// in the bundle: 160 s
+}

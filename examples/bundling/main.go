@@ -1,0 +1,77 @@
+// Bundling-decision example: a publisher curates a catalog of files with
+// very different popularities (the §3.4/§4.3.3 scenario) and wants to
+// know how to package them. The program evaluates three strategies with
+// the availability model — everything solo, one big bundle, or bundling
+// only the unpopular tail — and reports per-file download times under
+// each.
+package main
+
+import (
+	"fmt"
+
+	"swarmavail"
+)
+
+// title pairs a catalog entry with a human label.
+type title struct {
+	name  string
+	swarm swarmavail.SwarmParams
+}
+
+func main() {
+	// The catalog: one hit and a long tail, all 4 MB files behind the
+	// same intermittently available publisher (r = 1/2000 s⁻¹, u = 300 s:
+	// a publisher that is absent most of the time).
+	mk := func(lambda float64) swarmavail.SwarmParams {
+		return swarmavail.SwarmParams{Lambda: lambda, Size: 4000, Mu: 50, R: 1.0 / 2000, U: 300}
+	}
+	catalog := []title{
+		{"blockbuster", mk(1.0 / 10)},
+		{"cult-classic", mk(1.0 / 120)},
+		{"deep-cut-1", mk(1.0 / 400)},
+		{"deep-cut-2", mk(1.0 / 600)},
+		{"archive-gem", mk(1.0 / 900)},
+	}
+
+	fmt.Println("strategy 1: every title in its own swarm")
+	soloTimes := map[string]float64{}
+	for _, t := range catalog {
+		et := t.swarm.DownloadTime()
+		soloTimes[t.name] = et
+		fmt.Printf("  %-14s λ=1/%-4.0f  P=%.3f  E[T]=%7.0f s\n",
+			t.name, 1/t.swarm.Lambda, t.swarm.Unavailability(), et)
+	}
+
+	fmt.Println("\nstrategy 2: one bundle with everything")
+	all := make([]swarmavail.SwarmParams, len(catalog))
+	for i, t := range catalog {
+		all[i] = t.swarm
+	}
+	// The publisher now maintains a single seed with the same process.
+	full := swarmavail.BundleOf(all, all[0].R, all[0].U)
+	fullT := full.DownloadTime()
+	fmt.Printf("  bundle of %d: size %.0f KB, P=%.2g, E[T]=%.0f s for every requester\n",
+		len(all), full.Size, full.Unavailability(), fullT)
+
+	fmt.Println("\nstrategy 3: hit stays solo, tail bundled")
+	tail := all[1:]
+	tailBundle := swarmavail.BundleOf(tail, all[0].R, all[0].U)
+	tailT := tailBundle.DownloadTime()
+	fmt.Printf("  %-14s solo: E[T]=%7.0f s\n", catalog[0].name, soloTimes[catalog[0].name])
+	fmt.Printf("  tail bundle of %d: P=%.2g, E[T]=%7.0f s\n",
+		len(tail), tailBundle.Unavailability(), tailT)
+
+	fmt.Println("\nper-title verdict (download time in s):")
+	fmt.Printf("  %-14s %10s %10s %10s\n", "title", "solo", "all-in-one", "tail-bundle")
+	for i, t := range catalog {
+		strat3 := tailT
+		if i == 0 {
+			strat3 = soloTimes[t.name]
+		}
+		fmt.Printf("  %-14s %10.0f %10.0f %10.0f\n",
+			t.name, soloTimes[t.name], fullT, strat3)
+	}
+	fmt.Println("\nreading: bundling rescues the tail (availability dominates their")
+	fmt.Println("solo download times) at a modest cost to blockbuster fans — the")
+	fmt.Println("paper's mixed-bundling conclusion (§4.3.3).")
+}

@@ -1,0 +1,60 @@
+// Intermittent-publisher example: reproduce one point of Figure 6(a) —
+// the download-time-vs-bundle-size tradeoff under a publisher that
+// alternates 300 s on / 900 s off — and compare the block-level
+// simulation against the eq. (16) model prediction for every K.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarmavail"
+	"swarmavail/internal/dist"
+	"swarmavail/internal/stats"
+)
+
+func main() {
+	model := swarmavail.SwarmParams{
+		Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300,
+	}
+	const (
+		m    = 9 // coverage threshold validated in §4.3.1
+		runs = 3
+	)
+	fmt.Println("K   simulated E[T]    model E[T] (eq.16)   sim completions")
+	bestK, bestT := 0, 0.0
+	for k := 1; k <= 8; k++ {
+		var acc stats.Accumulator
+		for run := 0; run < runs; run++ {
+			files := make([]swarmavail.FileSpec, k)
+			for i := range files {
+				files[i] = swarmavail.FileSpec{SizeKB: 4000, Lambda: 1.0 / 60}
+			}
+			res, err := swarmavail.Simulate(swarmavail.SimConfig{
+				Seed:                int64(100*k + run),
+				Files:               files,
+				PeerUpload:          dist.Deterministic{Value: 50},
+				PublisherUploadKBps: 100,
+				PublisherMode:       swarmavail.PublisherOnOff,
+				PublisherOn:         dist.NewExponentialFromMean(300),
+				PublisherOff:        dist.NewExponentialFromMean(900),
+				DepartureLagSeconds: 15,
+				ArrivalCutoff:       1200,
+				Horizon:             15000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			acc.AddAll(res.DownloadTimes())
+		}
+		predicted := model.Bundle(k, swarmavail.ConstantPublisher).SinglePublisherDownloadTime(m)
+		fmt.Printf("%-3d %8.0f ± %-6.0f %12.0f %16d\n",
+			k, acc.Mean(), acc.CI95(), predicted, acc.N())
+		if bestK == 0 || acc.Mean() < bestT {
+			bestK, bestT = k, acc.Mean()
+		}
+	}
+	fmt.Printf("\nsimulated optimum: K=%d (paper experiment: K=4, paper model: K=5)\n", bestK)
+	fmt.Println("the model captures the U shape: waiting dominates small K, service")
+	fmt.Println("time dominates large K, and the optimum bridges publisher downtime.")
+}

@@ -1,0 +1,3 @@
+module swarmavail
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package bencode implements the bencoding format used by the BitTorrent
+// protocol for torrent metainfo files and tracker responses.
+//
+// The data model maps bencoded values onto Go types:
+//
+//	integer    → int64
+//	byte string → string (may contain arbitrary bytes)
+//	list       → []any
+//	dictionary → map[string]any (keys are byte strings)
+//
+// Encoding is canonical: dictionary keys are emitted in sorted byte
+// order, as the specification requires, so the same value always encodes
+// to the same bytes (a property the metainfo infohash relies on).
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTrailingData  = errors.New("bencode: trailing data after value")
+	ErrUnexpectedEOF = errors.New("bencode: unexpected end of input")
+)
+
+// Encode returns the canonical bencoding of v. Supported types: int,
+// int64, uint32, string, []byte, []any, and map[string]any (nested
+// arbitrarily). It returns an error for any other type.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeTo(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeTo(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case int:
+		fmt.Fprintf(buf, "i%de", x)
+	case int64:
+		fmt.Fprintf(buf, "i%de", x)
+	case uint32:
+		fmt.Fprintf(buf, "i%de", x)
+	case string:
+		fmt.Fprintf(buf, "%d:%s", len(x), x)
+	case []byte:
+		fmt.Fprintf(buf, "%d:", len(x))
+		buf.Write(x)
+	case []any:
+		buf.WriteByte('l')
+		for _, item := range x {
+			if err := encodeTo(buf, item); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	case map[string]any:
+		buf.WriteByte('d')
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(buf, "%d:%s", len(k), k)
+			if err := encodeTo(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	default:
+		return fmt.Errorf("bencode: unsupported type %T", v)
+	}
+	return nil
+}
+
+// Decode parses a single bencoded value from data, requiring the whole
+// input to be consumed.
+func Decode(data []byte) (any, error) {
+	v, rest, err := DecodePrefix(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailingData
+	}
+	return v, nil
+}
+
+// DecodePrefix parses one bencoded value from the front of data and
+// returns the remaining bytes.
+func DecodePrefix(data []byte) (v any, rest []byte, err error) {
+	d := decoder{data: data}
+	v, err = d.value(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, d.data[d.pos:], nil
+}
+
+// maxDepth bounds nesting to keep hostile inputs from exhausting the
+// stack.
+const maxDepth = 64
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) peek() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, ErrUnexpectedEOF
+	}
+	return d.data[d.pos], nil
+}
+
+func (d *decoder) value(depth int) (any, error) {
+	if depth > maxDepth {
+		return nil, errors.New("bencode: nesting too deep")
+	}
+	c, err := d.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case c == 'i':
+		return d.integer()
+	case c >= '0' && c <= '9':
+		return d.str()
+	case c == 'l':
+		d.pos++
+		var list []any
+		for {
+			c, err := d.peek()
+			if err != nil {
+				return nil, err
+			}
+			if c == 'e' {
+				d.pos++
+				if list == nil {
+					list = []any{}
+				}
+				return list, nil
+			}
+			item, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+		}
+	case c == 'd':
+		d.pos++
+		dict := map[string]any{}
+		lastKey := ""
+		first := true
+		for {
+			c, err := d.peek()
+			if err != nil {
+				return nil, err
+			}
+			if c == 'e' {
+				d.pos++
+				return dict, nil
+			}
+			key, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("bencode: dictionary key: %w", err)
+			}
+			if !first && key <= lastKey {
+				return nil, fmt.Errorf("bencode: dictionary keys out of order (%q after %q)", key, lastKey)
+			}
+			first = false
+			lastKey = key
+			val, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			dict[key] = val
+		}
+	default:
+		return nil, fmt.Errorf("bencode: invalid type byte %q at offset %d", c, d.pos)
+	}
+}
+
+func (d *decoder) integer() (int64, error) {
+	d.pos++ // consume 'i'
+	end := bytes.IndexByte(d.data[d.pos:], 'e')
+	if end < 0 {
+		return 0, ErrUnexpectedEOF
+	}
+	raw := string(d.data[d.pos : d.pos+end])
+	if raw == "" {
+		return 0, errors.New("bencode: empty integer")
+	}
+	// Reject leading zeros and negative zero per the spec.
+	if raw != "0" {
+		neg := raw[0] == '-'
+		digits := raw
+		if neg {
+			digits = raw[1:]
+		}
+		if digits == "" || digits[0] == '0' {
+			return 0, fmt.Errorf("bencode: malformed integer %q", raw)
+		}
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bencode: malformed integer %q", raw)
+	}
+	d.pos += end + 1
+	return n, nil
+}
+
+func (d *decoder) str() (string, error) {
+	colon := bytes.IndexByte(d.data[d.pos:], ':')
+	if colon < 0 {
+		return "", ErrUnexpectedEOF
+	}
+	raw := string(d.data[d.pos : d.pos+colon])
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 || (len(raw) > 1 && raw[0] == '0') {
+		return "", fmt.Errorf("bencode: malformed string length %q", raw)
+	}
+	start := d.pos + colon + 1
+	if start+n > len(d.data) {
+		return "", ErrUnexpectedEOF
+	}
+	d.pos = start + n
+	return string(d.data[start : start+n]), nil
+}
+
+// Dict is a typed view helper over a decoded dictionary, reducing the
+// type-assertion noise at call sites (tracker, metainfo).
+type Dict map[string]any
+
+// AsDict converts a decoded value to a Dict.
+func AsDict(v any) (Dict, bool) {
+	m, ok := v.(map[string]any)
+	return Dict(m), ok
+}
+
+// Str returns the string value at key.
+func (d Dict) Str(key string) (string, bool) {
+	s, ok := d[key].(string)
+	return s, ok
+}
+
+// Int returns the integer value at key.
+func (d Dict) Int(key string) (int64, bool) {
+	n, ok := d[key].(int64)
+	return n, ok
+}
+
+// List returns the list value at key.
+func (d Dict) List(key string) ([]any, bool) {
+	l, ok := d[key].([]any)
+	return l, ok
+}
+
+// Sub returns the nested dictionary at key.
+func (d Dict) Sub(key string) (Dict, bool) {
+	m, ok := d[key].(map[string]any)
+	return Dict(m), ok
+}

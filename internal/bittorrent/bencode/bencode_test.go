@@ -1,0 +1,230 @@
+package bencode
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeBasics(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "i42e"},
+		{int64(-7), "i-7e"},
+		{0, "i0e"},
+		{uint32(5), "i5e"},
+		{"spam", "4:spam"},
+		{"", "0:"},
+		{[]byte{0, 1, 2}, "3:\x00\x01\x02"},
+		{[]any{"a", 1}, "l1:ai1ee"},
+		{[]any{}, "le"},
+		{map[string]any{"b": 2, "a": "x"}, "d1:a1:x1:bi2ee"},
+		{map[string]any{}, "de"},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Encode(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeUnsupportedType(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Fatal("float must be rejected")
+	}
+	if _, err := Encode([]any{map[string]any{"k": struct{}{}}}); err == nil {
+		t.Fatal("nested unsupported type must be rejected")
+	}
+}
+
+func TestEncodeCanonicalKeyOrder(t *testing.T) {
+	// The same dictionary must always serialise identically.
+	m := map[string]any{"zeta": 1, "alpha": 2, "mid": 3}
+	a, _ := Encode(m)
+	b, _ := Encode(m)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding not deterministic")
+	}
+	want := "d5:alphai2e3:midi3e4:zetai1ee"
+	if string(a) != want {
+		t.Fatalf("got %q, want %q", a, want)
+	}
+}
+
+func TestDecodeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"i42e", int64(42)},
+		{"i-7e", int64(-7)},
+		{"i0e", int64(0)},
+		{"4:spam", "spam"},
+		{"0:", ""},
+		{"l1:ai1ee", []any{"a", int64(1)}},
+		{"le", []any{}},
+		{"d1:a1:x1:bi2ee", map[string]any{"a": "x", "b": int64(2)}},
+		{"de", map[string]any{}},
+	}
+	for _, c := range cases {
+		got, err := Decode([]byte(c.in))
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",               // empty
+		"i42",            // unterminated integer
+		"ie",             // empty integer
+		"i01e",           // leading zero
+		"i-0e",           // negative zero
+		"i--1e",          // double sign
+		"5:spam",         // short string
+		"4spam",          // missing colon
+		"01:a",           // leading zero in length
+		"l1:a",           // unterminated list
+		"d1:a",           // missing value
+		"d1:bi1e1:ai2ee", // keys out of order
+		"x",              // unknown type
+		"i1ei2e",         // trailing data
+		"-1:a",           // negative length
+	}
+	for _, in := range bad {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeDepthLimit(t *testing.T) {
+	deep := bytes.Repeat([]byte("l"), 100)
+	deep = append(deep, bytes.Repeat([]byte("e"), 100)...)
+	if _, err := Decode(deep); err == nil {
+		t.Fatal("deeply nested input must be rejected")
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	v, rest, err := DecodePrefix([]byte("i42eXYZ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 42 || string(rest) != "XYZ" {
+		t.Fatalf("got %v, rest %q", v, rest)
+	}
+}
+
+func TestDictHelpers(t *testing.T) {
+	v, err := Decode([]byte("d4:listl1:xe3:numi7e3:str5:hello3:subd1:ki1eee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := AsDict(v)
+	if !ok {
+		t.Fatal("not a dict")
+	}
+	if n, ok := d.Int("num"); !ok || n != 7 {
+		t.Fatalf("Int: %v %v", n, ok)
+	}
+	if s, ok := d.Str("str"); !ok || s != "hello" {
+		t.Fatalf("Str: %v %v", s, ok)
+	}
+	if l, ok := d.List("list"); !ok || len(l) != 1 {
+		t.Fatalf("List: %v %v", l, ok)
+	}
+	if sub, ok := d.Sub("sub"); !ok {
+		t.Fatal("Sub failed")
+	} else if k, ok := sub.Int("k"); !ok || k != 1 {
+		t.Fatalf("Sub.Int: %v %v", k, ok)
+	}
+	// Missing / wrong-typed keys.
+	if _, ok := d.Int("str"); ok {
+		t.Fatal("Int on string must fail")
+	}
+	if _, ok := d.Str("missing"); ok {
+		t.Fatal("missing key must fail")
+	}
+	if _, ok := AsDict("nope"); ok {
+		t.Fatal("AsDict on string must fail")
+	}
+}
+
+// randomValue builds a random bencodable value for the round-trip
+// property test.
+func randomValue(r *rand.Rand, depth int) any {
+	switch n := r.Intn(4); {
+	case n == 0 || depth > 3:
+		return int64(r.Int63()) - (1 << 62)
+	case n == 1:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return string(b)
+	case n == 2:
+		k := r.Intn(4)
+		l := make([]any, k)
+		for i := range l {
+			l[i] = randomValue(r, depth+1)
+		}
+		return l
+	default:
+		k := r.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < k; i++ {
+			b := make([]byte, r.Intn(8))
+			r.Read(b)
+			m[string(b)] = randomValue(r, depth+1)
+		}
+		return m
+	}
+}
+
+// normalise converts pre-encode representations to the decoded data
+// model ([]any of nil stays nil vs []any{} — handled by construction).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 0)
+		enc, err := Encode(v)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		re, err := Encode(dec)
+		if err != nil {
+			return false
+		}
+		// Canonical encoding: encode(decode(encode(v))) == encode(v).
+		return bytes.Equal(enc, re)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoder never panics on arbitrary input.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) //nolint:errcheck // errors are the point
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

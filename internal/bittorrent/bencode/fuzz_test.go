@@ -1,0 +1,39 @@
+package bencode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode canonically and decode
+// again to the same bytes (idempotent canonicalisation).
+func FuzzDecode(f *testing.F) {
+	for _, seed := range []string{
+		"i42e", "4:spam", "le", "de", "l4:spami-7ee",
+		"d1:a1:x1:bi2ee", "d4:infod4:name1:xee", "i-0e", "5:spam",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("decoded value failed to encode: %v", err)
+		}
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		enc2, err := Encode(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonicalisation not idempotent: %q vs %q", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package metainfo builds and parses BitTorrent metainfo (.torrent)
+// structures, including multi-file torrents — the on-disk form of a
+// bundle. Piece hashes use SHA-1 as in the original protocol, and the
+// infohash is the SHA-1 of the canonical bencoding of the info
+// dictionary.
+package metainfo
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+
+	"swarmavail/internal/bittorrent/bencode"
+)
+
+// HashSize is the size of a SHA-1 digest in bytes.
+const HashSize = sha1.Size
+
+// InfoHash identifies a torrent.
+type InfoHash [HashSize]byte
+
+// String renders the infohash in hex.
+func (h InfoHash) String() string { return fmt.Sprintf("%x", h[:]) }
+
+// File is one file inside the torrent content.
+type File struct {
+	// Path is the file's name (single-file torrents) or slash-joined
+	// relative path (multi-file torrents).
+	Path string
+	// Length is the file size in bytes.
+	Length int64
+}
+
+// Info is the info dictionary: the content description that the
+// infohash covers.
+type Info struct {
+	// Name is the advisory torrent name (and the single file's name for
+	// single-file torrents).
+	Name string
+	// PieceLength is the number of bytes per piece.
+	PieceLength int64
+	// Pieces holds the SHA-1 hash of each piece, in order.
+	Pieces []InfoHash
+	// Files lists the content; a single entry denotes a single-file
+	// torrent (bundles have several).
+	Files []File
+}
+
+// Torrent is a parsed metainfo file.
+type Torrent struct {
+	// Announce is the tracker URL.
+	Announce string
+	// Info is the content description.
+	Info Info
+	// Comment is free-form metadata.
+	Comment string
+}
+
+// TotalLength returns the total content size in bytes.
+func (i *Info) TotalLength() int64 {
+	var n int64
+	for _, f := range i.Files {
+		n += f.Length
+	}
+	return n
+}
+
+// NumPieces returns the number of pieces.
+func (i *Info) NumPieces() int { return len(i.Pieces) }
+
+// IsBundle reports whether the torrent carries more than one file.
+func (i *Info) IsBundle() bool { return len(i.Files) > 1 }
+
+// PieceSize returns the length of piece idx (the final piece may be
+// short).
+func (i *Info) PieceSize(idx int) int64 {
+	if idx < 0 || idx >= len(i.Pieces) {
+		return 0
+	}
+	if idx == len(i.Pieces)-1 {
+		rem := i.TotalLength() - int64(idx)*i.PieceLength
+		if rem > 0 {
+			return rem
+		}
+	}
+	return i.PieceLength
+}
+
+// Validate checks structural invariants.
+func (i *Info) Validate() error {
+	switch {
+	case i.Name == "":
+		return errors.New("metainfo: empty name")
+	case i.PieceLength <= 0:
+		return errors.New("metainfo: non-positive piece length")
+	case len(i.Files) == 0:
+		return errors.New("metainfo: no files")
+	}
+	for _, f := range i.Files {
+		if f.Length < 0 {
+			return fmt.Errorf("metainfo: negative length for %q", f.Path)
+		}
+		if f.Path == "" {
+			return errors.New("metainfo: empty file path")
+		}
+	}
+	want := int((i.TotalLength() + i.PieceLength - 1) / i.PieceLength)
+	if len(i.Pieces) != want {
+		return fmt.Errorf("metainfo: %d piece hashes for %d pieces of content",
+			len(i.Pieces), want)
+	}
+	return nil
+}
+
+// HashPieces splits content into PieceLength-sized pieces and returns
+// their SHA-1 hashes.
+func HashPieces(content []byte, pieceLength int64) []InfoHash {
+	if pieceLength <= 0 {
+		return nil
+	}
+	var out []InfoHash
+	for off := int64(0); off < int64(len(content)); off += pieceLength {
+		end := off + pieceLength
+		if end > int64(len(content)) {
+			end = int64(len(content))
+		}
+		out = append(out, sha1.Sum(content[off:end]))
+	}
+	return out
+}
+
+// New builds an Info over the given content bytes, dividing files by the
+// provided sizes (which must sum to len(content)).
+func New(name string, pieceLength int64, files []File, content []byte) (*Info, error) {
+	info := &Info{
+		Name:        name,
+		PieceLength: pieceLength,
+		Pieces:      HashPieces(content, pieceLength),
+		Files:       files,
+	}
+	var total int64
+	for _, f := range files {
+		total += f.Length
+	}
+	if total != int64(len(content)) {
+		return nil, fmt.Errorf("metainfo: file lengths sum to %d but content is %d bytes",
+			total, len(content))
+	}
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// infoDict converts Info into its bencodable dictionary form.
+func (i *Info) infoDict() map[string]any {
+	pieces := make([]byte, 0, len(i.Pieces)*HashSize)
+	for _, h := range i.Pieces {
+		pieces = append(pieces, h[:]...)
+	}
+	d := map[string]any{
+		"name":         i.Name,
+		"piece length": i.PieceLength,
+		"pieces":       string(pieces),
+	}
+	if len(i.Files) == 1 && i.Files[0].Path == i.Name {
+		d["length"] = i.Files[0].Length
+	} else {
+		fl := make([]any, 0, len(i.Files))
+		for _, f := range i.Files {
+			fl = append(fl, map[string]any{
+				"length": f.Length,
+				"path":   []any{f.Path},
+			})
+		}
+		d["files"] = fl
+	}
+	return d
+}
+
+// Hash returns the torrent's infohash: SHA-1 over the canonical bencoded
+// info dictionary.
+func (i *Info) Hash() (InfoHash, error) {
+	enc, err := bencode.Encode(i.infoDict())
+	if err != nil {
+		return InfoHash{}, err
+	}
+	return sha1.Sum(enc), nil
+}
+
+// Marshal serialises the torrent to its .torrent byte form.
+func (t *Torrent) Marshal() ([]byte, error) {
+	if err := t.Info.Validate(); err != nil {
+		return nil, err
+	}
+	d := map[string]any{
+		"announce": t.Announce,
+		"info":     t.Info.infoDict(),
+	}
+	if t.Comment != "" {
+		d["comment"] = t.Comment
+	}
+	return bencode.Encode(d)
+}
+
+// Unmarshal parses a .torrent byte form.
+func Unmarshal(data []byte) (*Torrent, error) {
+	v, err := bencode.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := bencode.AsDict(v)
+	if !ok {
+		return nil, errors.New("metainfo: top level is not a dictionary")
+	}
+	t := &Torrent{}
+	t.Announce, _ = d.Str("announce")
+	t.Comment, _ = d.Str("comment")
+	infoD, ok := d.Sub("info")
+	if !ok {
+		return nil, errors.New("metainfo: missing info dictionary")
+	}
+	info, err := parseInfo(infoD)
+	if err != nil {
+		return nil, err
+	}
+	t.Info = *info
+	if err := t.Info.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseInfo(d bencode.Dict) (*Info, error) {
+	info := &Info{}
+	var ok bool
+	if info.Name, ok = d.Str("name"); !ok {
+		return nil, errors.New("metainfo: info.name missing")
+	}
+	if info.PieceLength, ok = d.Int("piece length"); !ok {
+		return nil, errors.New("metainfo: info.piece length missing")
+	}
+	piecesRaw, ok := d.Str("pieces")
+	if !ok {
+		return nil, errors.New("metainfo: info.pieces missing")
+	}
+	if len(piecesRaw)%HashSize != 0 {
+		return nil, fmt.Errorf("metainfo: pieces length %d not a multiple of %d",
+			len(piecesRaw), HashSize)
+	}
+	for off := 0; off < len(piecesRaw); off += HashSize {
+		var h InfoHash
+		copy(h[:], piecesRaw[off:off+HashSize])
+		info.Pieces = append(info.Pieces, h)
+	}
+	if length, ok := d.Int("length"); ok {
+		info.Files = []File{{Path: info.Name, Length: length}}
+		return info, nil
+	}
+	fl, ok := d.List("files")
+	if !ok {
+		return nil, errors.New("metainfo: neither length nor files present")
+	}
+	for idx, item := range fl {
+		fd, ok := bencode.AsDict(item)
+		if !ok {
+			return nil, fmt.Errorf("metainfo: files[%d] is not a dictionary", idx)
+		}
+		length, ok := fd.Int("length")
+		if !ok {
+			return nil, fmt.Errorf("metainfo: files[%d].length missing", idx)
+		}
+		pathList, ok := fd.List("path")
+		if !ok || len(pathList) == 0 {
+			return nil, fmt.Errorf("metainfo: files[%d].path missing", idx)
+		}
+		path := ""
+		for i, el := range pathList {
+			s, ok := el.(string)
+			if !ok {
+				return nil, fmt.Errorf("metainfo: files[%d].path element not a string", idx)
+			}
+			if i > 0 {
+				path += "/"
+			}
+			path += s
+		}
+		info.Files = append(info.Files, File{Path: path, Length: length})
+	}
+	return info, nil
+}
+
+// VerifyPiece checks a downloaded piece against the recorded hash.
+func (i *Info) VerifyPiece(idx int, data []byte) bool {
+	if idx < 0 || idx >= len(i.Pieces) {
+		return false
+	}
+	return sha1.Sum(data) == i.Pieces[idx]
+}

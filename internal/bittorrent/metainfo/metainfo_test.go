@@ -1,0 +1,288 @@
+package metainfo
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeContent builds deterministic pseudo-random content.
+func makeContent(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func singleFileInfo(t *testing.T) (*Info, []byte) {
+	t.Helper()
+	content := makeContent(1000, 1)
+	info, err := New("file.bin", 256, []File{{Path: "file.bin", Length: 1000}}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, content
+}
+
+func bundleInfo(t *testing.T) (*Info, []byte) {
+	t.Helper()
+	content := makeContent(700, 2)
+	info, err := New("bundle", 256, []File{
+		{Path: "a.mp3", Length: 300},
+		{Path: "b.mp3", Length: 400},
+	}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, content
+}
+
+func TestNewSingleFile(t *testing.T) {
+	info, content := singleFileInfo(t)
+	if info.NumPieces() != 4 { // ceil(1000/256)
+		t.Fatalf("pieces = %d", info.NumPieces())
+	}
+	if info.TotalLength() != 1000 {
+		t.Fatalf("total = %d", info.TotalLength())
+	}
+	if info.IsBundle() {
+		t.Fatal("single file must not be a bundle")
+	}
+	// Final piece is short: 1000 − 3·256 = 232.
+	if got := info.PieceSize(3); got != 232 {
+		t.Fatalf("final piece size %d", got)
+	}
+	if got := info.PieceSize(0); got != 256 {
+		t.Fatalf("piece 0 size %d", got)
+	}
+	if got := info.PieceSize(99); got != 0 {
+		t.Fatalf("out-of-range piece size %d", got)
+	}
+	// Hashes match manual hashing.
+	for i := 0; i < 4; i++ {
+		lo := i * 256
+		hi := lo + int(info.PieceSize(i))
+		if sha1.Sum(content[lo:hi]) != info.Pieces[i] {
+			t.Fatalf("piece %d hash mismatch", i)
+		}
+	}
+}
+
+func TestNewBundle(t *testing.T) {
+	info, _ := bundleInfo(t)
+	if !info.IsBundle() {
+		t.Fatal("two files must be a bundle")
+	}
+	if info.NumPieces() != 3 {
+		t.Fatalf("pieces = %d", info.NumPieces())
+	}
+}
+
+func TestNewRejectsMismatchedLengths(t *testing.T) {
+	if _, err := New("x", 256, []File{{Path: "x", Length: 999}}, makeContent(1000, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := singleFileInfo(t)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Info{
+		{Name: "", PieceLength: 1, Files: []File{{Path: "a", Length: 1}}},
+		{Name: "x", PieceLength: 0, Files: []File{{Path: "a", Length: 1}}},
+		{Name: "x", PieceLength: 1, Files: nil},
+		{Name: "x", PieceLength: 1, Files: []File{{Path: "", Length: 1}}},
+		{Name: "x", PieceLength: 1, Files: []File{{Path: "a", Length: -1}}},
+		{Name: "x", PieceLength: 256, Files: []File{{Path: "a", Length: 1000}}, Pieces: nil},
+	}
+	for i, info := range bad {
+		if err := info.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyPiece(t *testing.T) {
+	info, content := singleFileInfo(t)
+	if !info.VerifyPiece(0, content[:256]) {
+		t.Fatal("valid piece rejected")
+	}
+	corrupted := append([]byte{}, content[:256]...)
+	corrupted[0] ^= 0xFF
+	if info.VerifyPiece(0, corrupted) {
+		t.Fatal("corrupted piece accepted")
+	}
+	if info.VerifyPiece(-1, nil) || info.VerifyPiece(99, nil) {
+		t.Fatal("out-of-range piece accepted")
+	}
+}
+
+func TestMarshalUnmarshalSingleFile(t *testing.T) {
+	info, _ := singleFileInfo(t)
+	tor := &Torrent{Announce: "http://127.0.0.1:7070/announce", Info: *info, Comment: "test"}
+	raw, err := tor.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Announce != tor.Announce || back.Comment != tor.Comment {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	if back.Info.Name != info.Name || back.Info.PieceLength != info.PieceLength {
+		t.Fatalf("info mismatch: %+v", back.Info)
+	}
+	if len(back.Info.Files) != 1 || back.Info.Files[0] != info.Files[0] {
+		t.Fatalf("files mismatch: %+v", back.Info.Files)
+	}
+	if len(back.Info.Pieces) != len(info.Pieces) {
+		t.Fatal("piece count mismatch")
+	}
+	for i := range info.Pieces {
+		if back.Info.Pieces[i] != info.Pieces[i] {
+			t.Fatalf("piece hash %d mismatch", i)
+		}
+	}
+}
+
+func TestMarshalUnmarshalBundle(t *testing.T) {
+	info, _ := bundleInfo(t)
+	tor := &Torrent{Announce: "http://t/announce", Info: *info}
+	raw, err := tor.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Info.IsBundle() || len(back.Info.Files) != 2 {
+		t.Fatalf("bundle not preserved: %+v", back.Info.Files)
+	}
+	if back.Info.Files[0].Path != "a.mp3" || back.Info.Files[1].Length != 400 {
+		t.Fatalf("file entries wrong: %+v", back.Info.Files)
+	}
+}
+
+func TestInfoHashStableAcrossRoundTrip(t *testing.T) {
+	info, _ := bundleInfo(t)
+	h1, err := info.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := &Torrent{Announce: "http://t/announce", Info: *info}
+	raw, _ := tor.Marshal()
+	back, _ := Unmarshal(raw)
+	h2, err := back.Info.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("infohash changed across round trip: %v vs %v", h1, h2)
+	}
+	if len(h1.String()) != 40 {
+		t.Fatalf("hex infohash %q", h1.String())
+	}
+}
+
+func TestInfoHashDistinguishesContent(t *testing.T) {
+	a, _ := singleFileInfo(t)
+	b, _ := bundleInfo(t)
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha == hb {
+		t.Fatal("different torrents share an infohash")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte("garbage"),
+		[]byte("i42e"),                // not a dict
+		[]byte("d8:announce3:urle"),   // missing info
+		[]byte("d4:infod4:name1:xee"), // missing piece length etc.
+	}
+	for i, raw := range bad {
+		if _, err := Unmarshal(raw); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHashPiecesEdgeCases(t *testing.T) {
+	if got := HashPieces(nil, 256); got != nil {
+		t.Fatalf("empty content gave %d hashes", len(got))
+	}
+	if got := HashPieces([]byte("x"), 0); got != nil {
+		t.Fatal("non-positive piece length must give nil")
+	}
+	if got := HashPieces(makeContent(256, 4), 256); len(got) != 1 {
+		t.Fatalf("exact single piece gave %d hashes", len(got))
+	}
+}
+
+// Property: marshal/unmarshal round trip preserves the infohash for
+// random multi-file layouts.
+func TestRoundTripInfoHashProperty(t *testing.T) {
+	f := func(seed int64, nfiles, plExp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nfiles%4) + 1
+		pieceLen := int64(64 << (plExp % 4)) // 64..512
+		files := make([]File, n)
+		total := 0
+		for i := range files {
+			l := r.Intn(600) + 1
+			files[i] = File{Path: string(rune('a'+i)) + ".bin", Length: int64(l)}
+			total += l
+		}
+		content := makeContent(total, seed+1)
+		info, err := New("prop", pieceLen, files, content)
+		if err != nil {
+			return false
+		}
+		h1, err := info.Hash()
+		if err != nil {
+			return false
+		}
+		raw, err := (&Torrent{Announce: "http://t/a", Info: *info}).Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(raw)
+		if err != nil {
+			return false
+		}
+		h2, err := back.Info.Hash()
+		return err == nil && h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRejectsInvalidInfo(t *testing.T) {
+	tor := &Torrent{Announce: "http://t/a"}
+	if _, err := tor.Marshal(); err == nil {
+		t.Fatal("invalid info accepted")
+	}
+}
+
+func TestPiecesBytesLayout(t *testing.T) {
+	// The bencoded "pieces" entry must be the concatenation of hashes.
+	info, _ := singleFileInfo(t)
+	tor := &Torrent{Announce: "a", Info: *info}
+	raw, _ := tor.Marshal()
+	var concat []byte
+	for _, h := range info.Pieces {
+		concat = append(concat, h[:]...)
+	}
+	if !bytes.Contains(raw, concat) {
+		t.Fatal("marshalled torrent does not embed concatenated piece hashes")
+	}
+}

@@ -1,0 +1,160 @@
+package peer
+
+import (
+	"sort"
+	"time"
+
+	"swarmavail/internal/bittorrent/wire"
+)
+
+// The tit-for-tat choker (Cohen 2003): every interval, unchoke the
+// interested peers that reciprocated the most data in the last window,
+// plus one optimistically unchoked peer rotated periodically so that
+// newcomers with nothing to reciprocate can bootstrap. The §4
+// experiments run with the generous policy (everyone unchoked — adequate
+// for cooperative controlled swarms); TitForTat enables the real
+// mainline behaviour.
+
+// Choking defaults.
+const (
+	defaultChokeInterval   = 10 * time.Second
+	defaultUnchokeSlots    = 3
+	optimisticRotationTick = 3 // optimistic peer changes every Nth tick
+)
+
+// chokerLoop drives periodic re-evaluation.
+func (n *Node) chokerLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.ChokeInterval
+	if interval <= 0 {
+		interval = defaultChokeInterval
+	}
+	tick := 0
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(interval):
+			tick++
+			n.chokerTick(tick%optimisticRotationTick == 0)
+		}
+	}
+}
+
+// chokerTick ranks interested connections and flips choke states.
+// rotateOptimistic picks a fresh optimistic peer.
+func (n *Node) chokerTick(rotateOptimistic bool) {
+	slots := n.cfg.UnchokeSlots
+	if slots <= 0 {
+		slots = defaultUnchokeSlots
+	}
+
+	n.mu.Lock()
+	conns := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	seed := n.haveCount == n.info.NumPieces()
+	optimistic := n.optimistic
+	n.mu.Unlock()
+
+	type ranked struct {
+		c    *conn
+		rate int64
+	}
+	var interested []ranked
+	for _, c := range conns {
+		c.mu.Lock()
+		// Rate = reciprocation for leechers, service speed for seeds.
+		var window int64
+		if seed {
+			window = c.bytesToPeer - c.prevBytesToPeer
+			c.prevBytesToPeer = c.bytesToPeer
+		} else {
+			window = c.bytesFromPeer - c.prevBytesFromPeer
+			c.prevBytesFromPeer = c.bytesFromPeer
+		}
+		ok := c.remoteInterested
+		c.mu.Unlock()
+		if ok {
+			interested = append(interested, ranked{c: c, rate: window})
+		}
+	}
+	// Deterministic order under equal rates: connection identity via
+	// pointer order is unstable, so fall back to creation sequence.
+	sort.SliceStable(interested, func(i, j int) bool {
+		if interested[i].rate != interested[j].rate {
+			return interested[i].rate > interested[j].rate
+		}
+		return interested[i].c.seq < interested[j].c.seq
+	})
+
+	unchoke := make(map[*conn]bool, slots+1)
+	for i := 0; i < len(interested) && i < slots; i++ {
+		unchoke[interested[i].c] = true
+	}
+	// Optimistic slot: rotate among interested-but-not-selected peers.
+	if rotateOptimistic || optimistic == nil || !containsConn(conns, optimistic) {
+		optimistic = nil
+		var candidates []*conn
+		for _, r := range interested {
+			if !unchoke[r.c] {
+				candidates = append(candidates, r.c)
+			}
+		}
+		if len(candidates) > 0 {
+			n.mu.Lock()
+			optimistic = candidates[n.optimisticRng.Intn(len(candidates))]
+			n.mu.Unlock()
+		}
+	}
+	if optimistic != nil {
+		unchoke[optimistic] = true
+	}
+	n.mu.Lock()
+	n.optimistic = optimistic
+	n.mu.Unlock()
+
+	for _, c := range conns {
+		c.mu.Lock()
+		interestedPeer := c.remoteInterested
+		choking := c.weAreChoking
+		c.mu.Unlock()
+		want := interestedPeer && unchoke[c]
+		switch {
+		case choking && want:
+			c.setChoking(false)
+		case !choking && !want && interestedPeer:
+			// Keep at least the selected set; choke the rest.
+			c.setChoking(true)
+		case !choking && !interestedPeer:
+			// Peer lost interest; reset to choked for the next round.
+			c.setChoking(true)
+		}
+	}
+}
+
+func containsConn(conns []*conn, c *conn) bool {
+	for _, x := range conns {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// setChoking flips our choke state toward the remote and notifies it.
+func (c *conn) setChoking(choke bool) {
+	c.mu.Lock()
+	if c.weAreChoking == choke {
+		c.mu.Unlock()
+		return
+	}
+	c.weAreChoking = choke
+	c.mu.Unlock()
+	mt := wire.MsgUnchoke
+	if choke {
+		mt = wire.MsgChoke
+	}
+	_ = c.write(&wire.Message{Type: mt})
+}

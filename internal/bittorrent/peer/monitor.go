@@ -1,0 +1,97 @@
+package peer
+
+import (
+	"crypto/rand"
+	"net"
+	"time"
+
+	"swarmavail/internal/bittorrent/metainfo"
+	"swarmavail/internal/bittorrent/tracker"
+	"swarmavail/internal/bittorrent/wire"
+)
+
+// ProbeResult describes one peer observed by the monitoring agent.
+type ProbeResult struct {
+	// Addr is the peer's host:port.
+	Addr string
+	// Seed reports whether the peer's bitfield was complete.
+	Seed bool
+	// Pieces is the number of pieces the peer advertised.
+	Pieces int
+}
+
+// Probe is the §2 monitoring methodology in miniature: join the swarm's
+// control plane (announce to the tracker), connect to each reported
+// peer, record the bitfield it advertises, and classify seeds — without
+// uploading or downloading any content. The probe deregisters itself
+// afterwards.
+func Probe(t *metainfo.Torrent, timeout time.Duration) ([]ProbeResult, error) {
+	info := &t.Info
+	ih, err := info.Hash()
+	if err != nil {
+		return nil, err
+	}
+	var id [20]byte
+	copy(id[:], "-SAMON0-")
+	if _, err := rand.Read(id[8:]); err != nil {
+		return nil, err
+	}
+	req := tracker.AnnounceRequest{
+		TrackerURL: t.Announce,
+		InfoHash:   ih,
+		PeerID:     id,
+		Port:       6881, // advisory; the agent never accepts connections
+		Left:       info.TotalLength(),
+		NumWant:    200,
+		IP:         "127.0.0.1",
+	}
+	resp, err := tracker.Announce(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		req.Event = "stopped"
+		_, _ = tracker.Announce(nil, req)
+	}()
+
+	var out []ProbeResult
+	for _, p := range resp.Peers {
+		r, err := probeOne(p.String(), ih, id, info.NumPieces(), timeout)
+		if err != nil {
+			continue // unreachable peers are simply skipped, as on PlanetLab
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func probeOne(addr string, ih metainfo.InfoHash, id [20]byte, numPieces int, timeout time.Duration) (ProbeResult, error) {
+	res := ProbeResult{Addr: addr}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteHandshake(c, wire.Handshake{InfoHash: ih, PeerID: id}); err != nil {
+		return res, err
+	}
+	if _, err := wire.ReadHandshake(c); err != nil {
+		return res, err
+	}
+	// The first real message from a well-behaved peer is its bitfield.
+	for {
+		m, err := wire.ReadMessage(c)
+		if err != nil {
+			return res, err
+		}
+		if m == nil {
+			continue
+		}
+		if m.Type == wire.MsgBitfield {
+			res.Pieces = m.Bitfield.Count(numPieces)
+			res.Seed = m.Bitfield.Complete(numPieces)
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,874 @@
+// Package peer implements a runnable BitTorrent node: a seeder or
+// leecher that announces to an HTTP tracker, accepts and dials peer
+// connections, exchanges bitfields and pieces over TCP, verifies piece
+// hashes, and serves uploads after completing.
+//
+// Together with internal/bittorrent/tracker it forms a complete private
+// swarm deployable on localhost — the repository's stand-in for the
+// paper's PlanetLab testbed (§4.1). The protocol implementation is the
+// mainline wire protocol with whole-piece requests, BEP-10/11 peer
+// exchange, and either a trivially generous choking policy (the default,
+// adequate for cooperative controlled experiments) or the real
+// tit-for-tat choker with an optimistic slot (Config.TitForTat).
+package peer
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"swarmavail/internal/bittorrent/metainfo"
+	"swarmavail/internal/bittorrent/tracker"
+	"swarmavail/internal/bittorrent/wire"
+)
+
+// Config describes a node.
+type Config struct {
+	// Torrent is the metainfo the node participates in.
+	Torrent *metainfo.Torrent
+	// Content holds the full content for a seeder; leave nil to start as
+	// a leecher.
+	Content []byte
+	// ListenAddr is the TCP listen address ("127.0.0.1:0" by default).
+	ListenAddr string
+	// AnnounceInterval overrides the tracker-provided interval (tests).
+	AnnounceInterval time.Duration
+	// MaxPeers caps concurrent connections (default 30).
+	MaxPeers int
+	// Pipeline is the number of outstanding piece requests per
+	// connection (default 2).
+	Pipeline int
+	// DisableTrackerPeers stops the node from dialing tracker-reported
+	// peers; it still announces (so others can find it) but discovers
+	// neighbours only via Bootstrap and PEX. Used to demonstrate and
+	// test PEX-driven discovery (§2.2's methodology).
+	DisableTrackerPeers bool
+	// Bootstrap is a list of peer addresses dialed at Start.
+	Bootstrap []string
+	// DisablePex turns the BEP-11 peer exchange off.
+	DisablePex bool
+	// TitForTat enables the mainline choking algorithm: only the
+	// interested peers that reciprocated the most data in the last
+	// window are unchoked, plus one optimistic slot. When false (the
+	// default, used by the controlled experiments) everyone is unchoked
+	// on request.
+	TitForTat bool
+	// ChokeInterval is the choker re-evaluation period (10 s if 0).
+	ChokeInterval time.Duration
+	// UnchokeSlots is the number of reciprocation-ranked unchoke slots
+	// (3 if 0); the optimistic slot is additional.
+	UnchokeSlots int
+}
+
+// Node is a running peer.
+type Node struct {
+	cfg      Config
+	info     *metainfo.Info
+	infoHash metainfo.InfoHash
+	peerID   [20]byte
+
+	listener net.Listener
+
+	mu        sync.Mutex
+	content   []byte
+	have      wire.Bitfield
+	haveCount int
+	pending   map[int]*conn // piece → connection it is requested from
+	conns     map[*conn]struct{}
+	dialed    map[string]bool
+	known     map[string]bool // peer listen addresses learned (tracker, PEX, handshakes)
+	stopped   bool
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	// Tit-for-tat state.
+	connSeq       int
+	optimistic    *conn
+	optimisticRng *mrand.Rand
+}
+
+// conn is one peer connection.
+type conn struct {
+	node     *Node
+	c        net.Conn
+	writeMu  sync.Mutex
+	mu       sync.Mutex
+	remoteBF wire.Bitfield
+	choked   bool // we are choked by the remote
+	inflight map[int]bool
+	// Extension state.
+	remoteExts bool  // remote set the BEP-10 reserved bit
+	pexID      int64 // remote's ut_pex sub-ID (0 = none yet)
+	// Choking state (tit-for-tat).
+	seq               int   // creation order, for deterministic tie-breaks
+	remoteInterested  bool  // the remote wants our pieces
+	weAreChoking      bool  // we are withholding service
+	bytesFromPeer     int64 // verified piece bytes received from the remote
+	bytesToPeer       int64 // piece bytes served to the remote
+	prevBytesFromPeer int64 // window bookkeeping for the choker
+	prevBytesToPeer   int64
+}
+
+// New creates a node. If cfg.Content is non-nil it must match the
+// torrent's total length and piece hashes.
+func New(cfg Config) (*Node, error) {
+	if cfg.Torrent == nil {
+		return nil, errors.New("peer: torrent required")
+	}
+	info := &cfg.Torrent.Info
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	ih, err := info.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 30
+	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 2
+	}
+	n := &Node{
+		cfg:      cfg,
+		info:     info,
+		infoHash: ih,
+		have:     wire.NewBitfield(info.NumPieces()),
+		pending:  make(map[int]*conn),
+		conns:    make(map[*conn]struct{}),
+		dialed:   make(map[string]bool),
+		known:    make(map[string]bool),
+		doneCh:   make(chan struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	copy(n.peerID[:], "-SA0001-")
+	if _, err := rand.Read(n.peerID[8:]); err != nil {
+		return nil, err
+	}
+	var rngSeed int64
+	for _, b := range n.peerID[8:16] {
+		rngSeed = rngSeed<<8 | int64(b)
+	}
+	n.optimisticRng = mrand.New(mrand.NewSource(rngSeed))
+	if cfg.Content != nil {
+		if int64(len(cfg.Content)) != info.TotalLength() {
+			return nil, fmt.Errorf("peer: content is %d bytes, torrent says %d",
+				len(cfg.Content), info.TotalLength())
+		}
+		for i := 0; i < info.NumPieces(); i++ {
+			lo, hi := n.pieceRange(i)
+			if !info.VerifyPiece(i, cfg.Content[lo:hi]) {
+				return nil, fmt.Errorf("peer: content fails hash check at piece %d", i)
+			}
+		}
+		n.content = append([]byte(nil), cfg.Content...)
+		for i := 0; i < info.NumPieces(); i++ {
+			n.have.Set(i)
+		}
+		n.haveCount = info.NumPieces()
+		n.signalDone()
+	} else {
+		n.content = make([]byte, info.TotalLength())
+	}
+	return n, nil
+}
+
+func (n *Node) pieceRange(i int) (lo, hi int64) {
+	lo = int64(i) * n.info.PieceLength
+	hi = lo + n.info.PieceSize(i)
+	return lo, hi
+}
+
+// PeerID returns this node's peer id.
+func (n *Node) PeerID() [20]byte { return n.peerID }
+
+// InfoHash returns the torrent's infohash.
+func (n *Node) InfoHash() metainfo.InfoHash { return n.infoHash }
+
+// Start begins listening, announcing, and dialing.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	n.listener = ln
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.announceLoop()
+	if n.cfg.TitForTat {
+		n.wg.Add(1)
+		go n.chokerLoop()
+	}
+	n.dialAddrs(n.cfg.Bootstrap)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Port returns the bound TCP port.
+func (n *Node) Port() int {
+	if n.listener == nil {
+		return 0
+	}
+	return n.listener.Addr().(*net.TCPAddr).Port
+}
+
+// Done is closed once the download completes (immediately for seeders).
+func (n *Node) Done() <-chan struct{} { return n.doneCh }
+
+// Progress returns pieces held and the total piece count.
+func (n *Node) Progress() (have, total int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.haveCount, n.info.NumPieces()
+}
+
+// Complete reports whether the node holds the full content.
+func (n *Node) Complete() bool {
+	have, total := n.Progress()
+	return have == total
+}
+
+// Bytes returns a copy of the assembled content; it is only meaningful
+// once Complete.
+func (n *Node) Bytes() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]byte(nil), n.content...)
+}
+
+// BytesLeft returns the number of content bytes still missing.
+func (n *Node) BytesLeft() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytesLeftLocked()
+}
+
+func (n *Node) bytesLeftLocked() int64 {
+	var left int64
+	for i := 0; i < n.info.NumPieces(); i++ {
+		if !n.have.Has(i) {
+			left += n.info.PieceSize(i)
+		}
+	}
+	return left
+}
+
+// Stop announces departure and tears down all connections. It is safe to
+// call more than once.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	conns := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	close(n.stopCh)
+	if n.listener != nil {
+		_ = n.listener.Close()
+	}
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	// Best-effort goodbye to the tracker.
+	_, _ = tracker.Announce(nil, n.announceReq("stopped"))
+	n.wg.Wait()
+}
+
+func (n *Node) signalDone() {
+	n.doneOnce.Do(func() { close(n.doneCh) })
+}
+
+// ---------------------------------------------------------------------------
+// Tracker interaction.
+
+func (n *Node) announceReq(event string) tracker.AnnounceRequest {
+	return tracker.AnnounceRequest{
+		TrackerURL: n.cfg.Torrent.Announce,
+		InfoHash:   n.infoHash,
+		PeerID:     n.peerID,
+		Port:       n.Port(),
+		Left:       n.BytesLeft(),
+		Event:      event,
+		NumWant:    n.cfg.MaxPeers,
+		IP:         "127.0.0.1",
+	}
+}
+
+func (n *Node) announceLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.AnnounceInterval
+	event := "started"
+	for {
+		resp, err := tracker.Announce(nil, n.announceReq(event))
+		event = ""
+		if err == nil && resp.FailureMsg == "" {
+			if interval == 0 {
+				interval = resp.Interval
+			}
+			if !n.cfg.DisableTrackerPeers {
+				addrs := make([]string, 0, len(resp.Peers))
+				for _, p := range resp.Peers {
+					addrs = append(addrs, p.String())
+				}
+				n.rememberAddrs(addrs)
+				n.dialAddrs(addrs)
+			}
+		}
+		n.broadcastPex()
+		if interval <= 0 {
+			interval = tracker.DefaultInterval
+		}
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// rememberAddrs records peer listen addresses for PEX gossip.
+func (n *Node) rememberAddrs(addrs []string) {
+	self := n.Addr()
+	n.mu.Lock()
+	for _, a := range addrs {
+		if a != self {
+			n.known[a] = true
+		}
+	}
+	n.mu.Unlock()
+}
+
+// knownAddrs returns the PEX gossip set.
+func (n *Node) knownAddrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.known))
+	for a := range n.known {
+		out = append(out, a)
+	}
+	return out
+}
+
+// dialAddrs connects to every address not already tried.
+func (n *Node) dialAddrs(addrs []string) {
+	self := n.Addr()
+	for _, addr := range addrs {
+		if addr == self {
+			continue
+		}
+		n.mu.Lock()
+		skip := n.dialed[addr] || n.stopped || len(n.conns) >= n.cfg.MaxPeers
+		if !skip {
+			n.dialed[addr] = true
+		}
+		n.mu.Unlock()
+		if skip {
+			continue
+		}
+		n.wg.Add(1)
+		go func(addr string) {
+			defer n.wg.Done()
+			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+			if err != nil {
+				n.mu.Lock()
+				delete(n.dialed, addr) // allow a retry on the next announce
+				n.mu.Unlock()
+				return
+			}
+			n.runConn(c, true)
+		}(addr)
+	}
+}
+
+// broadcastPex gossips the known-address set to every PEX-capable
+// connection (BEP-11; idempotent for receivers, which dedupe by
+// address).
+func (n *Node) broadcastPex() {
+	if n.cfg.DisablePex {
+		return
+	}
+	addrs := n.knownAddrs()
+	if len(addrs) == 0 {
+		return
+	}
+	var added []wire.PexPeer
+	for _, a := range addrs {
+		host, portStr, err := net.SplitHostPort(a)
+		if err != nil {
+			continue
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			continue
+		}
+		ip := net.ParseIP(host)
+		if ip == nil || ip.To4() == nil {
+			continue
+		}
+		added = append(added, wire.PexPeer{IP: ip, Port: uint16(port)})
+	}
+	if len(added) == 0 {
+		return
+	}
+	n.mu.Lock()
+	conns := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.mu.Lock()
+		pexID := c.pexID
+		c.mu.Unlock()
+		if pexID == 0 {
+			continue
+		}
+		body, err := wire.MarshalPex(wire.PexMessage{Added: added})
+		if err != nil {
+			continue
+		}
+		_ = c.write(&wire.Message{
+			Type:  wire.MsgExtended,
+			Block: wire.ExtendedPayload(byte(pexID), body),
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Connections.
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runConn(c, false)
+		}()
+	}
+}
+
+// runConn performs the handshake and runs the message loop until the
+// connection dies.
+func (n *Node) runConn(netc net.Conn, initiator bool) {
+	defer netc.Close()
+	_ = netc.SetDeadline(time.Now().Add(10 * time.Second))
+	hs := wire.Handshake{
+		InfoHash:   n.infoHash,
+		PeerID:     n.peerID,
+		Extensions: !n.cfg.DisablePex,
+	}
+	var remote wire.Handshake
+	var err error
+	if initiator {
+		if err = wire.WriteHandshake(netc, hs); err != nil {
+			return
+		}
+		if remote, err = wire.ReadHandshake(netc); err != nil || remote.InfoHash != n.infoHash {
+			return
+		}
+	} else {
+		if remote, err = wire.ReadHandshake(netc); err != nil || remote.InfoHash != n.infoHash {
+			return
+		}
+		if err = wire.WriteHandshake(netc, hs); err != nil {
+			return
+		}
+	}
+	_ = netc.SetDeadline(time.Time{})
+
+	c := &conn{
+		node:         n,
+		c:            netc,
+		choked:       true,
+		weAreChoking: n.cfg.TitForTat,
+		inflight:     make(map[int]bool),
+		remoteExts:   remote.Extensions,
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	c.seq = n.connSeq
+	n.connSeq++
+	n.conns[c] = struct{}{}
+	bf := n.have.Clone()
+	n.mu.Unlock()
+
+	defer n.dropConn(c)
+	if err := c.write(&wire.Message{Type: wire.MsgBitfield, Bitfield: bf}); err != nil {
+		return
+	}
+	if c.remoteExts && !n.cfg.DisablePex {
+		body, err := wire.MarshalExtendedHandshake(wire.ExtendedHandshake{
+			PexID: wire.ExtPexID,
+			Port:  int64(n.Port()),
+		})
+		if err == nil {
+			_ = c.write(&wire.Message{
+				Type:  wire.MsgExtended,
+				Block: wire.ExtendedPayload(wire.ExtHandshakeID, body),
+			})
+		}
+	}
+	for {
+		_ = netc.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		msg, err := wire.ReadMessage(netc)
+		if err != nil {
+			return
+		}
+		if msg == nil {
+			continue // keep-alive
+		}
+		if err := n.handleMessage(c, msg); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) dropConn(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	c.mu.Lock()
+	for piece := range c.inflight {
+		if n.pending[piece] == c {
+			delete(n.pending, piece)
+		}
+	}
+	c.inflight = make(map[int]bool)
+	c.mu.Unlock()
+	n.mu.Unlock()
+	// Other connections may now pick up the orphaned pieces.
+	n.mu.Lock()
+	conns := make([]*conn, 0, len(n.conns))
+	for oc := range n.conns {
+		conns = append(conns, oc)
+	}
+	n.mu.Unlock()
+	for _, oc := range conns {
+		n.requestMore(oc)
+	}
+}
+
+func (c *conn) write(m *wire.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_ = c.c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	return wire.WriteMessage(c.c, m)
+}
+
+func (n *Node) handleMessage(c *conn, m *wire.Message) error {
+	switch m.Type {
+	case wire.MsgBitfield:
+		c.mu.Lock()
+		c.remoteBF = m.Bitfield.Clone()
+		c.mu.Unlock()
+		if n.remoteHasUseful(c) {
+			if err := c.write(&wire.Message{Type: wire.MsgInterested}); err != nil {
+				return err
+			}
+		}
+	case wire.MsgHave:
+		c.mu.Lock()
+		if c.remoteBF == nil {
+			c.remoteBF = wire.NewBitfield(n.info.NumPieces())
+		}
+		c.remoteBF.Set(int(m.Index))
+		c.mu.Unlock()
+		if n.remoteHasUseful(c) {
+			if err := c.write(&wire.Message{Type: wire.MsgInterested}); err != nil {
+				return err
+			}
+			n.requestMore(c)
+		}
+	case wire.MsgInterested:
+		c.mu.Lock()
+		c.remoteInterested = true
+		c.mu.Unlock()
+		if !n.cfg.TitForTat {
+			// Generous policy: unchoke everyone immediately.
+			return c.write(&wire.Message{Type: wire.MsgUnchoke})
+		}
+		// Tit-for-tat: the choker decides at its next tick.
+	case wire.MsgNotInterested:
+		c.mu.Lock()
+		c.remoteInterested = false
+		c.mu.Unlock()
+	case wire.MsgChoke:
+		c.mu.Lock()
+		c.choked = true
+		orphans := make([]int, 0, len(c.inflight))
+		for p := range c.inflight {
+			orphans = append(orphans, p)
+		}
+		c.inflight = make(map[int]bool)
+		c.mu.Unlock()
+		n.mu.Lock()
+		for _, p := range orphans {
+			if n.pending[p] == c {
+				delete(n.pending, p)
+			}
+		}
+		n.mu.Unlock()
+	case wire.MsgUnchoke:
+		c.mu.Lock()
+		c.choked = false
+		c.mu.Unlock()
+		n.requestMore(c)
+	case wire.MsgRequest:
+		return n.servePiece(c, m)
+	case wire.MsgPiece:
+		return n.receivePiece(c, m)
+	case wire.MsgCancel:
+		// Whole-piece transfers: nothing useful to cancel mid-write.
+	case wire.MsgExtended:
+		return n.handleExtended(c, m)
+	}
+	return nil
+}
+
+// handleExtended processes BEP-10 messages: the extended handshake
+// (learning the remote's PEX sub-ID and listen port) and incoming
+// ut_pex gossip (learning new peer addresses).
+func (n *Node) handleExtended(c *conn, m *wire.Message) error {
+	if n.cfg.DisablePex {
+		return nil
+	}
+	subID, body, err := wire.SplitExtendedPayload(m.Block)
+	if err != nil {
+		return err
+	}
+	switch subID {
+	case wire.ExtHandshakeID:
+		eh, err := wire.ParseExtendedHandshake(body)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.pexID = eh.PexID
+		c.mu.Unlock()
+		// The remote's listen address (its IP from the socket, its port
+		// from the handshake) joins the gossip set.
+		if eh.Port > 0 {
+			host, _, err := net.SplitHostPort(c.c.RemoteAddr().String())
+			if err == nil {
+				n.rememberAddrs([]string{net.JoinHostPort(host, strconv.FormatInt(eh.Port, 10))})
+			}
+		}
+	case wire.ExtPexID:
+		pex, err := wire.ParsePex(body)
+		if err != nil {
+			return err
+		}
+		addrs := make([]string, 0, len(pex.Added))
+		for _, p := range pex.Added {
+			addrs = append(addrs, p.String())
+		}
+		n.rememberAddrs(addrs)
+		n.dialAddrs(addrs)
+	}
+	return nil
+}
+
+// remoteHasUseful reports whether c's remote holds a piece we lack.
+func (n *Node) remoteHasUseful(c *conn) bool {
+	c.mu.Lock()
+	bf := c.remoteBF
+	c.mu.Unlock()
+	if bf == nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < n.info.NumPieces(); i++ {
+		if bf.Has(i) && !n.have.Has(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// requestMore fills c's request pipeline with pieces the remote has and
+// nobody else is fetching.
+func (n *Node) requestMore(c *conn) {
+	for {
+		c.mu.Lock()
+		if c.choked || len(c.inflight) >= n.cfg.Pipeline || c.remoteBF == nil {
+			c.mu.Unlock()
+			return
+		}
+		bf := c.remoteBF
+		n.mu.Lock()
+		piece := -1
+		for i := 0; i < n.info.NumPieces(); i++ {
+			if bf.Has(i) && !n.have.Has(i) && n.pending[i] == nil {
+				piece = i
+				break
+			}
+		}
+		if piece < 0 {
+			n.mu.Unlock()
+			c.mu.Unlock()
+			return
+		}
+		n.pending[piece] = c
+		c.inflight[piece] = true
+		size := n.info.PieceSize(piece)
+		n.mu.Unlock()
+		c.mu.Unlock()
+		err := c.write(&wire.Message{
+			Type:   wire.MsgRequest,
+			Index:  uint32(piece),
+			Begin:  0,
+			Length: uint32(size),
+		})
+		if err != nil {
+			n.mu.Lock()
+			if n.pending[piece] == c {
+				delete(n.pending, piece)
+			}
+			n.mu.Unlock()
+			c.mu.Lock()
+			delete(c.inflight, piece)
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// servePiece answers a whole-piece request. Requests from peers we are
+// choking are dropped, per the protocol.
+func (n *Node) servePiece(c *conn, m *wire.Message) error {
+	if n.cfg.TitForTat {
+		c.mu.Lock()
+		choking := c.weAreChoking
+		c.mu.Unlock()
+		if choking {
+			return nil
+		}
+	}
+	idx := int(m.Index)
+	n.mu.Lock()
+	if idx < 0 || idx >= n.info.NumPieces() || !n.have.Has(idx) {
+		n.mu.Unlock()
+		return fmt.Errorf("peer: request for piece %d we lack", idx)
+	}
+	lo, hi := n.pieceRange(idx)
+	block := append([]byte(nil), n.content[lo:hi]...)
+	n.mu.Unlock()
+	if int64(m.Begin) != 0 || int64(m.Length) != int64(len(block)) {
+		return fmt.Errorf("peer: partial-piece request not supported (begin=%d len=%d)",
+			m.Begin, m.Length)
+	}
+	if err := c.write(&wire.Message{Type: wire.MsgPiece, Index: m.Index, Begin: 0, Block: block}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.bytesToPeer += int64(len(block))
+	c.mu.Unlock()
+	return nil
+}
+
+// receivePiece verifies and stores an incoming piece.
+func (n *Node) receivePiece(c *conn, m *wire.Message) error {
+	idx := int(m.Index)
+	if idx < 0 || idx >= n.info.NumPieces() {
+		return fmt.Errorf("peer: piece index %d out of range", idx)
+	}
+	c.mu.Lock()
+	c.bytesFromPeer += int64(len(m.Block))
+	c.mu.Unlock()
+	if !n.info.VerifyPiece(idx, m.Block) {
+		// Hash failure: drop the in-flight claim so it can be re-fetched.
+		n.mu.Lock()
+		if n.pending[idx] == c {
+			delete(n.pending, idx)
+		}
+		n.mu.Unlock()
+		c.mu.Lock()
+		delete(c.inflight, idx)
+		c.mu.Unlock()
+		return fmt.Errorf("peer: piece %d failed hash check", idx)
+	}
+
+	n.mu.Lock()
+	fresh := !n.have.Has(idx)
+	if fresh {
+		lo, hi := n.pieceRange(idx)
+		if int64(len(m.Block)) != hi-lo {
+			n.mu.Unlock()
+			return fmt.Errorf("peer: piece %d is %d bytes, want %d", idx, len(m.Block), hi-lo)
+		}
+		copy(n.content[lo:hi], m.Block)
+		n.have.Set(idx)
+		n.haveCount++
+	}
+	if n.pending[idx] == c {
+		delete(n.pending, idx)
+	}
+	complete := n.haveCount == n.info.NumPieces()
+	conns := make([]*conn, 0, len(n.conns))
+	for oc := range n.conns {
+		conns = append(conns, oc)
+	}
+	n.mu.Unlock()
+
+	c.mu.Lock()
+	delete(c.inflight, idx)
+	c.mu.Unlock()
+
+	if fresh {
+		for _, oc := range conns {
+			_ = oc.write(&wire.Message{Type: wire.MsgHave, Index: m.Index})
+		}
+	}
+	if complete {
+		n.signalDone()
+		// Tell the tracker we are now a seed (best effort, async).
+		go func() { _, _ = tracker.Announce(nil, n.announceReq("completed")) }()
+	}
+	n.requestMore(c)
+	return nil
+}
+
+// NumConns returns the number of live peer connections.
+func (n *Node) NumConns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+// String identifies the node for logs.
+func (n *Node) String() string {
+	have, total := n.Progress()
+	return "peer[" + n.Addr() + " " + strconv.Itoa(have) + "/" + strconv.Itoa(total) + "]"
+}

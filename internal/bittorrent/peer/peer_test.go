@@ -1,0 +1,250 @@
+package peer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"swarmavail/internal/bittorrent/metainfo"
+	"swarmavail/internal/bittorrent/tracker"
+)
+
+// makeTorrent builds a torrent + content over the given tracker URL.
+func makeTorrent(t *testing.T, announce string, files []metainfo.File, pieceLen int64, seed int64) (*metainfo.Torrent, []byte) {
+	t.Helper()
+	var total int64
+	for _, f := range files {
+		total += f.Length
+	}
+	content := make([]byte, total)
+	rand.New(rand.NewSource(seed)).Read(content)
+	info, err := metainfo.New("test-content", pieceLen, files, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &metainfo.Torrent{Announce: announce, Info: *info}, content
+}
+
+// startTracker runs a tracker on loopback and returns its announce URL.
+func startTracker(t *testing.T) string {
+	t.Helper()
+	srv := tracker.NewServer()
+	ln, closeFn, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = closeFn() })
+	return "http://" + ln.Addr().String() + "/announce"
+}
+
+// startNode creates and starts a node, registering cleanup.
+func startNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	cfg.AnnounceInterval = 200 * time.Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func waitDone(t *testing.T, n *Node, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-n.Done():
+	case <-time.After(timeout):
+		have, total := n.Progress()
+		t.Fatalf("download did not complete in %v (%d/%d pieces, %d conns)",
+			timeout, have, total, n.NumConns())
+	}
+}
+
+func TestSeederLeecherTransfer(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 64 * 1024}}, 8*1024, 1)
+
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+	if !seeder.Complete() {
+		t.Fatal("seeder must start complete")
+	}
+	leecher := startNode(t, Config{Torrent: tor})
+	waitDone(t, leecher, 15*time.Second)
+	if !bytes.Equal(leecher.Bytes(), content) {
+		t.Fatal("downloaded content differs from original")
+	}
+	if leecher.BytesLeft() != 0 {
+		t.Fatalf("bytes left %d", leecher.BytesLeft())
+	}
+}
+
+func TestBundleTransferMultiFile(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce, []metainfo.File{
+		{Path: "ep1.avi", Length: 20000},
+		{Path: "ep2.avi", Length: 30000},
+		{Path: "ep3.avi", Length: 10000},
+	}, 4096, 2)
+	if !tor.Info.IsBundle() {
+		t.Fatal("expected a bundle")
+	}
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+	_ = seeder
+	leechers := make([]*Node, 3)
+	for i := range leechers {
+		leechers[i] = startNode(t, Config{Torrent: tor})
+	}
+	for i, l := range leechers {
+		waitDone(t, l, 20*time.Second)
+		if !bytes.Equal(l.Bytes(), content) {
+			t.Fatalf("leecher %d content mismatch", i)
+		}
+	}
+}
+
+func TestLeecherWaitsForPublisher(t *testing.T) {
+	// The availability phenomenon in miniature: a leecher alone makes no
+	// progress; once the publisher (seeder) appears, it completes.
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 32 * 1024}}, 4096, 3)
+
+	leecher := startNode(t, Config{Torrent: tor})
+	time.Sleep(500 * time.Millisecond)
+	if have, _ := leecher.Progress(); have != 0 {
+		t.Fatalf("leecher acquired %d pieces with no seed", have)
+	}
+	select {
+	case <-leecher.Done():
+		t.Fatal("leecher claims completion with no seed")
+	default:
+	}
+
+	startNode(t, Config{Torrent: tor, Content: content})
+	waitDone(t, leecher, 15*time.Second)
+	if !bytes.Equal(leecher.Bytes(), content) {
+		t.Fatal("content mismatch after publisher returned")
+	}
+}
+
+func TestPeersExchangeAfterSeederLeaves(t *testing.T) {
+	// Seed a first leecher fully, stop the seeder, then verify a second
+	// leecher can complete from the first (peer-sustained busy period).
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 48 * 1024}}, 4096, 4)
+
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+	first := startNode(t, Config{Torrent: tor})
+	waitDone(t, first, 15*time.Second)
+	seeder.Stop()
+
+	second := startNode(t, Config{Torrent: tor})
+	waitDone(t, second, 15*time.Second)
+	if !bytes.Equal(second.Bytes(), content) {
+		t.Fatal("content mismatch from peer-only download")
+	}
+}
+
+func TestMonitoringProbeClassifiesSeeds(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 24 * 1024}}, 4096, 5)
+
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+	leecher := startNode(t, Config{Torrent: tor})
+	waitDone(t, leecher, 15*time.Second)
+
+	// Give the "completed" announce a moment to land.
+	deadline := time.Now().Add(5 * time.Second)
+	var results []ProbeResult
+	for time.Now().Before(deadline) {
+		var err error
+		results, err = Probe(tor, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) >= 2 {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if len(results) < 2 {
+		t.Fatalf("probe saw %d peers, want ≥2", len(results))
+	}
+	seeds := 0
+	for _, r := range results {
+		if r.Seed {
+			seeds++
+		}
+		if r.Pieces != tor.Info.NumPieces() && r.Seed {
+			t.Fatalf("seed with %d pieces", r.Pieces)
+		}
+	}
+	if seeds < 2 { // both the original seeder and the completed leecher
+		t.Fatalf("probe found %d seeds, want 2 (results %+v)", seeds, results)
+	}
+	_ = seeder
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil torrent accepted")
+	}
+	announce := "http://127.0.0.1:1/announce"
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 1024}}, 256, 6)
+	// Wrong-length content.
+	if _, err := New(Config{Torrent: tor, Content: content[:100]}); err == nil {
+		t.Fatal("short content accepted")
+	}
+	// Corrupted content.
+	bad := append([]byte(nil), content...)
+	bad[0] ^= 0xFF
+	if _, err := New(Config{Torrent: tor, Content: bad}); err == nil {
+		t.Fatal("corrupt content accepted")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 4096}}, 1024, 7)
+	n := startNode(t, Config{Torrent: tor, Content: content})
+	n.Stop()
+	n.Stop() // must not panic or deadlock
+}
+
+func TestTrackerSeesSeedTransition(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 16 * 1024}}, 4096, 8)
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+	leecher := startNode(t, Config{Torrent: tor})
+	waitDone(t, leecher, 15*time.Second)
+	_ = seeder
+
+	// After completion the leecher re-announces as a seed; the tracker's
+	// scrape counters should eventually show 2 seeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := tracker.Announce(nil, tracker.AnnounceRequest{
+			TrackerURL: tor.Announce,
+			InfoHash:   leecher.InfoHash(),
+			PeerID:     [20]byte{1, 2, 3},
+			Port:       9999,
+			Left:       1,
+			IP:         "127.0.0.1",
+		})
+		if err == nil && resp.Seeders >= 2 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("tracker never observed two seeds")
+}

@@ -1,0 +1,389 @@
+// Package tracker implements a BitTorrent HTTP tracker and the matching
+// client announcer. The tracker keeps per-swarm peer lists, counts seeds
+// ("complete") and leechers ("incomplete"), serves compact peer lists,
+// and answers scrape requests — the §2 monitoring pipeline and the
+// runnable examples both use it over localhost.
+package tracker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"swarmavail/internal/bittorrent/bencode"
+	"swarmavail/internal/bittorrent/metainfo"
+)
+
+// DefaultInterval is the re-announce interval handed to clients.
+const DefaultInterval = 30 * time.Second
+
+// peerEntry is one registered peer in a swarm.
+type peerEntry struct {
+	id       [20]byte
+	ip       net.IP
+	port     uint16
+	seed     bool
+	lastSeen time.Time
+}
+
+// swarmState is the tracker-side state of one torrent.
+type swarmState struct {
+	peers     map[string]*peerEntry // key: peer id
+	downloads int64                 // completed-download counter
+}
+
+// Server is an HTTP tracker. Create with NewServer, mount its Handler,
+// or use Serve to run a standalone listener.
+type Server struct {
+	mu       sync.Mutex
+	swarms   map[metainfo.InfoHash]*swarmState
+	interval time.Duration
+	// PeerTTL expires peers that stopped announcing (crashed clients).
+	peerTTL time.Duration
+	now     func() time.Time
+}
+
+// NewServer returns a tracker with the default announce interval.
+func NewServer() *Server {
+	return &Server{
+		swarms:   make(map[metainfo.InfoHash]*swarmState),
+		interval: DefaultInterval,
+		peerTTL:  4 * DefaultInterval,
+		now:      time.Now,
+	}
+}
+
+// Handler returns the tracker's HTTP handler (announce on /announce,
+// scrape on /scrape).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/announce", s.handleAnnounce)
+	mux.HandleFunc("/scrape", s.handleScrape)
+	return mux
+}
+
+// failure writes a bencoded failure response (trackers report errors
+// in-band with HTTP 200).
+func failure(w http.ResponseWriter, msg string) {
+	body, _ := bencode.Encode(map[string]any{"failure reason": msg})
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write(body)
+}
+
+func parseInfoHash(q url.Values) (metainfo.InfoHash, error) {
+	var h metainfo.InfoHash
+	raw := q.Get("info_hash")
+	if len(raw) != metainfo.HashSize {
+		return h, fmt.Errorf("info_hash must be %d bytes, got %d", metainfo.HashSize, len(raw))
+	}
+	copy(h[:], raw)
+	return h, nil
+}
+
+func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ih, err := parseInfoHash(q)
+	if err != nil {
+		failure(w, err.Error())
+		return
+	}
+	peerIDRaw := q.Get("peer_id")
+	if len(peerIDRaw) != 20 {
+		failure(w, "peer_id must be 20 bytes")
+		return
+	}
+	port, err := strconv.Atoi(q.Get("port"))
+	if err != nil || port <= 0 || port > 65535 {
+		failure(w, "invalid port")
+		return
+	}
+	left, _ := strconv.ParseInt(q.Get("left"), 10, 64)
+	event := q.Get("event")
+	numWant := 50
+	if nw := q.Get("numwant"); nw != "" {
+		if v, err := strconv.Atoi(nw); err == nil && v >= 0 {
+			numWant = v
+		}
+	}
+
+	host := q.Get("ip")
+	if host == "" {
+		host, _, _ = net.SplitHostPort(r.RemoteAddr)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		failure(w, "cannot determine peer IP")
+		return
+	}
+
+	var key [20]byte
+	copy(key[:], peerIDRaw)
+
+	s.mu.Lock()
+	sw := s.swarms[ih]
+	if sw == nil {
+		sw = &swarmState{peers: make(map[string]*peerEntry)}
+		s.swarms[ih] = sw
+	}
+	s.expireLocked(sw)
+	switch event {
+	case "stopped":
+		delete(sw.peers, string(key[:]))
+	default:
+		if event == "completed" {
+			sw.downloads++
+		}
+		sw.peers[string(key[:])] = &peerEntry{
+			id:       key,
+			ip:       ip,
+			port:     uint16(port),
+			seed:     left == 0,
+			lastSeen: s.now(),
+		}
+	}
+	seeds, leechers := 0, 0
+	var compact []byte
+	for _, p := range sw.peers {
+		if p.seed {
+			seeds++
+		} else {
+			leechers++
+		}
+	}
+	// Hand out up to numWant peers other than the announcer itself.
+	for idStr, p := range sw.peers {
+		if len(compact) >= numWant*6 {
+			break
+		}
+		if idStr == string(key[:]) {
+			continue
+		}
+		ip4 := p.ip.To4()
+		if ip4 == nil {
+			continue // compact format is IPv4-only
+		}
+		entry := make([]byte, 6)
+		copy(entry, ip4)
+		binary.BigEndian.PutUint16(entry[4:], p.port)
+		compact = append(compact, entry...)
+	}
+	s.mu.Unlock()
+
+	resp := map[string]any{
+		"interval":   int64(s.interval / time.Second),
+		"complete":   int64(seeds),
+		"incomplete": int64(leechers),
+		"peers":      string(compact),
+	}
+	body, _ := bencode.Encode(resp)
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleScrape(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ih, err := parseInfoHash(q)
+	if err != nil {
+		failure(w, err.Error())
+		return
+	}
+	s.mu.Lock()
+	sw := s.swarms[ih]
+	seeds, leechers, downloads := 0, 0, int64(0)
+	if sw != nil {
+		s.expireLocked(sw)
+		downloads = sw.downloads
+		for _, p := range sw.peers {
+			if p.seed {
+				seeds++
+			} else {
+				leechers++
+			}
+		}
+	}
+	s.mu.Unlock()
+	resp := map[string]any{
+		"files": map[string]any{
+			string(ih[:]): map[string]any{
+				"complete":   int64(seeds),
+				"downloaded": downloads,
+				"incomplete": int64(leechers),
+			},
+		},
+	}
+	body, _ := bencode.Encode(resp)
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write(body)
+}
+
+// expireLocked drops peers that have not announced within the TTL.
+func (s *Server) expireLocked(sw *swarmState) {
+	cutoff := s.now().Add(-s.peerTTL)
+	for k, p := range sw.peers {
+		if p.lastSeen.Before(cutoff) {
+			delete(sw.peers, k)
+		}
+	}
+}
+
+// Counts returns the current seed/leecher counts for a swarm (testing
+// and monitoring convenience).
+func (s *Server) Counts(ih metainfo.InfoHash) (seeds, leechers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.swarms[ih]
+	if sw == nil {
+		return 0, 0
+	}
+	for _, p := range sw.peers {
+		if p.seed {
+			seeds++
+		} else {
+			leechers++
+		}
+	}
+	return seeds, leechers
+}
+
+// ---------------------------------------------------------------------------
+// Client side.
+
+// PeerAddr is one peer endpoint from an announce response.
+type PeerAddr struct {
+	IP   net.IP
+	Port uint16
+}
+
+// String renders host:port.
+func (p PeerAddr) String() string {
+	return net.JoinHostPort(p.IP.String(), strconv.Itoa(int(p.Port)))
+}
+
+// AnnounceRequest describes a client announce.
+type AnnounceRequest struct {
+	TrackerURL string
+	InfoHash   metainfo.InfoHash
+	PeerID     [20]byte
+	Port       int
+	Left       int64
+	Event      string // "", "started", "completed", "stopped"
+	NumWant    int
+	// IP optionally overrides the address the tracker registers (needed
+	// when many peers share one loopback host).
+	IP string
+}
+
+// AnnounceResponse is the parsed tracker reply.
+type AnnounceResponse struct {
+	Interval   time.Duration
+	Seeders    int
+	Leechers   int
+	Peers      []PeerAddr
+	FailureMsg string
+}
+
+// Announce performs one announce over HTTP.
+func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	u, err := url.Parse(req.TrackerURL)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: bad URL: %w", err)
+	}
+	q := u.Query()
+	q.Set("info_hash", string(req.InfoHash[:]))
+	q.Set("peer_id", string(req.PeerID[:]))
+	q.Set("port", strconv.Itoa(req.Port))
+	q.Set("left", strconv.FormatInt(req.Left, 10))
+	q.Set("uploaded", "0")
+	q.Set("downloaded", "0")
+	q.Set("compact", "1")
+	if req.Event != "" {
+		q.Set("event", req.Event)
+	}
+	if req.NumWant > 0 {
+		q.Set("numwant", strconv.Itoa(req.NumWant))
+	}
+	if req.IP != "" {
+		q.Set("ip", req.IP)
+	}
+	u.RawQuery = q.Encode()
+
+	httpResp, err := client.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	body := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := httpResp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if len(body) > 1<<20 {
+			return nil, errors.New("tracker: response too large")
+		}
+	}
+	return ParseAnnounceResponse(body)
+}
+
+// ParseAnnounceResponse decodes a bencoded announce reply.
+func ParseAnnounceResponse(body []byte) (*AnnounceResponse, error) {
+	v, err := bencode.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: malformed response: %w", err)
+	}
+	d, ok := bencode.AsDict(v)
+	if !ok {
+		return nil, errors.New("tracker: response is not a dictionary")
+	}
+	resp := &AnnounceResponse{}
+	if msg, ok := d.Str("failure reason"); ok {
+		resp.FailureMsg = msg
+		return resp, nil
+	}
+	if iv, ok := d.Int("interval"); ok {
+		resp.Interval = time.Duration(iv) * time.Second
+	}
+	if c, ok := d.Int("complete"); ok {
+		resp.Seeders = int(c)
+	}
+	if c, ok := d.Int("incomplete"); ok {
+		resp.Leechers = int(c)
+	}
+	compact, ok := d.Str("peers")
+	if !ok {
+		return nil, errors.New("tracker: missing peers")
+	}
+	if len(compact)%6 != 0 {
+		return nil, fmt.Errorf("tracker: compact peers length %d", len(compact))
+	}
+	for off := 0; off < len(compact); off += 6 {
+		resp.Peers = append(resp.Peers, PeerAddr{
+			IP:   net.IPv4(compact[off], compact[off+1], compact[off+2], compact[off+3]),
+			Port: binary.BigEndian.Uint16([]byte(compact[off+4 : off+6])),
+		})
+	}
+	return resp, nil
+}
+
+// Serve starts the tracker on addr (e.g. "127.0.0.1:0") and returns the
+// bound listener plus a shutdown function.
+func (s *Server) Serve(addr string) (net.Listener, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, srv.Close, nil
+}

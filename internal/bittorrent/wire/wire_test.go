@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var h Handshake
+	copy(h.InfoHash[:], bytes.Repeat([]byte{0xAB}, 20))
+	copy(h.PeerID[:], []byte("-SA0001-123456789012"))
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 68 {
+		t.Fatalf("handshake is %d bytes, want 68", buf.Len())
+	}
+	got, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestHandshakeRejectsWrongProtocol(t *testing.T) {
+	raw := make([]byte, 68)
+	raw[0] = 19
+	copy(raw[1:], "NotTorrent protocol")
+	if _, err := ReadHandshake(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong protocol accepted")
+	}
+	if _, err := ReadHandshake(strings.NewReader("short")); err == nil {
+		t.Fatal("truncated handshake accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []*Message{
+		{Type: MsgChoke},
+		{Type: MsgUnchoke},
+		{Type: MsgInterested},
+		{Type: MsgNotInterested},
+		{Type: MsgHave, Index: 42},
+		{Type: MsgBitfield, Bitfield: Bitfield{0xF0, 0x01}},
+		{Type: MsgRequest, Index: 3, Begin: 16384, Length: 16384},
+		{Type: MsgCancel, Index: 3, Begin: 16384, Length: 16384},
+		{Type: MsgPiece, Index: 7, Begin: 0, Block: []byte("hello world")},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%v round trip: %+v vs %+v", m.Type, got, m)
+		}
+	}
+}
+
+func TestKeepAlive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 4 {
+		t.Fatalf("keep-alive is %d bytes", buf.Len())
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil || m != nil {
+		t.Fatalf("keep-alive read: %v %v", m, err)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	cases := [][]byte{
+		{0, 0, 0, 2, byte(MsgChoke), 99},         // choke with payload
+		{0, 0, 0, 3, byte(MsgHave), 0, 0},        // short have
+		{0, 0, 0, 2, byte(MsgRequest), 0},        // short request
+		{0, 0, 0, 5, byte(MsgPiece), 0, 0, 0, 0}, // short piece
+		{0, 0, 0, 1, 99},                         // unknown type
+		{0, 0, 0, 9, byte(MsgHave)},              // truncated body
+		{0xFF, 0xFF, 0xFF, 0xFF},                 // absurd length
+	}
+	for i, raw := range cases {
+		if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream error = %v, want EOF", err)
+	}
+}
+
+func TestMessageStream(t *testing.T) {
+	// Several messages back-to-back on one stream.
+	var buf bytes.Buffer
+	seq := []*Message{
+		{Type: MsgBitfield, Bitfield: NewBitfield(10)},
+		nil, // keep-alive
+		{Type: MsgInterested},
+		{Type: MsgUnchoke},
+		{Type: MsgRequest, Index: 0, Begin: 0, Length: 256},
+		{Type: MsgPiece, Index: 0, Begin: 0, Block: bytes.Repeat([]byte{7}, 256)},
+		{Type: MsgHave, Index: 0},
+	}
+	for _, m := range seq {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range seq {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestBitfield(t *testing.T) {
+	b := NewBitfield(10)
+	if len(b) != 2 {
+		t.Fatalf("10 pieces need 2 bytes, got %d", len(b))
+	}
+	for i := 0; i < 10; i++ {
+		if b.Has(i) {
+			t.Fatalf("fresh bitfield has piece %d", i)
+		}
+	}
+	b.Set(0)
+	b.Set(7)
+	b.Set(9)
+	if !b.Has(0) || !b.Has(7) || !b.Has(9) || b.Has(1) || b.Has(8) {
+		t.Fatalf("bit layout wrong: %08b", []byte(b))
+	}
+	// MSB-first layout per the spec: piece 0 is the high bit of byte 0.
+	if b[0] != 0b10000001 {
+		t.Fatalf("byte 0 = %08b, want 10000001", b[0])
+	}
+	if got := b.Count(10); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := b.Count(-1); got != 3 {
+		t.Fatalf("count(-1) = %d", got)
+	}
+	if b.Complete(10) {
+		t.Fatal("incomplete bitfield reported complete")
+	}
+	for i := 0; i < 10; i++ {
+		b.Set(i)
+	}
+	if !b.Complete(10) {
+		t.Fatal("complete bitfield not recognised")
+	}
+	// Out-of-range operations are safe no-ops.
+	b.Set(-1)
+	b.Set(99)
+	if b.Has(-1) || b.Has(99) {
+		t.Fatal("out-of-range Has must be false")
+	}
+	c := b.Clone()
+	c.Set(0)
+	if &c[0] == &b[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSeedDetectionViaBitfield(t *testing.T) {
+	// The §2 monitoring logic: a peer is a seed iff its bitfield is
+	// complete for the torrent's piece count.
+	n := 37
+	seed := NewBitfield(n)
+	for i := 0; i < n; i++ {
+		seed.Set(i)
+	}
+	leecher := seed.Clone()
+	// Clear one piece: leecher.
+	leecher[2] &^= 0x80 >> 2 // piece 18
+	if !seed.Complete(n) {
+		t.Fatal("seed not detected")
+	}
+	if leecher.Complete(n) {
+		t.Fatal("leecher misdetected as seed")
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	for mt, want := range map[MessageType]string{
+		MsgChoke: "choke", MsgUnchoke: "unchoke", MsgInterested: "interested",
+		MsgNotInterested: "not-interested", MsgHave: "have", MsgBitfield: "bitfield",
+		MsgRequest: "request", MsgPiece: "piece", MsgCancel: "cancel",
+		MessageType(77): "unknown(77)",
+	} {
+		if got := mt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mt, got, want)
+		}
+	}
+}
+
+// Property: any marshalled message round-trips.
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var m *Message
+		switch r.Intn(6) {
+		case 0:
+			m = &Message{Type: MessageType(r.Intn(4))}
+		case 1:
+			m = &Message{Type: MsgHave, Index: r.Uint32()}
+		case 2:
+			bf := make(Bitfield, r.Intn(64))
+			r.Read(bf)
+			m = &Message{Type: MsgBitfield, Bitfield: bf}
+		case 3:
+			m = &Message{Type: MsgRequest, Index: r.Uint32(), Begin: r.Uint32(), Length: r.Uint32()}
+		case 4:
+			m = &Message{Type: MsgCancel, Index: r.Uint32(), Begin: r.Uint32(), Length: r.Uint32()}
+		default:
+			blk := make([]byte, r.Intn(1024))
+			r.Read(blk)
+			m = &Message{Type: MsgPiece, Index: r.Uint32(), Begin: r.Uint32(), Block: blk}
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		// Normalise nil vs empty slices before comparing.
+		if len(m.Bitfield) == 0 {
+			m.Bitfield = nil
+		}
+		if len(got.Bitfield) == 0 {
+			got.Bitfield = nil
+		}
+		if len(m.Block) == 0 {
+			m.Block = nil
+		}
+		if len(got.Block) == 0 {
+			got.Block = nil
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reader never panics on arbitrary bytes.
+func TestReadMessageNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		r := bytes.NewReader(data)
+		for {
+			_, err := ReadMessage(r)
+			if err != nil {
+				return true
+			}
+			if r.Len() == 0 {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"swarmavail/internal/dist"
+)
+
+// PublisherScaling selects how the publisher process of a bundle relates
+// to that of its constituent swarms.
+type PublisherScaling int
+
+const (
+	// ScaledPublisher models one publisher process per constituent file
+	// folded into the bundle: R = K·r and U = K·u (§3.2, eq. 5–6).
+	ScaledPublisher PublisherScaling = iota
+	// ConstantPublisher keeps R = r and U = u regardless of K — the
+	// harder case under which Lemma 3.1 and Theorems 3.1/3.2 are stated.
+	ConstantPublisher
+)
+
+// String implements fmt.Stringer.
+func (ps PublisherScaling) String() string {
+	switch ps {
+	case ScaledPublisher:
+		return "scaled"
+	case ConstantPublisher:
+		return "constant"
+	default:
+		return fmt.Sprintf("PublisherScaling(%d)", int(ps))
+	}
+}
+
+// Bundle returns the swarm parameters of a bundle of k homogeneous copies
+// of p: peer demand aggregates (Λ = K·λ), content size aggregates
+// (S = K·s), and the publisher process follows the chosen scaling.
+func (p SwarmParams) Bundle(k int, scaling PublisherScaling) SwarmParams {
+	mustValidate(p)
+	if k < 1 {
+		panic("core: bundle size must be ≥ 1")
+	}
+	b := SwarmParams{
+		Lambda: float64(k) * p.Lambda,
+		Size:   float64(k) * p.Size,
+		Mu:     p.Mu,
+		R:      p.R,
+		U:      p.U,
+	}
+	if scaling == ScaledPublisher {
+		b.R = float64(k) * p.R
+		b.U = float64(k) * p.U
+	}
+	return b
+}
+
+// BundleOf aggregates heterogeneous swarms into one bundle: peer arrival
+// rates and sizes add (any peer wanting any file fetches the bundle);
+// the bundle swarm's capacity is the capacity of the first swarm (the
+// model assumes a common μ); the publisher process is given explicitly.
+func BundleOf(swarms []SwarmParams, r, u float64) SwarmParams {
+	if len(swarms) == 0 {
+		panic("core: bundle of zero swarms")
+	}
+	b := SwarmParams{Mu: swarms[0].Mu, R: r, U: u}
+	for _, s := range swarms {
+		mustValidate(s)
+		b.Lambda += s.Lambda
+		b.Size += s.Size
+	}
+	return b
+}
+
+// ZipfBundle builds the §3.3.1 skewed-preference scenario: K contents
+// share an aggregate peer arrival rate lambda with Zipf(δ) popularity
+// p_k = c/k^δ, each of the given size. It returns the K per-content
+// swarms (each with publisher process r, u) and the bundle of all of
+// them (publisher process R, U).
+func ZipfBundle(k int, lambda, delta, size, mu, r, u, bundleR, bundleU float64) (singles []SwarmParams, bundle SwarmParams) {
+	if k < 1 {
+		panic("core: bundle size must be ≥ 1")
+	}
+	weights := dist.ZipfWeights(k, delta)
+	singles = make([]SwarmParams, k)
+	for i := range singles {
+		singles[i] = SwarmParams{
+			Lambda: lambda * weights[i],
+			Size:   size,
+			Mu:     mu,
+			R:      r,
+			U:      u,
+		}
+	}
+	return singles, BundleOf(singles, bundleR, bundleU)
+}
+
+// PerFileDownloadTime returns the mean download time a peer experiences
+// per *file* when fetching a bundle of k files built from p with the
+// given scaling. The bundle download time covers k files, so the
+// per-file figure divides by k. This is the fair unit for Theorem 3.2
+// comparisons ("mean download time of each file").
+func (p SwarmParams) PerFileDownloadTime(k int, scaling PublisherScaling) float64 {
+	return p.Bundle(k, scaling).DownloadTime() / float64(k)
+}
+
+// DownloadTimeCurve evaluates the bundle download time E[T(K)] for
+// K = 1..maxK — the quantity plotted in Figure 3. The returned slice is
+// indexed by K−1.
+func (p SwarmParams) DownloadTimeCurve(maxK int, scaling PublisherScaling) []float64 {
+	if maxK < 1 {
+		panic("core: maxK must be ≥ 1")
+	}
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = p.Bundle(k, scaling).DownloadTime()
+	}
+	return out
+}
+
+// OptimalBundleSize returns the K in [1, maxK] minimising the bundle's
+// mean download time E[T(K)] (§3.4's question), together with the whole
+// curve (indexed by K−1).
+func (p SwarmParams) OptimalBundleSize(maxK int, scaling PublisherScaling) (int, []float64) {
+	curve := p.DownloadTimeCurve(maxK, scaling)
+	best := 0
+	for i, v := range curve {
+		if v < curve[best] {
+			best = i
+		}
+	}
+	return best + 1, curve
+}
+
+// OptimalBundleSizeThreshold is OptimalBundleSize under the threshold-
+// coverage model of §3.3.3 with a single intermittent publisher
+// (eq. 16) — the setting of the §4.3 experiments. The returned download
+// times are bundle download times S/μ + P/R.
+func (p SwarmParams) OptimalBundleSizeThreshold(maxK, m int, scaling PublisherScaling) (int, []float64) {
+	if maxK < 1 {
+		panic("core: maxK must be ≥ 1")
+	}
+	curve := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		curve[k-1] = p.Bundle(k, scaling).SinglePublisherDownloadTime(m)
+	}
+	best := 0
+	for i, v := range curve {
+		if v < curve[best] {
+			best = i
+		}
+	}
+	return best + 1, curve
+}
+
+// AvailabilityGainExponent returns −log P(K) for the bundle of size k
+// under the given scaling. Theorem 3.1 states this grows as Θ(K²); the
+// scaling-law tests and benchmarks fit the returned exponents against K².
+// It is +Inf when the bundle is fully available (P saturated to 0).
+func (p SwarmParams) AvailabilityGainExponent(k int, scaling PublisherScaling) float64 {
+	pk := p.Bundle(k, scaling).Unavailability()
+	return -math.Log(pk)
+}
+
+// TheoremBounds reports the Theorem 3.2 bracket for bundling k files:
+// the per-file download time can grow by at most a factor k (when
+// service dominates), and can shrink by Θ(1/R) (when waiting dominates).
+// It returns the ratio E[T_bundle-per-file]/E[T_single].
+func (p SwarmParams) TheoremBounds(k int, scaling PublisherScaling) (ratio float64) {
+	single := p.DownloadTime()
+	per := p.PerFileDownloadTime(k, scaling)
+	return per / single
+}
+
+// Lingering models §3.3.4: peers remain online as seeds for an average
+// 1/gamma after completing a download. In the M/G/∞ view this simply
+// extends the peer residence from s/μ to s/μ + 1/gamma.
+type Lingering struct {
+	SwarmParams
+	// Gamma is the rate at which lingering seeds depart; the mean
+	// lingering time is 1/Gamma. Gamma = +Inf (or 0 lingering) recovers
+	// the selfish-peer model.
+	Gamma float64
+}
+
+// PeerResidence returns the full mean peer residence s/μ + 1/γ.
+func (l Lingering) PeerResidence() float64 {
+	if l.Gamma <= 0 {
+		return math.Inf(1)
+	}
+	return l.ServiceTime() + 1/l.Gamma
+}
+
+// BusyPeriod returns eq. (9) with the extended peer residence.
+func (l Lingering) BusyPeriod() float64 {
+	mustValidate(l.SwarmParams)
+	res := l.PeerResidence()
+	if math.IsInf(res, 1) {
+		return math.Inf(1)
+	}
+	beta := l.Lambda + l.R
+	q1 := 0.0
+	if beta > 0 {
+		q1 = l.Lambda / beta
+	}
+	return BusyPeriodExceptional(beta, l.U, res, l.U, q1)
+}
+
+// Unavailability returns eq. (10) under lingering.
+func (l Lingering) Unavailability() float64 {
+	if l.R == 0 {
+		return 1
+	}
+	return unavailabilityFrom(l.BusyPeriod(), l.R)
+}
+
+// DownloadTime returns Lemma 3.2 under lingering. Lingering does not
+// lengthen the download itself — only the busy period.
+func (l Lingering) DownloadTime() float64 {
+	if l.R == 0 {
+		return math.Inf(1)
+	}
+	return l.ServiceTime() + l.Unavailability()/l.R
+}
+
+// LingeringForEquivalentLoad returns the mean lingering time 1/γ that
+// peers of swarm 1 must contribute for the stand-alone swarm to carry
+// the same offered load (hence comparable availability) as the bundle of
+// swarms 1 and 2 — the balance condition of eq. (15):
+//
+//	s₁λ₁/μ + λ₁/γ = (λ₁+λ₂)(s₁+s₂)/μ
+//
+// It returns +Inf if swarm 1 alone can never match (λ₁ = 0).
+func LingeringForEquivalentLoad(s1, s2, lambda1, lambda2, mu float64) float64 {
+	if mu <= 0 {
+		panic("core: capacity must be positive")
+	}
+	if lambda1 <= 0 {
+		return math.Inf(1)
+	}
+	return ((lambda1+lambda2)*(s1+s2)/mu - s1*lambda1/mu) / lambda1
+}
+
+// EquivalentLingeringResidence returns the left side of eq. (15): the
+// mean residence s₁/μ + 1/γ peers of content 1 must sustain, which the
+// paper rewrites as (s₁+s₂)/μ·(1+λ₂/λ₁) to show it diverges as λ₁ → 0
+// while the bundle costs only (s₁+s₂)/μ.
+func EquivalentLingeringResidence(s1, s2, lambda1, lambda2, mu float64) float64 {
+	inv := LingeringForEquivalentLoad(s1, s2, lambda1, lambda2, mu)
+	if math.IsInf(inv, 1) {
+		return math.Inf(1)
+	}
+	return s1/mu + inv
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical policy shared by the series evaluations in this package: all
+// infinite series have terms updated iteratively (never naked factorials),
+// are truncated on a 1e-15 relative-increment cutoff once past the term
+// peak, and saturate to +Inf rather than overflowing. Busy periods grow
+// as e^{Θ(K²)} under bundling, so +Inf is a legitimate, meaningful result:
+// the availability formulas treat it as "the swarm is self-sustaining"
+// (unavailability → 0).
+const (
+	seriesRelTol  = 1e-15
+	seriesMaxIter = 200000
+)
+
+// BusyPeriodExceptional evaluates eq. (9): the expected busy period of an
+// M/G/∞ queue where
+//
+//   - customers arrive at Poisson rate beta during the busy period,
+//   - the customer initiating the busy period has an exponential
+//     residence time with mean theta (the "exceptional" first customer —
+//     in the paper, a publisher with residence u),
+//   - every other customer draws its residence from a two-point
+//     exponential mixture: mean alpha1 with probability q1 (a peer
+//     downloading for s/μ) and mean alpha2 with probability 1−q1
+//     (another publisher staying u).
+//
+// The result saturates to +Inf when the series exceeds float64 range.
+func BusyPeriodExceptional(beta, theta, alpha1, alpha2, q1 float64) float64 {
+	switch {
+	case beta < 0 || math.IsNaN(beta):
+		panic(fmt.Sprintf("core: invalid arrival rate beta=%v", beta))
+	case theta <= 0 || math.IsNaN(theta):
+		panic(fmt.Sprintf("core: invalid initiator residence theta=%v", theta))
+	case q1 < 0 || q1 > 1 || math.IsNaN(q1):
+		panic(fmt.Sprintf("core: invalid mixture weight q1=%v", q1))
+	case q1 > 0 && (alpha1 <= 0 || math.IsNaN(alpha1)):
+		panic(fmt.Sprintf("core: invalid peer residence alpha1=%v", alpha1))
+	case q1 < 1 && (alpha2 <= 0 || math.IsNaN(alpha2)):
+		panic(fmt.Sprintf("core: invalid publisher residence alpha2=%v", alpha2))
+	}
+	if beta == 0 {
+		// No arrivals: the busy period is exactly the initiator's stay.
+		return theta
+	}
+
+	// Rewrite the inner sum as a binomial expectation:
+	//   Σ_j C(i,j) (q1·α1)^j (q2·α2)^{i−j} w_j
+	//     = (q1·α1 + q2·α2)^i · E_{j∼Bin(i,p)}[w_j]
+	// with p = q1·α1/(q1·α1+q2·α2) and
+	//   w_j = θ·α1·α2 / (α1·α2 + θ·(j·α2 + (i−j)·α1)),
+	// which is bounded by θ, so the outer series behaves like
+	// Σ (β·ᾱ)^i/i! — e^{β·ᾱ} up to slowly varying factors.
+	x := q1 * alpha1
+	y := (1 - q1) * alpha2
+	abar := x + y
+	if abar == 0 {
+		return theta
+	}
+	p := x / abar
+
+	w := func(i, j int) float64 {
+		// Effective alphas: when a class has zero weight its alpha may be
+		// unset; the corresponding j never selects it because p is 0 or 1.
+		a1, a2 := alpha1, alpha2
+		if q1 == 0 {
+			a1 = 1 // unused: j is always 0
+		}
+		if q1 == 1 {
+			a2 = 1 // unused: j is always i
+		}
+		den := a1*a2 + theta*(float64(j)*a2+float64(i-j)*a1)
+		return theta * a1 * a2 / den
+	}
+
+	z := beta * abar
+	sum := 0.0
+	zi := 1.0 // z^i / i!
+	for i := 1; i <= seriesMaxIter; i++ {
+		zi *= z / float64(i)
+		if math.IsInf(zi, 1) {
+			return math.Inf(1)
+		}
+		ew := binomialExpectation(i, p, func(j int) float64 { return w(i, j) })
+		inc := zi * ew
+		sum += inc
+		if math.IsInf(sum, 1) {
+			return math.Inf(1)
+		}
+		if float64(i) > z && inc < seriesRelTol*sum {
+			break
+		}
+	}
+	return theta + sum
+}
+
+// binomialExpectation returns E[f(J)] for J ∼ Binomial(i, p), evaluating
+// the pmf in log space over a ±10σ window around the mean (f must be
+// bounded; truncation error is then negligible).
+func binomialExpectation(i int, p float64, f func(j int) float64) float64 {
+	if p <= 0 {
+		return f(0)
+	}
+	if p >= 1 {
+		return f(i)
+	}
+	mean := float64(i) * p
+	sd := math.Sqrt(float64(i) * p * (1 - p))
+	lo := int(mean - 10*sd - 2)
+	hi := int(mean + 10*sd + 2)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > i {
+		hi = i
+	}
+	lgi, _ := math.Lgamma(float64(i) + 1)
+	lp, lq := math.Log(p), math.Log1p(-p)
+	var sum, mass float64
+	for j := lo; j <= hi; j++ {
+		lj, _ := math.Lgamma(float64(j) + 1)
+		lij, _ := math.Lgamma(float64(i-j) + 1)
+		pm := math.Exp(lgi - lj - lij + float64(j)*lp + float64(i-j)*lq)
+		sum += pm * f(j)
+		mass += pm
+	}
+	if mass == 0 {
+		return 0
+	}
+	// Renormalise over the window so that the (tiny) truncated tails do
+	// not bias the expectation of a bounded f.
+	return sum / mass
+}
+
+// BusyPeriodExceptionalGeneral evaluates eq. (18): homogeneous
+// exponential(alpha) residence for all customers except the initiator,
+// whose residence has Laplace transform h. Used for sensitivity analyses
+// with non-exponential initiators (e.g. the hypoexponential virtual
+// customer of Lemma 3.3) and for testing eq. (9) against its ancestor.
+//
+//	E[B] = θ + Σ_{i≥1} (βα)^i · α · (1 − h(i/α)) / (i!·i)
+//
+// theta must equal the mean of the transform's distribution (−h'(0)).
+func BusyPeriodExceptionalGeneral(beta, alpha, theta float64, h func(s float64) float64) float64 {
+	if beta < 0 || alpha <= 0 || theta <= 0 {
+		panic("core: invalid parameters to BusyPeriodExceptionalGeneral")
+	}
+	if beta == 0 {
+		return theta
+	}
+	z := beta * alpha
+	sum := 0.0
+	zi := 1.0
+	for i := 1; i <= seriesMaxIter; i++ {
+		zi *= z / float64(i)
+		if math.IsInf(zi, 1) {
+			return math.Inf(1)
+		}
+		inc := zi * alpha * (1 - h(float64(i)/alpha)) / float64(i)
+		sum += inc
+		if math.IsInf(sum, 1) {
+			return math.Inf(1)
+		}
+		if float64(i) > z && inc < seriesRelTol*sum {
+			break
+		}
+	}
+	return theta + sum
+}
+
+// BusyPeriodHomogeneous evaluates eq. (20): the classic M/G/∞ expected
+// busy period (e^{βα} − 1)/β when every customer, including the
+// initiator, has mean residence alpha. Saturates to +Inf.
+func BusyPeriodHomogeneous(beta, alpha float64) float64 {
+	if beta < 0 || alpha < 0 {
+		panic("core: invalid parameters to BusyPeriodHomogeneous")
+	}
+	if beta == 0 {
+		return alpha
+	}
+	return math.Expm1(beta*alpha) / beta
+}
+
+// ExpLaplace returns the Laplace transform s ↦ 1/(1+θs) of an exponential
+// distribution with mean theta, for use with
+// BusyPeriodExceptionalGeneral.
+func ExpLaplace(theta float64) func(float64) float64 {
+	return func(s float64) float64 { return 1 / (1 + theta*s) }
+}
+
+// HypoexpLaplace returns the Laplace transform of a hypoexponential
+// distribution with the given stage rates: Π rᵢ/(rᵢ+s). This is the law
+// of the virtual customer Y = max{X₁,…,X_n} in Lemma 3.3.
+func HypoexpLaplace(rates []float64) func(float64) float64 {
+	rs := make([]float64, len(rates))
+	copy(rs, rates)
+	return func(s float64) float64 {
+		prod := 1.0
+		for _, r := range rs {
+			prod *= r / (r + s)
+		}
+		return prod
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/queue"
+	"swarmavail/internal/stats"
+)
+
+func TestBusyPeriodHomogeneousClosedForm(t *testing.T) {
+	// eq. (20): (e^{βα}−1)/β.
+	got := BusyPeriodHomogeneous(0.04, 30)
+	want := (math.Exp(1.2) - 1) / 0.04
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("E[B] = %v, want %v", got, want)
+	}
+	if got := BusyPeriodHomogeneous(0, 25); got != 25 {
+		t.Fatalf("β=0: E[B] = %v, want 25", got)
+	}
+}
+
+func TestBusyPeriodExceptionalReducesToHomogeneous(t *testing.T) {
+	// q1 = 1 and θ = α1 makes everyone exchangeable: eq. (9) → eq. (20).
+	for _, c := range []struct{ beta, alpha float64 }{
+		{0.01, 50}, {0.05, 30}, {0.2, 10}, {0.001, 800},
+	} {
+		got := BusyPeriodExceptional(c.beta, c.alpha, c.alpha, 1, 1)
+		want := BusyPeriodHomogeneous(c.beta, c.alpha)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("β=%v α=%v: eq9 %v vs eq20 %v", c.beta, c.alpha, got, want)
+		}
+	}
+}
+
+func TestBusyPeriodExceptionalReducesToEq19(t *testing.T) {
+	// q1 = 1 with θ ≠ α reduces eq. (9) to eq. (19):
+	// E[B] = θ + αθ·Σ (βα)^i / (i!·(α+iθ)).
+	beta, alpha, theta := 0.03, 25.0, 125.0
+	var sum float64
+	term := 1.0
+	for i := 1; i <= 500; i++ {
+		term *= beta * alpha / float64(i)
+		sum += term / (alpha + float64(i)*theta)
+	}
+	want := theta + alpha*theta*sum
+	got := BusyPeriodExceptional(beta, theta, alpha, 1, 1)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("eq9 %v vs eq19 %v", got, want)
+	}
+}
+
+func TestBusyPeriodExceptionalZeroArrivals(t *testing.T) {
+	if got := BusyPeriodExceptional(0, 300, 80, 300, 0.5); got != 300 {
+		t.Fatalf("β=0 must return θ, got %v", got)
+	}
+}
+
+func TestBusyPeriodExceptionalMatchesGeneralForm(t *testing.T) {
+	// eq. (9) with q1 = 1 must agree with eq. (18) under an exponential
+	// initiator transform.
+	beta, alpha, theta := 0.02, 40.0, 200.0
+	got := BusyPeriodExceptional(beta, theta, alpha, 1, 1)
+	want := BusyPeriodExceptionalGeneral(beta, alpha, theta, ExpLaplace(theta))
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("eq9 %v vs eq18 %v", got, want)
+	}
+}
+
+func TestBusyPeriodExceptionalMatchesSimulation(t *testing.T) {
+	// Full two-class mixture against the M/G/∞ simulator: the defining
+	// validation of the eq. (9) implementation.
+	beta, theta, alpha1, alpha2, q1 := 0.02, 120.0, 40.0, 120.0, 0.8
+	want := BusyPeriodExceptional(beta, theta, alpha1, alpha2, q1)
+
+	r := dist.NewRand(200)
+	cfg := queue.BusyPeriodConfig{
+		Beta:  beta,
+		First: dist.Exponential{Rate: 1 / theta},
+		Service: dist.NewMixture(
+			[]dist.Dist{dist.Exponential{Rate: 1 / alpha1}, dist.Exponential{Rate: 1 / alpha2}},
+			[]float64{q1, 1 - q1},
+		),
+	}
+	mean, ci := queue.MeanBusyPeriod(r, cfg, 40000)
+	if math.Abs(mean-want) > 3*ci+0.02*want {
+		t.Fatalf("simulated E[B] = %v ± %v vs analytic %v", mean, ci, want)
+	}
+}
+
+func TestBusyPeriodExceptionalMatchesSimulationSwarmParameterisation(t *testing.T) {
+	// The §3.3.1 parameterisation: β=λ+r, θ=α2=u, α1=s/μ, q1=λ/(λ+r).
+	p := SwarmParams{Lambda: 0.01, Size: 4, Mu: 0.1, R: 0.004, U: 90}
+	want := p.BusyPeriod()
+
+	r := dist.NewRand(201)
+	beta := p.Lambda + p.R
+	cfg := queue.BusyPeriodConfig{
+		Beta:  beta,
+		First: dist.Exponential{Rate: 1 / p.U},
+		Service: dist.NewMixture(
+			[]dist.Dist{
+				dist.Exponential{Rate: 1 / p.ServiceTime()},
+				dist.Exponential{Rate: 1 / p.U},
+			},
+			[]float64{p.Lambda / beta, p.R / beta},
+		),
+	}
+	mean, ci := queue.MeanBusyPeriod(r, cfg, 40000)
+	if math.Abs(mean-want) > 3*ci+0.02*want {
+		t.Fatalf("simulated E[B] = %v ± %v vs analytic %v", mean, ci, want)
+	}
+}
+
+func TestBusyPeriodExceptionalGeneralHypoexponentialInitiator(t *testing.T) {
+	// Lemma 3.3's virtual customer: initiator is max of n exponentials
+	// (hypoexponential). Cross-check eq. (18) with simulation.
+	n, mean := 3, 30.0
+	hypo := dist.MaxOfExponentials(n, mean)
+	beta, alpha := 0.03, 30.0
+	want := BusyPeriodExceptionalGeneral(beta, alpha, hypo.Mean(),
+		HypoexpLaplace(hypo.Rates))
+
+	r := dist.NewRand(202)
+	cfg := queue.BusyPeriodConfig{
+		Beta:    beta,
+		First:   hypo,
+		Service: dist.Exponential{Rate: 1 / alpha},
+	}
+	got, ci := queue.MeanBusyPeriod(r, cfg, 40000)
+	if math.Abs(got-want) > 3*ci+0.02*want {
+		t.Fatalf("simulated E[B] = %v ± %v vs analytic %v", got, ci, want)
+	}
+}
+
+func TestBusyPeriodSaturatesToInf(t *testing.T) {
+	// β·ᾱ far beyond float range must saturate, not overflow or hang.
+	got := BusyPeriodExceptional(10, 1000, 1000, 1000, 0.9)
+	if !math.IsInf(got, 1) {
+		t.Fatalf("expected +Inf, got %v", got)
+	}
+	if got := BusyPeriodHomogeneous(10, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("expected +Inf, got %v", got)
+	}
+}
+
+func TestBusyPeriodExceptionalPanics(t *testing.T) {
+	cases := []func(){
+		func() { BusyPeriodExceptional(-1, 1, 1, 1, 0.5) },
+		func() { BusyPeriodExceptional(1, 0, 1, 1, 0.5) },
+		func() { BusyPeriodExceptional(1, 1, 1, 1, -0.1) },
+		func() { BusyPeriodExceptional(1, 1, 1, 1, 1.1) },
+		func() { BusyPeriodExceptional(1, 1, 0, 1, 0.5) },
+		func() { BusyPeriodExceptional(1, 1, 1, 0, 0.5) },
+		func() { BusyPeriodExceptional(math.NaN(), 1, 1, 1, 0.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBusyPeriodMonotoneInArrivalRate(t *testing.T) {
+	prev := 0.0
+	for _, beta := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		eb := BusyPeriodExceptional(beta, 100, 50, 100, 0.7)
+		if eb <= prev {
+			t.Fatalf("E[B] not increasing in β at %v: %v ≤ %v", beta, eb, prev)
+		}
+		prev = eb
+	}
+}
+
+func TestBusyPeriodMonotoneInServiceTime(t *testing.T) {
+	prev := 0.0
+	for _, a1 := range []float64{10, 20, 40, 80, 160} {
+		eb := BusyPeriodExceptional(0.02, 100, a1, 100, 0.7)
+		if eb <= prev {
+			t.Fatalf("E[B] not increasing in α1 at %v: %v ≤ %v", a1, eb, prev)
+		}
+		prev = eb
+	}
+}
+
+// Property: eq. (9) is always at least θ (the initiator's own stay) and
+// never NaN over a broad random parameter grid.
+func TestBusyPeriodExceptionalLowerBoundProperty(t *testing.T) {
+	f := func(b, th, a1, a2, q uint16) bool {
+		beta := float64(b%100) / 1000 // [0, 0.1)
+		theta := float64(th%500) + 1  // [1, 500]
+		alpha1 := float64(a1%300) + 1 // [1, 300]
+		alpha2 := float64(a2%300) + 1 // [1, 300]
+		q1 := float64(q%101) / 100    // [0, 1]
+		eb := BusyPeriodExceptional(beta, theta, alpha1, alpha2, q1)
+		return !math.IsNaN(eb) && eb >= theta-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the renormalised binomial expectation of a constant is that
+// constant.
+func TestBinomialExpectationConstantProperty(t *testing.T) {
+	f := func(i uint8, p uint8, c uint16) bool {
+		n := int(i%64) + 1
+		prob := float64(p%101) / 100
+		val := float64(c) + 1
+		got := binomialExpectation(n, prob, func(int) float64 { return val })
+		return math.Abs(got-val) < 1e-9*val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialExpectationLinearFunction(t *testing.T) {
+	// E[J] for J ~ Bin(n, p) must be n·p.
+	n, p := 40, 0.3
+	got := binomialExpectation(n, p, func(j int) float64 { return float64(j) })
+	if math.Abs(got-float64(n)*p) > 1e-6 {
+		t.Fatalf("E[J] = %v, want %v", got, float64(n)*p)
+	}
+}
+
+func TestMeanBusyPeriodHelperAgainstAccumulator(t *testing.T) {
+	r := dist.NewRand(203)
+	cfg := queue.BusyPeriodConfig{Beta: 0.01, Service: dist.Exponential{Rate: 0.05}}
+	samples := queue.SimulateBusyPeriods(r, cfg, 2000)
+	var acc stats.Accumulator
+	for _, s := range samples {
+		acc.Add(s.Length)
+	}
+	if acc.N() != 2000 {
+		t.Fatalf("sample count %d", acc.N())
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the
+// queueing-theoretic model of content availability and download time in
+// swarming systems (Menasché et al., "Content Availability and Bundling
+// in Swarming Systems", CoNEXT 2009).
+//
+// The key insight is to view a swarm as an M/G/∞ queue whose busy periods
+// are exactly the intervals during which content is available. The model
+// covers:
+//
+//   - the simple publisher-only availability model (§3.2, eq. 1–6);
+//   - availability sustained by peers and publishers (eq. 7–8);
+//   - the Browne–Steele busy period with an exceptional first customer
+//     (eq. 9; see busyperiod.go);
+//   - availability with impatient peers (§3.3.1, eq. 10) and download
+//     time with patient peers (§3.3.2, Lemma 3.2, eq. 11);
+//   - threshold coverage (§3.3.3, Lemma 3.3, eq. 12–14) including the
+//     single-publisher adaptation validated on PlanetLab (eq. 16);
+//   - altruistic lingering (§3.3.4, eq. 15);
+//   - bundling: the e^{Θ(K²)} availability laws (Lemma 3.1, Theorem 3.1),
+//     the download-time tradeoff (Theorem 3.2), and optimal bundle-size
+//     search (§3.4).
+//
+// Notation follows Table 1 of the paper: λ (Lambda) is the peer arrival
+// rate, s (Size) the content size, μ (Mu) the effective per-peer download
+// rate, r (R) the publisher arrival rate and u (U) the mean publisher
+// residence time. Bundle-level quantities are the same fields of a
+// SwarmParams produced by Bundle or BundleOf.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SwarmParams describes a single swarm — or a bundle, which is just a
+// swarm with aggregated parameters (Table 1 of the paper).
+type SwarmParams struct {
+	// Lambda is the peer arrival rate λ (1/s).
+	Lambda float64
+	// Size is the content size s. Any unit works as long as Mu is
+	// expressed per the same unit (the model only ever uses s/μ).
+	Size float64
+	// Mu is the effective average download capacity μ of the swarm
+	// (content units per second).
+	Mu float64
+	// R is the arrival rate r of publishers (1/s).
+	R float64
+	// U is the mean residence time u of a publisher (s).
+	U float64
+}
+
+// Validate returns an error if any parameter is non-positive where the
+// model requires positivity.
+func (p SwarmParams) Validate() error {
+	switch {
+	case p.Lambda < 0 || math.IsNaN(p.Lambda):
+		return fmt.Errorf("core: peer arrival rate λ=%v must be ≥ 0", p.Lambda)
+	case p.Size <= 0 || math.IsNaN(p.Size):
+		return fmt.Errorf("core: content size s=%v must be > 0", p.Size)
+	case p.Mu <= 0 || math.IsNaN(p.Mu):
+		return fmt.Errorf("core: swarm capacity μ=%v must be > 0", p.Mu)
+	case p.R < 0 || math.IsNaN(p.R):
+		return fmt.Errorf("core: publisher arrival rate r=%v must be ≥ 0", p.R)
+	case p.U <= 0 || math.IsNaN(p.U):
+		return fmt.Errorf("core: publisher residence u=%v must be > 0", p.U)
+	}
+	return nil
+}
+
+// ServiceTime returns the mean active download (service) time s/μ.
+func (p SwarmParams) ServiceTime() float64 { return p.Size / p.Mu }
+
+// Rho returns the peer offered load ρ = λ·s/μ — the steady-state mean
+// number of concurrently downloading peers (M/G/∞ occupancy).
+func (p SwarmParams) Rho() float64 { return p.Lambda * p.ServiceTime() }
+
+// BusyPeriod returns E[B] for the swarm under the §3.3 model: the busy
+// period of the M/G/∞ queue with aggregate arrival rate λ+r, exceptional
+// first customer (a publisher staying u on average), and two-point
+// residence mixture (peers s/μ w.p. λ/(λ+r), publishers u otherwise).
+// Equation (9) with the §3.3.1/§3.3.2 parameterisation.
+func (p SwarmParams) BusyPeriod() float64 {
+	mustValidate(p)
+	beta := p.Lambda + p.R
+	q1 := 0.0
+	if beta > 0 {
+		q1 = p.Lambda / beta
+	}
+	return BusyPeriodExceptional(beta, p.U, p.ServiceTime(), p.U, q1)
+}
+
+// Unavailability returns P, the probability that an arriving peer finds
+// the content unavailable (eq. 10): P = (1/r) / (E[B] + 1/r).
+// When R is zero the swarm eventually dies and never recovers, so P = 1.
+// When the busy period saturates to +Inf, P = 0.
+func (p SwarmParams) Unavailability() float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return 1
+	}
+	return unavailabilityFrom(p.BusyPeriod(), p.R)
+}
+
+// Availability returns 1 − Unavailability.
+func (p SwarmParams) Availability() float64 { return 1 - p.Unavailability() }
+
+// DownloadTime returns the mean download time E[T] of patient peers
+// (Lemma 3.2, eq. 11): the active service time plus the expected idle
+// wait, E[T] = s/μ + P/r. It is +Inf when R is zero and the swarm is not
+// self-sustaining forever.
+func (p SwarmParams) DownloadTime() float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return math.Inf(1)
+	}
+	return p.ServiceTime() + p.Unavailability()/p.R
+}
+
+// MeanPeersServedPerBusyPeriod returns E[N] = λ·E[B], the expected
+// number of peers served in one busy period (Lemma 3.1's quantity).
+func (p SwarmParams) MeanPeersServedPerBusyPeriod() float64 {
+	return p.Lambda * p.BusyPeriod()
+}
+
+// unavailabilityFrom maps a busy period and a publisher arrival rate to
+// P = (1/r)/(E[B]+1/r), handling the saturated E[B] = +Inf case (P = 0).
+func unavailabilityFrom(eb, r float64) float64 {
+	if math.IsInf(eb, 1) {
+		return 0
+	}
+	idle := 1 / r
+	return idle / (eb + idle)
+}
+
+func mustValidate(p SwarmParams) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The simple model of §3.2 (publishers only; coverage threshold one).
+
+// SimpleBusyPeriod returns eq. (2): E[B] = (e^{r·u} − 1)/r, the busy
+// period sustained by publishers alone.
+func SimpleBusyPeriod(r, u float64) float64 {
+	if r < 0 || u < 0 {
+		panic("core: SimpleBusyPeriod needs non-negative parameters")
+	}
+	if r == 0 {
+		return u
+	}
+	return math.Expm1(r*u) / r
+}
+
+// SimpleUnavailability returns eq. (1): the probability a peer arrives to
+// find no publisher-sustained busy period in progress,
+// P = (1/r)/(E[B] + 1/r).
+func SimpleUnavailability(r, u float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	return unavailabilityFrom(SimpleBusyPeriod(r, u), r)
+}
+
+// SimpleBundleBusyPeriod returns eq. (5): the busy period of a bundle of
+// K homogeneous files when the publisher process scales as R = K·r,
+// U = K·u, i.e. (e^{K²·r·u} − 1)/(K·r).
+func SimpleBundleBusyPeriod(k int, r, u float64) float64 {
+	if k < 1 {
+		panic("core: bundle size must be ≥ 1")
+	}
+	return SimpleBusyPeriod(float64(k)*r, float64(k)*u)
+}
+
+// SimpleBundleUnavailability returns eq. (6).
+func SimpleBundleUnavailability(k int, r, u float64) float64 {
+	if k < 1 {
+		panic("core: bundle size must be ≥ 1")
+	}
+	return SimpleUnavailability(float64(k)*r, float64(k)*u)
+}
+
+// PeersAndPublishersBusyPeriod returns eq. (7): the busy period when
+// publishers stay exactly as long as one service time (u = s/μ), so all
+// customers are exchangeable: E[B] = (e^{(λ+r)s/μ} − 1)/(λ+r).
+func PeersAndPublishersBusyPeriod(lambda, r, s, mu float64) float64 {
+	if mu <= 0 || s <= 0 {
+		panic("core: need positive size and capacity")
+	}
+	return BusyPeriodHomogeneous(lambda+r, s/mu)
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/queue"
+)
+
+func validSwarm() SwarmParams {
+	return SwarmParams{Lambda: 0.01, Size: 4000, Mu: 50, R: 0.002, U: 300}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validSwarm().Validate(); err != nil {
+		t.Fatalf("valid swarm rejected: %v", err)
+	}
+	bad := []SwarmParams{
+		{Lambda: -1, Size: 1, Mu: 1, R: 1, U: 1},
+		{Lambda: 1, Size: 0, Mu: 1, R: 1, U: 1},
+		{Lambda: 1, Size: 1, Mu: 0, R: 1, U: 1},
+		{Lambda: 1, Size: 1, Mu: 1, R: -1, U: 1},
+		{Lambda: 1, Size: 1, Mu: 1, R: 1, U: 0},
+		{Lambda: math.NaN(), Size: 1, Mu: 1, R: 1, U: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid swarm accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestServiceTimeAndRho(t *testing.T) {
+	p := validSwarm()
+	if got := p.ServiceTime(); math.Abs(got-80) > 1e-12 {
+		t.Fatalf("s/μ = %v, want 80", got)
+	}
+	if got := p.Rho(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("ρ = %v, want 0.8", got)
+	}
+}
+
+func TestSimpleModelClosedForms(t *testing.T) {
+	r, u := 0.002, 300.0
+	eb := SimpleBusyPeriod(r, u)
+	want := (math.Exp(0.6) - 1) / 0.002
+	if math.Abs(eb-want) > 1e-9*want {
+		t.Fatalf("eq2: %v, want %v", eb, want)
+	}
+	p := SimpleUnavailability(r, u)
+	wantP := (1 / r) / (eb + 1/r)
+	if math.Abs(p-wantP) > 1e-12 {
+		t.Fatalf("eq1: %v, want %v", p, wantP)
+	}
+	if got := SimpleUnavailability(0, 100); got != 1 {
+		t.Fatalf("r=0 unavailability = %v, want 1", got)
+	}
+	if got := SimpleBusyPeriod(0, 100); got != 100 {
+		t.Fatalf("r=0 busy period = %v, want u", got)
+	}
+}
+
+func TestSimpleBundleEq5Eq6(t *testing.T) {
+	r, u, k := 0.001, 200.0, 3
+	eb := SimpleBundleBusyPeriod(k, r, u)
+	want := (math.Exp(float64(k*k)*r*u) - 1) / (float64(k) * r)
+	if math.Abs(eb-want) > 1e-9*want {
+		t.Fatalf("eq5: %v, want %v", eb, want)
+	}
+	p := SimpleBundleUnavailability(k, r, u)
+	wantP := (1 / (float64(k) * r)) / (eb + 1/(float64(k)*r))
+	if math.Abs(p-wantP) > 1e-12 {
+		t.Fatalf("eq6: %v, want %v", p, wantP)
+	}
+}
+
+func TestSimpleBundlingReducesUnavailabilityExponentially(t *testing.T) {
+	// −log P scales as Θ(K²): the K-to-2K exponent ratio approaches 4.
+	r, u := 0.001, 100.0 // ru = 0.1
+	e4 := -math.Log(SimpleBundleUnavailability(4, r, u))
+	e8 := -math.Log(SimpleBundleUnavailability(8, r, u))
+	ratio := e8 / e4
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("exponent ratio %v, want ≈4 (Θ(K²))", ratio)
+	}
+}
+
+func TestPeersAndPublishersBusyPeriod(t *testing.T) {
+	// eq. (7): homogeneous case u = s/μ.
+	lambda, r, s, mu := 0.01, 0.002, 4000.0, 50.0
+	got := PeersAndPublishersBusyPeriod(lambda, r, s, mu)
+	want := (math.Exp((lambda+r)*s/mu) - 1) / (lambda + r)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("eq7: %v, want %v", got, want)
+	}
+}
+
+func TestUnavailabilityMatchesSimulation(t *testing.T) {
+	// The full §3.3.1 model against the availability simulator.
+	p := SwarmParams{Lambda: 0.01, Size: 4, Mu: 0.1, R: 0.004, U: 90}
+	want := p.Unavailability()
+	r := dist.NewRand(400)
+	res := queue.SimulateAvailability(r, queue.AvailabilityConfig{
+		PeerRate:      p.Lambda,
+		PublisherRate: p.R,
+		PeerService:   dist.Exponential{Rate: 1 / p.ServiceTime()},
+		PublisherStay: dist.Exponential{Rate: 1 / p.U},
+		Patient:       false,
+	}, 4e6)
+	if math.Abs(res.Unavailability-want) > 0.05*want+0.01 {
+		t.Fatalf("P sim %v vs model %v", res.Unavailability, want)
+	}
+}
+
+func TestDownloadTimeMatchesSimulation(t *testing.T) {
+	// Lemma 3.2 against the patient-peer simulator (small λ/r so the
+	// neglected waiting-group effect stays small).
+	p := SwarmParams{Lambda: 0.002, Size: 4, Mu: 0.08, R: 0.004, U: 50}
+	want := p.DownloadTime()
+	r := dist.NewRand(401)
+	res := queue.SimulateAvailability(r, queue.AvailabilityConfig{
+		PeerRate:      p.Lambda,
+		PublisherRate: p.R,
+		PeerService:   dist.Exponential{Rate: 1 / p.ServiceTime()},
+		PublisherStay: dist.Exponential{Rate: 1 / p.U},
+		Patient:       true,
+	}, 4e6)
+	if math.Abs(res.MeanDownloadTime-want) > 3*res.DownloadTimeCI+0.06*want {
+		t.Fatalf("E[T] sim %v ± %v vs model %v", res.MeanDownloadTime, res.DownloadTimeCI, want)
+	}
+}
+
+func TestUnavailabilityEdgeCases(t *testing.T) {
+	p := validSwarm()
+	p.R = 0
+	if got := p.Unavailability(); got != 1 {
+		t.Fatalf("R=0: P = %v, want 1", got)
+	}
+	if got := p.DownloadTime(); !math.IsInf(got, 1) {
+		t.Fatalf("R=0: E[T] = %v, want +Inf", got)
+	}
+	// Saturated busy period ⇒ P = 0 and E[T] = s/μ.
+	big := SwarmParams{Lambda: 10, Size: 1000, Mu: 1, R: 0.001, U: 10}
+	if got := big.Unavailability(); got != 0 {
+		t.Fatalf("saturated: P = %v, want 0", got)
+	}
+	if got := big.DownloadTime(); math.Abs(got-big.ServiceTime()) > 1e-9 {
+		t.Fatalf("saturated: E[T] = %v, want s/μ", got)
+	}
+}
+
+func TestMeanPeersServedPerBusyPeriod(t *testing.T) {
+	p := validSwarm()
+	want := p.Lambda * p.BusyPeriod()
+	if got := p.MeanPeersServedPerBusyPeriod(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("E[N] = %v, want %v", got, want)
+	}
+}
+
+func TestBundleConstructors(t *testing.T) {
+	p := validSwarm()
+	b := p.Bundle(4, ScaledPublisher)
+	if b.Lambda != 4*p.Lambda || b.Size != 4*p.Size || b.R != 4*p.R || b.U != 4*p.U || b.Mu != p.Mu {
+		t.Fatalf("scaled bundle wrong: %+v", b)
+	}
+	c := p.Bundle(4, ConstantPublisher)
+	if c.Lambda != 4*p.Lambda || c.Size != 4*p.Size || c.R != p.R || c.U != p.U {
+		t.Fatalf("constant bundle wrong: %+v", c)
+	}
+	if p.Bundle(1, ScaledPublisher) != p {
+		t.Fatal("K=1 bundle must be identity")
+	}
+}
+
+func TestBundleOfHeterogeneous(t *testing.T) {
+	s1 := SwarmParams{Lambda: 1.0 / 8, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	s2 := SwarmParams{Lambda: 1.0 / 16, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	b := BundleOf([]SwarmParams{s1, s2}, 0.002, 600)
+	if math.Abs(b.Lambda-(1.0/8+1.0/16)) > 1e-12 || b.Size != 8000 {
+		t.Fatalf("bundle aggregation wrong: %+v", b)
+	}
+	if b.R != 0.002 || b.U != 600 {
+		t.Fatalf("bundle publisher wrong: %+v", b)
+	}
+}
+
+func TestZipfBundle(t *testing.T) {
+	singles, bundle := ZipfBundle(4, 1.0, 1.0, 4000, 50, 0.001, 300, 0.002, 600)
+	if len(singles) != 4 {
+		t.Fatalf("got %d singles", len(singles))
+	}
+	var sum float64
+	for i, s := range singles {
+		sum += s.Lambda
+		if i > 0 && s.Lambda >= singles[i-1].Lambda {
+			t.Fatal("Zipf popularities must decrease")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("aggregate λ = %v, want 1", sum)
+	}
+	if math.Abs(bundle.Lambda-1) > 1e-9 || bundle.Size != 16000 {
+		t.Fatalf("bundle wrong: %+v", bundle)
+	}
+}
+
+func TestTheorem31AvailabilityScaling(t *testing.T) {
+	// Theorem 3.1: with constant publisher process, −log P grows as
+	// Θ(K²). Fit the exponent ratio between K and 2K.
+	// The exponent carries lower-order log(K) terms, so fit the quadratic
+	// coefficient via first differences over doublings:
+	// [e(4K)−e(2K)] / [e(2K)−e(K)] → (16−4)/(4−1) = 4.
+	p := SwarmParams{Lambda: 0.01, Size: 15, Mu: 1, R: 0.0005, U: 100} // ρ1 = 0.15
+	e8 := p.AvailabilityGainExponent(8, ConstantPublisher)
+	e16 := p.AvailabilityGainExponent(16, ConstantPublisher)
+	e32 := p.AvailabilityGainExponent(32, ConstantPublisher)
+	if math.IsInf(e32, 1) {
+		t.Skip("saturated before asymptotic regime (parameters too aggressive)")
+	}
+	ratio := (e32 - e16) / (e16 - e8)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("difference ratio = %v (e8=%v e16=%v e32=%v), want ≈4", ratio, e8, e16, e32)
+	}
+}
+
+func TestTheorem32UpperBound(t *testing.T) {
+	// (a) bundling can increase the per-download time by at most ~K:
+	// E[T_bundle] ≤ K·E[T_single] across a parameter grid (allowing a
+	// tiny numerical slack).
+	grid := []SwarmParams{
+		{Lambda: 0.01, Size: 4000, Mu: 50, R: 0.002, U: 300},
+		{Lambda: 0.001, Size: 4000, Mu: 50, R: 0.01, U: 100},
+		{Lambda: 0.05, Size: 1000, Mu: 50, R: 0.0001, U: 50},
+		{Lambda: 0.0005, Size: 8000, Mu: 100, R: 0.005, U: 600},
+	}
+	for _, p := range grid {
+		single := p.DownloadTime()
+		for _, k := range []int{2, 3, 5, 8} {
+			bundle := p.Bundle(k, ScaledPublisher).DownloadTime()
+			if bundle > float64(k)*single*(1+1e-9) {
+				t.Errorf("K=%d: bundle %v > K·single %v for %+v",
+					k, bundle, float64(k)*single, p)
+			}
+		}
+	}
+}
+
+func TestTheorem32DownloadTimeCanDrop(t *testing.T) {
+	// (b) with a highly unavailable publisher, the bundle beats the
+	// single swarm outright: E[T_bundle] < E[T_single] despite K× the
+	// content.
+	p := SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 5000, U: 300}
+	single := p.DownloadTime()
+	bundle := p.Bundle(4, ScaledPublisher).DownloadTime()
+	if bundle >= single {
+		t.Fatalf("bundle %v did not beat single %v", bundle, single)
+	}
+	// And the gain grows as R shrinks (Θ(1/R)).
+	p2 := p
+	p2.R = p.R / 10
+	gain1 := p.DownloadTime() - p.Bundle(4, ScaledPublisher).DownloadTime()
+	gain2 := p2.DownloadTime() - p2.Bundle(4, ScaledPublisher).DownloadTime()
+	if gain2 <= gain1 {
+		t.Fatalf("gain did not grow as R fell: %v vs %v", gain2, gain1)
+	}
+}
+
+func TestDownloadTimeCurveAndOptimum(t *testing.T) {
+	p := SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+	best, curve := p.OptimalBundleSize(10, ScaledPublisher)
+	if len(curve) != 10 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for k, v := range curve {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("curve[%d] = %v", k, v)
+		}
+	}
+	if curve[best-1] > curve[0] {
+		t.Fatalf("optimum %d worse than K=1: %v", best, curve)
+	}
+}
+
+func TestPerFileDownloadTime(t *testing.T) {
+	p := validSwarm()
+	k := 3
+	want := p.Bundle(k, ScaledPublisher).DownloadTime() / 3
+	if got := p.PerFileDownloadTime(k, ScaledPublisher); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("per-file = %v, want %v", got, want)
+	}
+}
+
+func TestTheoremBoundsRatio(t *testing.T) {
+	p := validSwarm()
+	ratio := p.TheoremBounds(4, ScaledPublisher)
+	if ratio <= 0 || math.IsNaN(ratio) {
+		t.Fatalf("ratio = %v", ratio)
+	}
+}
+
+func TestPublisherScalingString(t *testing.T) {
+	if ScaledPublisher.String() != "scaled" || ConstantPublisher.String() != "constant" {
+		t.Fatal("stringer wrong")
+	}
+	if PublisherScaling(9).String() == "" {
+		t.Fatal("unknown scaling must still print")
+	}
+}
+
+func TestLingeringExtendsBusyPeriod(t *testing.T) {
+	p := SwarmParams{Lambda: 0.01, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	selfish := p.BusyPeriod()
+	linger := Lingering{SwarmParams: p, Gamma: 1.0 / 200}
+	if got := linger.PeerResidence(); math.Abs(got-(80+200)) > 1e-9 {
+		t.Fatalf("residence = %v, want 280", got)
+	}
+	if lb := linger.BusyPeriod(); lb <= selfish {
+		t.Fatalf("lingering busy period %v not longer than selfish %v", lb, selfish)
+	}
+	if lp := linger.Unavailability(); lp >= p.Unavailability() {
+		t.Fatalf("lingering unavailability %v not below selfish %v", lp, p.Unavailability())
+	}
+	if lt := linger.DownloadTime(); lt >= p.DownloadTime() {
+		t.Fatalf("lingering download time %v not below selfish %v", lt, p.DownloadTime())
+	}
+}
+
+func TestLingeringEdgeCases(t *testing.T) {
+	p := validSwarm()
+	forever := Lingering{SwarmParams: p, Gamma: 0}
+	if !math.IsInf(forever.PeerResidence(), 1) || !math.IsInf(forever.BusyPeriod(), 1) {
+		t.Fatal("γ=0 means peers never leave: busy period must be +Inf")
+	}
+	if forever.Unavailability() != 0 {
+		t.Fatal("γ=0 must give perfect availability")
+	}
+	noR := Lingering{SwarmParams: p, Gamma: 1}
+	noR.R = 0
+	if noR.Unavailability() != 1 || !math.IsInf(noR.DownloadTime(), 1) {
+		t.Fatal("R=0 lingering must be fully unavailable")
+	}
+}
+
+func TestEq15LingeringBalance(t *testing.T) {
+	// eq. (15): the residence needed equals (s1+s2)/μ·(1+λ2/λ1).
+	s1, s2, l1, l2, mu := 100.0, 8000.0, 0.001, 0.5, 50.0
+	got := EquivalentLingeringResidence(s1, s2, l1, l2, mu)
+	want := (s1 + s2) / mu * (1 + l2/l1)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("eq15 residence = %v, want %v", got, want)
+	}
+	// As λ1 → 0, the stand-alone requirement diverges while the bundle
+	// cost stays (s1+s2)/μ.
+	small := EquivalentLingeringResidence(s1, s2, 1e-9, l2, mu)
+	if small < 1e6*(s1+s2)/mu {
+		t.Fatalf("requirement did not diverge: %v", small)
+	}
+	if got := LingeringForEquivalentLoad(s1, s2, 0, l2, mu); !math.IsInf(got, 1) {
+		t.Fatal("λ1=0 must require infinite lingering")
+	}
+}
+
+func TestPanicsOnInvalidUse(t *testing.T) {
+	p := validSwarm()
+	cases := []func(){
+		func() { p.Bundle(0, ScaledPublisher) },
+		func() { BundleOf(nil, 1, 1) },
+		func() { p.DownloadTimeCurve(0, ScaledPublisher) },
+		func() { SwarmParams{}.BusyPeriod() },
+		func() { SimpleBundleBusyPeriod(0, 1, 1) },
+		func() { SimpleBundleUnavailability(0, 1, 1) },
+		func() { PeersAndPublishersBusyPeriod(1, 1, 0, 1) },
+		func() { LingeringForEquivalentLoad(1, 1, 1, 1, 0) },
+		func() { p.OptimalBundleSizeThreshold(0, 9, ScaledPublisher) },
+		func() { p.SteadyStateResidualBusyPeriod(-1) },
+		func() { ZipfBundle(0, 1, 1, 1, 1, 1, 1, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: unavailability is always a probability, and bundling with
+// scaled publishers never increases it.
+func TestBundlingNeverHurtsAvailabilityProperty(t *testing.T) {
+	f := func(l, s, rr, uu uint16, k uint8) bool {
+		p := SwarmParams{
+			Lambda: float64(l%100)/1000 + 0.0001,
+			Size:   float64(s%5000) + 100,
+			Mu:     50,
+			R:      float64(rr%50)/10000 + 0.00005,
+			U:      float64(uu%900) + 10,
+		}
+		kk := int(k%6) + 2
+		p1 := p.Unavailability()
+		pk := p.Bundle(kk, ScaledPublisher).Unavailability()
+		if p1 < 0 || p1 > 1 || pk < 0 || pk > 1 {
+			return false
+		}
+		return pk <= p1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func planningSwarm() SwarmParams {
+	return SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 1.0 / 900, U: 300}
+}
+
+func TestRequiredBundleSizeMinimality(t *testing.T) {
+	p := planningSwarm()
+	target := 1e-6
+	k, err := p.RequiredBundleSize(target, 10, ScaledPublisher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bundle(k, ScaledPublisher).Unavailability() > target {
+		t.Fatalf("K=%d does not meet target", k)
+	}
+	if k > 1 && p.Bundle(k-1, ScaledPublisher).Unavailability() <= target {
+		t.Fatalf("K=%d not minimal", k)
+	}
+}
+
+func TestRequiredBundleSizeUnachievable(t *testing.T) {
+	p := SwarmParams{Lambda: 1e-7, Size: 1, Mu: 1, R: 1e-6, U: 1}
+	if _, err := p.RequiredBundleSize(1e-9, 3, ScaledPublisher); !errors.Is(err, ErrUnachievable) {
+		t.Fatalf("err = %v, want ErrUnachievable", err)
+	}
+}
+
+func TestRequiredBundleSizeValidation(t *testing.T) {
+	p := planningSwarm()
+	if _, err := p.RequiredBundleSize(0, 5, ScaledPublisher); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, err := p.RequiredBundleSize(0.5, 0, ScaledPublisher); err == nil {
+		t.Fatal("maxK 0 accepted")
+	}
+	// Target 1 is trivially met at K=1.
+	k, err := p.RequiredBundleSize(1, 5, ScaledPublisher)
+	if err != nil || k != 1 {
+		t.Fatalf("trivial target: %d, %v", k, err)
+	}
+}
+
+func TestRequiredPublisherRate(t *testing.T) {
+	p := planningSwarm()
+	target := 0.1
+	r, err := p.RequiredPublisherRate(target, 1e-6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p
+	q.R = r
+	if got := q.Unavailability(); got > target*(1+1e-6) {
+		t.Fatalf("solved r=%v gives P=%v > %v", r, got, target)
+	}
+	// Minimality: 1% less publisher rate misses the target.
+	q.R = r * 0.99
+	if got := q.Unavailability(); got <= target {
+		t.Fatalf("r not minimal: %v still meets target at 0.99r", got)
+	}
+}
+
+func TestRequiredPublisherRateEdges(t *testing.T) {
+	p := planningSwarm()
+	// Already met at lo.
+	r, err := p.RequiredPublisherRate(0.999999, 1e-4, 1)
+	if err != nil || r != 1e-4 {
+		t.Fatalf("lo shortcut: %v, %v", r, err)
+	}
+	if _, err := p.RequiredPublisherRate(1e-30, 1e-6, 2e-6); !errors.Is(err, ErrUnachievable) {
+		t.Fatalf("err = %v, want ErrUnachievable", err)
+	}
+	if _, err := p.RequiredPublisherRate(0.5, 0, 1); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := p.RequiredPublisherRate(1.5, 1e-6, 1); err == nil {
+		t.Fatal("target>1 accepted")
+	}
+}
+
+func TestRequiredLingering(t *testing.T) {
+	p := SwarmParams{Lambda: 0.01, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	target := p.Unavailability() / 10
+	lg, err := p.RequiredLingering(target, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Lingering{SwarmParams: p, Gamma: 1 / lg}.Unavailability()
+	if got > target*(1+1e-6) {
+		t.Fatalf("1/γ=%v gives P=%v > %v", lg, got, target)
+	}
+	// Already-met target needs zero lingering.
+	z, err := p.RequiredLingering(0.999, 1e5)
+	if err != nil || z != 0 {
+		t.Fatalf("trivial lingering: %v, %v", z, err)
+	}
+	if _, err := p.RequiredLingering(1e-300, 10); !errors.Is(err, ErrUnachievable) {
+		t.Fatalf("err = %v, want ErrUnachievable", err)
+	}
+}
+
+func TestSeedingCost(t *testing.T) {
+	p := planningSwarm()
+	duty := p.R * p.U / (1 + p.R*p.U)
+	want := duty * 100
+	if got := p.SeedingCost(100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("seeding cost %v, want %v", got, want)
+	}
+	// Always-available publisher (r·u → ∞) approaches full capacity.
+	alwaysOn := SwarmParams{Lambda: 0.01, Size: 1, Mu: 1, R: 100, U: 1000}
+	if got := alwaysOn.SeedingCost(50); got < 49.9 {
+		t.Fatalf("near-always-on cost %v, want ≈50", got)
+	}
+}
+
+func TestEvaluateBundle(t *testing.T) {
+	s1 := SwarmParams{Lambda: 1.0 / 60, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	s2 := SwarmParams{Lambda: 1.0 / 600, Size: 4000, Mu: 50, R: 0.001, U: 300}
+	plan := EvaluateBundle([]SwarmParams{s1, s2}, 0.001, 300)
+	if len(plan.SoloTimes) != 2 {
+		t.Fatalf("solo times: %v", plan.SoloTimes)
+	}
+	if plan.Bundle.Lambda != s1.Lambda+s2.Lambda {
+		t.Fatalf("bundle λ wrong: %v", plan.Bundle.Lambda)
+	}
+	if plan.BundleTime <= 0 || plan.Unavailability < 0 || plan.Unavailability > 1 {
+		t.Fatalf("plan metrics: %+v", plan)
+	}
+	// The unpopular title must benefit.
+	if plan.BundleTime >= plan.SoloTimes[1] {
+		t.Fatalf("bundle %v did not beat unpopular solo %v", plan.BundleTime, plan.SoloTimes[1])
+	}
+}
+
+// Property: RequiredBundleSize is consistent — the returned K meets the
+// target and K−1 does not (when K > 1).
+func TestRequiredBundleSizeProperty(t *testing.T) {
+	f := func(l, rr uint16, texp uint8) bool {
+		p := SwarmParams{
+			Lambda: float64(l%100)/1000 + 0.001,
+			Size:   4000,
+			Mu:     50,
+			R:      float64(rr%100)/10000 + 0.0001,
+			U:      300,
+		}
+		target := math.Pow(10, -float64(texp%8)-1) // 1e-1 .. 1e-8
+		k, err := p.RequiredBundleSize(target, 12, ScaledPublisher)
+		if errors.Is(err, ErrUnachievable) {
+			// Then even K=12 must miss it.
+			return p.Bundle(12, ScaledPublisher).Unavailability() > target
+		}
+		if err != nil {
+			return false
+		}
+		if p.Bundle(k, ScaledPublisher).Unavailability() > target {
+			return false
+		}
+		return k == 1 || p.Bundle(k-1, ScaledPublisher).Unavailability() > target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+)
+
+// §3.3.2 computes E[B] "neglecting the possible impact of this group of
+// peers on the duration of the busy period" and defers the refined
+// expression to the technical report. This file implements that
+// refinement.
+//
+// When content is unavailable, peers queue at rate λ until a publisher
+// arrives (idle ~ exp(r)), so the number of waiting peers released at
+// the next busy-period start is geometric:
+//
+//	P(N = n) = (r/(λ+r)) · (λ/(λ+r))^n
+//
+// The busy period then begins with the publisher (residence exp(u))
+// *and* n peers (residence exp(s/μ) each) simultaneously in service.
+// Browne–Steele's eq. (17) still applies with the initiator's residence
+// replaced by M = max(U, X₁, …, X_n), whose survival function is a
+// signed mixture of exponentials:
+//
+//	1 − H(x) = 1 − (1 − e^{−x/u}) · (1 − e^{−xμ/s})ⁿ
+//	         = −Σ_{k≥1} C(n,k)(−1)^k e^{−k(μ/s)x}
+//	           +Σ_{k≥0} C(n,k)(−1)^k e^{−(1/u + k·μ/s)x}
+//
+// which keeps every integral in eq. (22) elementary.
+
+// survTerm is one c·e^{−d·x} term of a survival function.
+type survTerm struct {
+	c, d float64
+}
+
+// maxSurvival returns the survival terms of max(exp(u), n × exp(alpha)).
+func maxSurvival(u, alpha float64, n int) []survTerm {
+	b := 1 / alpha
+	a := 1 / u
+	terms := make([]survTerm, 0, 2*n+2)
+	sign := 1.0
+	binom := 1.0 // C(n,k)
+	for k := 0; k <= n; k++ {
+		if k > 0 {
+			binom = binom * float64(n-k+1) / float64(k)
+			sign = -sign
+			// −C(n,k)(−1)^k e^{−kbx}
+			terms = append(terms, survTerm{c: -binom * sign, d: float64(k) * b})
+		}
+		// +C(n,k)(−1)^k e^{−(a+kb)x}
+		terms = append(terms, survTerm{c: binom * sign, d: a + float64(k)*b})
+	}
+	return terms
+}
+
+// meanFromSurvival integrates Σ c·e^{−dx} over x ≥ 0.
+func meanFromSurvival(terms []survTerm) float64 {
+	var m float64
+	for _, t := range terms {
+		m += t.c / t.d
+	}
+	return m
+}
+
+// groupInitiatorCap bounds the waiting-group size expansion: the signed
+// binomial mixture loses precision past this point (C(n, n/2)·ε ≈ 1e-4
+// at n = 40), and geometric tails beyond it are folded into the last
+// term.
+const groupInitiatorCap = 40
+
+// busyPeriodGroupInitiated evaluates eq. (17) for a busy period started
+// by one publisher plus n waiting peers, with the usual two-point
+// service mixture for later arrivals (β, α1, α2, q1 as in eq. 9).
+func busyPeriodGroupInitiated(beta, u, alpha1, alpha2, q1 float64, n int) float64 {
+	nn := n
+	if nn < 0 {
+		nn = 0
+	}
+	if nn > groupInitiatorCap {
+		nn = groupInitiatorCap
+	}
+	terms := maxSurvival(u, alpha1, nn)
+	theta := meanFromSurvival(terms)
+	if beta == 0 {
+		return theta
+	}
+	x := q1 * alpha1
+	y := (1 - q1) * alpha2
+	abar := x + y
+	if abar == 0 {
+		return theta
+	}
+	p := x / abar
+	z := beta * abar
+
+	f := func(i, j int) float64 {
+		rate := float64(j)/alpha1 + float64(i-j)/alpha2
+		var s float64
+		for _, t := range terms {
+			s += t.c / (t.d + rate)
+		}
+		return s
+	}
+	sum := 0.0
+	zi := 1.0
+	for i := 1; i <= seriesMaxIter; i++ {
+		zi *= z / float64(i)
+		if math.IsInf(zi, 1) {
+			return math.Inf(1)
+		}
+		ew := binomialExpectation(i, p, func(j int) float64 { return f(i, j) })
+		inc := zi * ew
+		sum += inc
+		if math.IsInf(sum, 1) {
+			return math.Inf(1)
+		}
+		if float64(i) > z && inc < seriesRelTol*sum {
+			break
+		}
+	}
+	return theta + sum
+}
+
+// BusyPeriodRefined returns the technical report's refined busy period:
+// the geometric mixture over the waiting-group size N of busy periods
+// initiated by the publisher together with N patient peers.
+func (p SwarmParams) BusyPeriodRefined() float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return math.Inf(1) // the group never stops growing
+	}
+	beta := p.Lambda + p.R
+	q1 := p.Lambda / beta
+	alpha1 := p.ServiceTime()
+
+	succ := p.R / (p.Lambda + p.R)
+	fail := 1 - succ
+	var (
+		eb   float64
+		mass float64
+		pn   = succ // P(N = 0)
+	)
+	for n := 0; ; n++ {
+		b := busyPeriodGroupInitiated(beta, p.U, alpha1, p.U, q1, n)
+		if math.IsInf(b, 1) {
+			return math.Inf(1)
+		}
+		eb += pn * b
+		mass += pn
+		if mass > 1-1e-12 || n >= 4*groupInitiatorCap {
+			// Fold the residual tail into the largest computed group.
+			eb += (1 - mass) * b
+			break
+		}
+		pn *= fail
+	}
+	return eb
+}
+
+// UnavailabilityRefined is eq. (10) with the refined busy period.
+func (p SwarmParams) UnavailabilityRefined() float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return 1
+	}
+	return unavailabilityFrom(p.BusyPeriodRefined(), p.R)
+}
+
+// DownloadTimeRefined is Lemma 3.2 with the refined busy period:
+// E[T] = s/μ + P_ref/r. The refinement matters exactly when the
+// expected waiting group λ/r is not small — the regime where the plain
+// model visibly overestimates download time.
+func (p SwarmParams) DownloadTimeRefined() float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return math.Inf(1)
+	}
+	return p.ServiceTime() + p.UnavailabilityRefined()/p.R
+}

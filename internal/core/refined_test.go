@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/queue"
+)
+
+func TestMaxSurvivalKnownCases(t *testing.T) {
+	// n=0: pure exp(u).
+	terms := maxSurvival(100, 50, 0)
+	if len(terms) != 1 || math.Abs(terms[0].c-1) > 1e-12 || math.Abs(terms[0].d-0.01) > 1e-12 {
+		t.Fatalf("n=0 terms: %+v", terms)
+	}
+	if m := meanFromSurvival(terms); math.Abs(m-100) > 1e-9 {
+		t.Fatalf("n=0 mean %v", m)
+	}
+	// n=1: E[max(U, X)] = u + α − 1/(1/u + 1/α).
+	terms = maxSurvival(100, 50, 1)
+	want := 100.0 + 50 - 1/(0.01+0.02)
+	if m := meanFromSurvival(terms); math.Abs(m-want) > 1e-9 {
+		t.Fatalf("n=1 mean %v, want %v", m, want)
+	}
+}
+
+func TestMaxSurvivalMeanAgainstMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 5, 12} {
+		terms := maxSurvival(80, 30, n)
+		want := meanFromSurvival(terms)
+		var sum float64
+		const trials = 300000
+		for i := 0; i < trials; i++ {
+			m := r.ExpFloat64() * 80
+			for j := 0; j < n; j++ {
+				if x := r.ExpFloat64() * 30; x > m {
+					m = x
+				}
+			}
+			sum += m
+		}
+		got := sum / trials
+		if math.Abs(got-want) > 0.02*want {
+			t.Errorf("n=%d: MC mean %v vs analytic %v", n, got, want)
+		}
+	}
+}
+
+func TestMaxSurvivalIsValidSurvival(t *testing.T) {
+	// 1−H must start at 1, decrease, and stay in [0,1].
+	terms := maxSurvival(100, 40, 8)
+	eval := func(x float64) float64 {
+		var s float64
+		for _, tm := range terms {
+			s += tm.c * math.Exp(-tm.d*x)
+		}
+		return s
+	}
+	if got := eval(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("1−H(0) = %v", got)
+	}
+	prev := 1.0
+	for x := 1.0; x < 2000; x *= 1.5 {
+		v := eval(x)
+		if v < -1e-9 || v > prev+1e-9 {
+			t.Fatalf("survival not monotone in [0,1] at x=%v: %v (prev %v)", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestGroupInitiatedReducesToExceptional(t *testing.T) {
+	// n=0 must agree with eq. (9) exactly.
+	beta, u, a1, a2, q1 := 0.02, 120.0, 40.0, 120.0, 0.8
+	got := busyPeriodGroupInitiated(beta, u, a1, a2, q1, 0)
+	want := BusyPeriodExceptional(beta, u, a1, a2, q1)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("n=0: %v vs eq9 %v", got, want)
+	}
+}
+
+func TestGroupInitiatedMonotoneInGroupSize(t *testing.T) {
+	beta, u, a1, a2, q1 := 0.01, 100.0, 60.0, 100.0, 0.7
+	prev := 0.0
+	for n := 0; n <= 10; n++ {
+		b := busyPeriodGroupInitiated(beta, u, a1, a2, q1, n)
+		if b <= prev {
+			t.Fatalf("busy period not increasing at n=%d: %v ≤ %v", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+// maxDist samples max(exp(u), n iid exp(alpha)) for the simulation
+// cross-check.
+type maxDist struct {
+	u, alpha float64
+	n        int
+}
+
+func (m maxDist) Mean() float64 { return meanFromSurvival(maxSurvival(m.u, m.alpha, m.n)) }
+func (m maxDist) Var() float64  { return math.NaN() } // not needed
+func (m maxDist) Sample(r *rand.Rand) float64 {
+	v := r.ExpFloat64() * m.u
+	for i := 0; i < m.n; i++ {
+		if x := r.ExpFloat64() * m.alpha; x > v {
+			v = x
+		}
+	}
+	return v
+}
+
+func TestGroupInitiatedMatchesSimulation(t *testing.T) {
+	beta, u, a1, a2, q1 := 0.015, 150.0, 50.0, 150.0, 0.75
+	n := 4
+	want := busyPeriodGroupInitiated(beta, u, a1, a2, q1, n)
+
+	r := dist.NewRand(501)
+	cfg := queue.BusyPeriodConfig{
+		Beta:  beta,
+		First: maxDist{u: u, alpha: a1, n: n},
+		Service: dist.NewMixture(
+			[]dist.Dist{dist.Exponential{Rate: 1 / a1}, dist.Exponential{Rate: 1 / a2}},
+			[]float64{q1, 1 - q1},
+		),
+	}
+	mean, ci := queue.MeanBusyPeriod(r, cfg, 40000)
+	if math.Abs(mean-want) > 3*ci+0.02*want {
+		t.Fatalf("group-initiated E[B]: sim %v ± %v vs analytic %v", mean, ci, want)
+	}
+}
+
+func TestRefinedBusyPeriodAtLeastPlain(t *testing.T) {
+	// The waiting group can only lengthen busy periods.
+	for _, p := range []SwarmParams{
+		{Lambda: 0.002, Size: 4, Mu: 0.08, R: 0.004, U: 50},
+		{Lambda: 0.02, Size: 4, Mu: 0.08, R: 0.004, U: 50},
+		{Lambda: 0.01, Size: 4000, Mu: 50, R: 0.002, U: 300},
+	} {
+		plain := p.BusyPeriod()
+		refined := p.BusyPeriodRefined()
+		if refined < plain*(1-1e-9) {
+			t.Errorf("refined %v below plain %v for %+v", refined, plain, p)
+		}
+		if p.UnavailabilityRefined() > p.Unavailability()+1e-12 {
+			t.Errorf("refined unavailability above plain for %+v", p)
+		}
+		if p.DownloadTimeRefined() > p.DownloadTime()+1e-9 {
+			t.Errorf("refined download time above plain for %+v", p)
+		}
+	}
+}
+
+func TestRefinedDownloadTimeMatchesPatientSimulation(t *testing.T) {
+	// The regime where §3.3.2's neglect bites: λ/r = 5 waiting peers on
+	// average. The plain model overestimates E[T]; the refinement must
+	// land within the simulation's noise.
+	p := SwarmParams{Lambda: 0.02, Size: 4, Mu: 0.08, R: 0.004, U: 50}
+	r := dist.NewRand(502)
+	res := queue.SimulateAvailability(r, queue.AvailabilityConfig{
+		PeerRate:      p.Lambda,
+		PublisherRate: p.R,
+		PeerService:   dist.Exponential{Rate: 1 / p.ServiceTime()},
+		PublisherStay: dist.Exponential{Rate: 1 / p.U},
+		Patient:       true,
+	}, 6e6)
+
+	plain := p.DownloadTime()
+	refined := p.DownloadTimeRefined()
+	simErr := func(model float64) float64 { return math.Abs(res.MeanDownloadTime - model) }
+	if simErr(refined) >= simErr(plain) {
+		t.Fatalf("refinement did not help: sim %v, plain %v, refined %v",
+			res.MeanDownloadTime, plain, refined)
+	}
+	if simErr(refined) > 3*res.DownloadTimeCI+0.05*res.MeanDownloadTime {
+		t.Fatalf("refined model %v vs sim %v ± %v: still outside noise",
+			refined, res.MeanDownloadTime, res.DownloadTimeCI)
+	}
+}
+
+func TestRefinedEdgeCases(t *testing.T) {
+	p := validSwarm()
+	p.R = 0
+	if !math.IsInf(p.BusyPeriodRefined(), 1) {
+		t.Fatal("R=0 refined busy period must be +Inf")
+	}
+	if p.UnavailabilityRefined() != 1 {
+		t.Fatal("R=0 refined unavailability must be 1")
+	}
+	if !math.IsInf(p.DownloadTimeRefined(), 1) {
+		t.Fatal("R=0 refined download time must be +Inf")
+	}
+	// Negative group size is clamped.
+	if got := busyPeriodGroupInitiated(0.01, 100, 50, 100, 0.5, -3); got <= 0 {
+		t.Fatalf("negative n mishandled: %v", got)
+	}
+}
+
+func TestRefinedConvergesToPlainForSmallGroups(t *testing.T) {
+	// λ/r → 0: almost never a waiting group, so refined ≈ plain.
+	p := SwarmParams{Lambda: 0.0001, Size: 4, Mu: 0.08, R: 0.01, U: 50}
+	plain := p.BusyPeriod()
+	refined := p.BusyPeriodRefined()
+	if math.Abs(refined-plain) > 0.01*plain {
+		t.Fatalf("refined %v should approach plain %v as λ/r → 0", refined, plain)
+	}
+}

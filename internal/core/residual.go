@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+
+	"swarmavail/internal/dist"
+)
+
+// ResidualBusyPeriod returns B(n, m): the expected length of a residual
+// busy period that begins with n leechers (each with memoryless residual
+// service, mean s/μ) and ends as soon as the population reaches m < n,
+// with fresh peers arriving at rate λ (Lemma 3.3).
+//
+// B(n,0) is eq. (12); for m > 0 the recursion B(n,m) = B(n,0) − B(m,0)
+// applies. B(n,m) = 0 when n ≤ m. The result saturates to +Inf.
+func (p SwarmParams) ResidualBusyPeriod(n, m int) float64 {
+	mustValidate(p)
+	if n < 0 || m < 0 {
+		panic("core: populations must be non-negative")
+	}
+	if n <= m {
+		return 0
+	}
+	bn := residualFromEmpty(n, p.Lambda, p.ServiceTime())
+	if m == 0 {
+		return bn
+	}
+	bm := residualFromEmpty(m, p.Lambda, p.ServiceTime())
+	if math.IsInf(bn, 1) && math.IsInf(bm, 1) {
+		// Both saturate: the difference is dominated by the harmonic
+		// (first) part, but at this magnitude the distinction is
+		// irrelevant — the swarm is self-sustaining either way.
+		return math.Inf(1)
+	}
+	return bn - bm
+}
+
+// residualFromEmpty evaluates eq. (12):
+//
+//	B(n,0) = Σ_{i=1..n} s/(iμ)
+//	       + (s/μ)·Σ_{i≥1} x^i · [(n+i)! − n!·i!] / (i!·(n+i)!·i)
+//
+// with x = λ·s/μ. The bracket simplifies to 1/(i·i!) − n!/(i·(n+i)!),
+// and both partial terms are updated iteratively.
+func residualFromEmpty(n int, lambda, serviceMean float64) float64 {
+	var harmonic float64
+	for i := 1; i <= n; i++ {
+		harmonic += serviceMean / float64(i)
+	}
+	x := lambda * serviceMean
+	if x == 0 {
+		return harmonic
+	}
+	var tail float64
+	a := 0.0 // x^i/(i!·i)
+	b := 0.0 // x^i·n!/((n+i)!·i)
+	for i := 1; i <= seriesMaxIter; i++ {
+		if i == 1 {
+			a = x
+			b = x / float64(n+1)
+		} else {
+			a *= x * float64(i-1) / (float64(i) * float64(i))
+			b *= x * float64(i-1) / (float64(n+i) * float64(i))
+		}
+		inc := a - b
+		tail += inc
+		if math.IsInf(tail, 1) {
+			return math.Inf(1)
+		}
+		if float64(i) > x && inc < seriesRelTol*tail {
+			break
+		}
+	}
+	return harmonic + serviceMean*tail
+}
+
+// SteadyStateResidualBusyPeriod returns B̄(m) of eq. (13): the mean
+// residual busy period at the instant the swarm transitions to Phase 2
+// (all publishers gone), assuming the peer population is then in the
+// M/G/∞ steady state Poisson(ρ), ρ = λ·s/μ:
+//
+//	B̄(m) = Σ_{i≥0} e^{−ρ}·ρ^i/i! · B(i, m)
+//
+// Terms with i ≤ m contribute zero. Saturates to +Inf.
+func (p SwarmParams) SteadyStateResidualBusyPeriod(m int) float64 {
+	mustValidate(p)
+	if m < 0 {
+		panic("core: threshold must be non-negative")
+	}
+	rho := p.Rho()
+	// Sum while the Poisson mass is non-negligible. The window
+	// [0, ρ + 40√ρ + 60] carries all but ~1e-15 of the mass.
+	hi := int(rho+40*math.Sqrt(rho)) + 60
+	var sum float64
+	for i := m + 1; i <= hi; i++ {
+		pm := dist.PoissonPMF(rho, i)
+		if pm == 0 {
+			continue
+		}
+		b := p.ResidualBusyPeriod(i, m)
+		if math.IsInf(b, 1) {
+			return math.Inf(1)
+		}
+		sum += pm * b
+	}
+	return sum
+}
+
+// ThresholdUnavailability returns eq. (14) of Theorem 3.3: with coverage
+// threshold m, publishers arriving at rate r and staying u,
+//
+//	P = exp(−r·(u + B̄(m)))
+//
+// — the probability that a cycle's publisher-sustained phase plus the
+// peer-sustained residual phase fails to bridge to the next publisher.
+func (p SwarmParams) ThresholdUnavailability(m int) float64 {
+	mustValidate(p)
+	bm := p.SteadyStateResidualBusyPeriod(m)
+	if math.IsInf(bm, 1) {
+		return 0
+	}
+	return math.Exp(-p.R * (p.U + bm))
+}
+
+// ThresholdDownloadTime returns Theorem 3.3's mean download time for
+// patient peers under coverage threshold m: s/μ + P/r.
+func (p SwarmParams) ThresholdDownloadTime(m int) float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return math.Inf(1)
+	}
+	return p.ServiceTime() + p.ThresholdUnavailability(m)/p.R
+}
+
+// SinglePublisherUnavailability returns eq. (16), the adaptation of
+// Theorem 3.3 to the experimental §4.3 setting with exactly one
+// publisher alternating between on (mean U) and off (mean 1/R) periods:
+//
+//	P = exp(−R·B̄(m)) / (U·R + 1)
+//
+// where B̄(m) uses this swarm's (bundle's) own λ and s/μ in both the
+// Poisson steady-state weight and the residual busy periods.
+func (p SwarmParams) SinglePublisherUnavailability(m int) float64 {
+	mustValidate(p)
+	bm := p.SteadyStateResidualBusyPeriod(m)
+	if math.IsInf(bm, 1) {
+		return 0
+	}
+	return math.Exp(-p.R*bm) / (p.U*p.R + 1)
+}
+
+// SinglePublisherDownloadTime returns the §4.3.1 mean download time
+// estimate: s/μ + P/R with P from eq. (16). The off-time being
+// exponential with mean 1/R, a blocked peer waits 1/R on average.
+func (p SwarmParams) SinglePublisherDownloadTime(m int) float64 {
+	mustValidate(p)
+	if p.R == 0 {
+		return math.Inf(1)
+	}
+	return p.ServiceTime() + p.SinglePublisherUnavailability(m)/p.R
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// §3.3.1 extends Lemma 3.1 to skewed (Zipf) preferences: with aggregate
+// demand Λ split as p_k = c/k^δ and bundle service scaling as K·s/μ, the
+// busy period still grows as e^{Θ(K²)}. These tests exercise ZipfBundle
+// against that claim.
+
+func TestZipfBundleBusyPeriodScaling(t *testing.T) {
+	// Aggregate demand fixed per file (Λ = K·λ̄): doubling-difference
+	// ratio of log E[B] must approach 4.
+	exponent := func(k int) float64 {
+		_, bundle := ZipfBundle(k, 0.01*float64(k), 0.8, 15, 1, 0.0005, 100, 0.0005, 100)
+		eb := bundle.BusyPeriod()
+		if math.IsInf(eb, 1) {
+			return math.Inf(1)
+		}
+		return math.Log(eb)
+	}
+	e8 := exponent(8)
+	e16 := exponent(16)
+	e32 := exponent(32)
+	if math.IsInf(e32, 1) {
+		t.Skip("saturated before asymptotic regime")
+	}
+	ratio := (e32 - e16) / (e16 - e8)
+	if ratio < 3.4 || ratio > 4.6 {
+		t.Fatalf("Zipf bundle log-busy-period doubling ratio %v, want ≈4", ratio)
+	}
+}
+
+func TestZipfBundleMatchesHomogeneousAtDeltaZero(t *testing.T) {
+	// δ=0 makes all files equally popular: the Zipf bundle must equal
+	// the homogeneous Bundle construction exactly.
+	k := 5
+	lambda := 0.02
+	singles, bundle := ZipfBundle(k, lambda, 0, 100, 1, 0.001, 50, 0.001, 50)
+	for i, s := range singles {
+		if math.Abs(s.Lambda-lambda/float64(k)) > 1e-12 {
+			t.Fatalf("single %d λ=%v, want uniform %v", i, s.Lambda, lambda/float64(k))
+		}
+	}
+	homoSingle := SwarmParams{Lambda: lambda / float64(k), Size: 100, Mu: 1, R: 0.001, U: 50}
+	homo := homoSingle.Bundle(k, ConstantPublisher)
+	if math.Abs(bundle.Lambda-homo.Lambda) > 1e-12 || math.Abs(bundle.Size-homo.Size) > 1e-12 {
+		t.Fatalf("δ=0 bundle %+v vs homogeneous %+v", bundle, homo)
+	}
+	if math.Abs(bundle.BusyPeriod()-homo.BusyPeriod()) > 1e-9*homo.BusyPeriod() {
+		t.Fatal("busy periods differ at δ=0")
+	}
+}
+
+func TestZipfUnpopularTailGainsMost(t *testing.T) {
+	// Within a Zipf bundle, every peer gets the bundle's download time;
+	// the comparison against each solo swarm shows the tail gains most.
+	singles, bundle := ZipfBundle(6, 0.05, 1.0, 4000, 50, 0.0005, 300, 0.0005, 300)
+	bundleT := bundle.DownloadTime()
+	prevGain := math.Inf(-1)
+	for i, s := range singles {
+		gain := s.DownloadTime() - bundleT
+		if gain < prevGain-1e-9 {
+			t.Fatalf("gain not increasing down the popularity tail at %d", i)
+		}
+		prevGain = gain
+	}
+	// The least popular file must strictly benefit.
+	last := singles[len(singles)-1]
+	if last.DownloadTime() <= bundleT {
+		t.Fatalf("tail file solo %v not worse than bundle %v", last.DownloadTime(), bundleT)
+	}
+}
+
+func TestZipfBundleUnavailabilityBelowEverySingle(t *testing.T) {
+	singles, bundle := ZipfBundle(4, 0.02, 1.2, 4000, 50, 0.001, 300, 0.001, 300)
+	bp := bundle.Unavailability()
+	for i, s := range singles {
+		if bp > s.Unavailability()+1e-12 {
+			t.Fatalf("bundle unavailability %v above single %d's %v", bp, i, s.Unavailability())
+		}
+	}
+}

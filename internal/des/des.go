@@ -1,0 +1,166 @@
+// Package des implements a small, deterministic discrete-event simulation
+// kernel: a simulated clock, a binary-heap event calendar with stable
+// FIFO tie-breaking at equal timestamps, and cancellable timers.
+//
+// Both the M/G/∞ queue simulator (internal/queue) and the block-level
+// swarming simulator (internal/swarm) run on this kernel, so their sample
+// paths are reproducible bit-for-bit from a seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. The simulator's
+// clock is already advanced to the event time when the handler runs.
+type Handler func()
+
+// Event is a scheduled occurrence in the calendar. It is returned by
+// Schedule so callers can cancel it.
+type Event struct {
+	time    float64
+	seq     uint64
+	index   int // heap index, -1 once removed
+	handler Handler
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event has been cancelled or has fired.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.handler == nil }
+
+// eventHeap orders events by (time, seq): seq breaks ties in scheduling
+// order, which makes simultaneous events deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulated clock and the event calendar. The zero
+// value is not usable; create one with New.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far (useful for
+// instrumentation and runaway detection in tests).
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule registers h to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it is always a modelling bug.
+func (s *Simulator) Schedule(t float64, h Handler) *Event {
+	if h == nil {
+		panic("des: nil handler")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: schedule at NaN")
+	}
+	e := &Event{time: t, seq: s.seq, handler: h}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After registers h to run d time units from now.
+func (s *Simulator) After(d float64, h Handler) *Event {
+	return s.Schedule(s.now+d, h)
+}
+
+// Cancel removes a pending event from the calendar. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index == -1 {
+		return
+	}
+	heap.Remove(&s.events, e.index)
+	e.handler = nil
+	e.index = -1
+}
+
+// Stop halts the run loop after the current handler returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next event, advancing the clock. It reports false when
+// the calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.handler == nil { // cancelled while queued (defensive)
+			continue
+		}
+		s.now = e.time
+		h := e.handler
+		e.handler = nil
+		s.fired++
+		h()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ horizon, then advances the clock to
+// horizon exactly (even if further events remain scheduled beyond it).
+func (s *Simulator) RunUntil(horizon float64) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.events) == 0 || s.events[0].time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}

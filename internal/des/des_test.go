@@ -1,0 +1,239 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		s.Schedule(tm, func() { fired = append(fired, tm) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(7, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at float64
+	s.Schedule(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	s := New()
+	var b *Event
+	bFired := false
+	s.Schedule(1, func() { s.Cancel(b) })
+	b = s.Schedule(2, func() { bFired = true })
+	s.Run()
+	if bFired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("processed %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Run may be resumed.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("resume processed %d total", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 10} {
+		tm := tm
+		s.Schedule(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want exactly the horizon", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// A second RunUntil picks up the remaining event.
+	s.RunUntil(20)
+	if len(fired) != 4 || s.Now() != 20 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.Schedule(1, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling at NaN")
+		}
+	}()
+	s.Schedule(math.NaN(), func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil handler")
+		}
+	}()
+	s.Schedule(1, nil)
+}
+
+func TestHandlerSchedulingAtSameTime(t *testing.T) {
+	// A handler may schedule another event at the current instant; it
+	// must fire in the same run, after the current handler.
+	s := New()
+	var order []string
+	s.Schedule(3, func() {
+		order = append(order, "first")
+		s.Schedule(3, func() { order = append(order, "second") })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+// Property: with random schedule/cancel interleavings, events always fire
+// in non-decreasing time order and cancelled events never fire.
+func TestCalendarProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		type rec struct {
+			ev        *Event
+			cancelled bool
+		}
+		var recs []*rec
+		var fired []float64
+		for i := 0; i < 200; i++ {
+			tm := r.Float64() * 100
+			rc := &rec{}
+			rc.ev = s.Schedule(tm, func() { fired = append(fired, tm) })
+			recs = append(recs, rc)
+		}
+		for i := 0; i < 50; i++ {
+			rc := recs[r.Intn(len(recs))]
+			s.Cancel(rc.ev)
+			rc.cancelled = true
+		}
+		s.Run()
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		var want int
+		for _, rc := range recs {
+			if !rc.cancelled {
+				want++
+			}
+		}
+		return len(fired) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package dist provides the random-variate distributions and arrival
+// processes used throughout the swarmavail simulators and workload
+// generators.
+//
+// All sampling is explicit about its randomness source (*rand.Rand) so that
+// every simulation in the repository is reproducible from a seed. The
+// package deliberately exposes analytic moments (Mean, Var) next to the
+// samplers: the model/simulation cross-checks in internal/queue and
+// internal/core lean on them.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional distribution that can report its analytic
+// moments and draw samples.
+//
+// Implementations must be safe for concurrent use as values (they are
+// immutable after construction); the *rand.Rand passed to Sample is the
+// only mutable state involved.
+type Dist interface {
+	// Mean returns the expected value of the distribution.
+	Mean() float64
+	// Var returns the variance of the distribution.
+	Var() float64
+	// Sample draws one variate using r as the randomness source.
+	Sample(r *rand.Rand) float64
+}
+
+// NewRand returns a deterministic random source seeded with seed.
+// It is a tiny convenience wrapper so callers do not repeat the
+// rand.New(rand.NewSource(...)) incantation.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Exponential is the exponential distribution with rate Rate (>0).
+// Its mean is 1/Rate. It is the workhorse of the paper: inter-arrival
+// times of peers and publishers, residence times, and service times are
+// all exponential unless stated otherwise.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponentialFromMean returns an Exponential with the given mean.
+func NewExponentialFromMean(mean float64) Exponential {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: exponential mean must be positive, got %v", mean))
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Var returns 1/Rate².
+func (e Exponential) Var() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Rate }
+
+// Deterministic is the degenerate distribution concentrated at Value.
+// Useful as a service-time distribution when checking insensitivity
+// properties of the M/G/∞ busy period.
+type Deterministic struct {
+	Value float64
+}
+
+// Mean returns Value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Var returns 0.
+func (d Deterministic) Var() float64 { return 0 }
+
+// Sample returns Value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Var returns (Hi-Lo)²/12.
+func (u Uniform) Var() float64 { d := u.Hi - u.Lo; return d * d / 12 }
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Pareto is the Pareto (type I) distribution with minimum Scale and tail
+// index Shape. Heavy-tailed residence times in swarms are well described
+// by Pareto laws; we use it for sensitivity experiments around the
+// exponential assumptions of the paper.
+type Pareto struct {
+	Scale float64 // x_m > 0
+	Shape float64 // α > 0
+}
+
+// Mean returns Scale·Shape/(Shape−1) for Shape > 1 and +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Scale * p.Shape / (p.Shape - 1)
+}
+
+// Var returns the variance for Shape > 2 and +Inf otherwise.
+func (p Pareto) Var() float64 {
+	if p.Shape <= 2 {
+		return math.Inf(1)
+	}
+	a := p.Shape
+	return p.Scale * p.Scale * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// Sample draws a Pareto variate via inverse transform.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // in (0,1]
+	return p.Scale / math.Pow(u, 1/p.Shape)
+}
+
+// LogNormal is the log-normal distribution: exp(N(Mu, Sigma²)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Var returns (exp(Sigma²)−1)·exp(2Mu+Sigma²).
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Weibull is the Weibull distribution with the given Shape (k) and
+// Scale (λ) parameters.
+type Weibull struct {
+	Shape float64
+	Scale float64
+}
+
+// Mean returns Scale·Γ(1+1/Shape).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// Var returns Scale²·(Γ(1+2/k) − Γ(1+1/k)²).
+func (w Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/w.Shape)
+	g2 := math.Gamma(1 + 2/w.Shape)
+	return w.Scale * w.Scale * (g2 - g1*g1)
+}
+
+// Sample draws a Weibull variate via inverse transform.
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64()
+	return w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+}
+
+// Hypoexponential is the distribution of a sum of independent exponential
+// random variables with the given (not necessarily distinct) rates.
+//
+// In the paper it appears as the residual service requirement of the
+// "virtual customer" that starts a residual busy period with n extant
+// leechers: Y = max{X₁,…,X_n} of i.i.d. exponentials with mean s/μ is
+// hypoexponential with rates (μ/s, 2μ/s, …, nμ/s) — see Lemma 3.3.
+type Hypoexponential struct {
+	Rates []float64
+}
+
+// MaxOfExponentials returns the Hypoexponential distribution of the
+// maximum of n i.i.d. exponential random variables with the given mean,
+// i.e. the hypoexponential with rates (1/mean, 2/mean, …, n/mean).
+func MaxOfExponentials(n int, mean float64) Hypoexponential {
+	rates := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		rates[i-1] = float64(i) / mean
+	}
+	return Hypoexponential{Rates: rates}
+}
+
+// Mean returns Σ 1/rateᵢ.
+func (h Hypoexponential) Mean() float64 {
+	var m float64
+	for _, rate := range h.Rates {
+		m += 1 / rate
+	}
+	return m
+}
+
+// Var returns Σ 1/rateᵢ² (stages are independent).
+func (h Hypoexponential) Var() float64 {
+	var v float64
+	for _, rate := range h.Rates {
+		v += 1 / (rate * rate)
+	}
+	return v
+}
+
+// Sample draws a hypoexponential variate as the sum of its stages.
+func (h Hypoexponential) Sample(r *rand.Rand) float64 {
+	var x float64
+	for _, rate := range h.Rates {
+		x += r.ExpFloat64() / rate
+	}
+	return x
+}
+
+// Mixture is a finite mixture distribution: component i is drawn with
+// probability Weights[i] (weights need not be normalised; they are
+// normalised on construction via NewMixture).
+//
+// The two-point exponential mixture is exactly the service distribution
+// G(·) of Browne–Steele's exceptional-first-service busy period as
+// parameterised in eq. (9): a peer service time s/μ with probability q₁
+// and a publisher residence u with probability q₂ = 1−q₁.
+type Mixture struct {
+	Components []Dist
+	Weights    []float64 // normalised, cumulative weights live in cum
+	cum        []float64
+}
+
+// NewMixture builds a mixture from parallel component and weight slices.
+// It panics if the slices disagree in length, are empty, or the weights
+// do not sum to a positive value.
+func NewMixture(components []Dist, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("dist: mixture needs matching non-empty components and weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: mixture weight must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: mixture weights must sum to a positive value")
+	}
+	norm := make([]float64, len(weights))
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		norm[i] = w / total
+		acc += norm[i]
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against round-off
+	return &Mixture{Components: components, Weights: norm, cum: cum}
+}
+
+// Mean returns Σ wᵢ·E[Xᵢ].
+func (m *Mixture) Mean() float64 {
+	var mean float64
+	for i, c := range m.Components {
+		mean += m.Weights[i] * c.Mean()
+	}
+	return mean
+}
+
+// Var returns the mixture variance E[X²] − E[X]².
+func (m *Mixture) Var() float64 {
+	var m1, m2 float64
+	for i, c := range m.Components {
+		cm := c.Mean()
+		m1 += m.Weights[i] * cm
+		m2 += m.Weights[i] * (c.Var() + cm*cm)
+	}
+	return m2 - m1*m1
+}
+
+// Sample draws from a randomly selected component.
+func (m *Mixture) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Shifted adds a constant Offset to samples from Base. Mean shifts by
+// Offset; variance is unchanged.
+type Shifted struct {
+	Base   Dist
+	Offset float64
+}
+
+// Mean returns Base.Mean() + Offset.
+func (s Shifted) Mean() float64 { return s.Base.Mean() + s.Offset }
+
+// Var returns Base.Var().
+func (s Shifted) Var() float64 { return s.Base.Var() }
+
+// Sample draws from Base and shifts.
+func (s Shifted) Sample(r *rand.Rand) float64 { return s.Base.Sample(r) + s.Offset }

@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMoments draws n samples and returns their empirical mean and
+// variance.
+func sampleMoments(t *testing.T, d Dist, n int, seed int64) (mean, variance float64) {
+	t.Helper()
+	r := NewRand(seed)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumsq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumsq/float64(n) - mean*mean
+	return mean, variance
+}
+
+// checkMoments asserts the empirical moments match the analytic ones
+// within rel relative tolerance.
+func checkMoments(t *testing.T, name string, d Dist, n int, rel float64) {
+	t.Helper()
+	mean, variance := sampleMoments(t, d, n, 42)
+	if am := d.Mean(); math.Abs(mean-am) > rel*math.Abs(am)+1e-12 {
+		t.Errorf("%s: empirical mean %.5g vs analytic %.5g", name, mean, am)
+	}
+	if av := d.Var(); !math.IsInf(av, 1) && math.Abs(variance-av) > 3*rel*math.Abs(av)+1e-12 {
+		t.Errorf("%s: empirical var %.5g vs analytic %.5g", name, variance, av)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	checkMoments(t, "exp(2)", Exponential{Rate: 2}, 200000, 0.02)
+	checkMoments(t, "exp(0.01)", Exponential{Rate: 0.01}, 200000, 0.02)
+}
+
+func TestNewExponentialFromMean(t *testing.T) {
+	e := NewExponentialFromMean(300)
+	if got := e.Mean(); math.Abs(got-300) > 1e-12 {
+		t.Fatalf("mean = %v, want 300", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive mean")
+		}
+	}()
+	NewExponentialFromMean(0)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 7.5}
+	if d.Mean() != 7.5 || d.Var() != 0 {
+		t.Fatalf("moments wrong: %v %v", d.Mean(), d.Var())
+	}
+	if d.Sample(nil) != 7.5 {
+		t.Fatal("sample must equal value")
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	checkMoments(t, "U(3,9)", Uniform{Lo: 3, Hi: 9}, 200000, 0.02)
+}
+
+func TestUniformRange(t *testing.T) {
+	u := Uniform{Lo: -1, Hi: 2}
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		x := u.Sample(r)
+		if x < -1 || x >= 2 {
+			t.Fatalf("sample %v out of [-1,2)", x)
+		}
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	checkMoments(t, "Pareto(1,3)", Pareto{Scale: 1, Shape: 3}, 400000, 0.05)
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p := Pareto{Scale: 1, Shape: 0.9}
+	if !math.IsInf(p.Mean(), 1) {
+		t.Fatal("shape<=1 must have infinite mean")
+	}
+	if !math.IsInf(Pareto{Scale: 1, Shape: 1.5}.Var(), 1) {
+		t.Fatal("shape<=2 must have infinite variance")
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	p := Pareto{Scale: 2, Shape: 2.5}
+	r := NewRand(2)
+	for i := 0; i < 1000; i++ {
+		if x := p.Sample(r); x < 2 {
+			t.Fatalf("Pareto sample %v below scale", x)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	checkMoments(t, "LN(0,0.5)", LogNormal{Mu: 0, Sigma: 0.5}, 400000, 0.03)
+}
+
+func TestWeibullMoments(t *testing.T) {
+	checkMoments(t, "Weibull(1.5,2)", Weibull{Shape: 1.5, Scale: 2}, 300000, 0.03)
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	w := Weibull{Shape: 1, Scale: 10}
+	if math.Abs(w.Mean()-10) > 1e-9 {
+		t.Fatalf("Weibull(1,10) mean = %v, want 10", w.Mean())
+	}
+	if math.Abs(w.Var()-100) > 1e-6 {
+		t.Fatalf("Weibull(1,10) var = %v, want 100", w.Var())
+	}
+}
+
+func TestHypoexponentialMoments(t *testing.T) {
+	h := MaxOfExponentials(5, 10)
+	// Mean of max of 5 exponentials with mean 10 is 10·H_5.
+	want := 10 * (1 + 0.5 + 1.0/3 + 0.25 + 0.2)
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Fatalf("hypoexponential mean = %v, want %v", h.Mean(), want)
+	}
+	checkMoments(t, "hypo", h, 200000, 0.02)
+}
+
+func TestHypoexponentialMatchesMaxSimulation(t *testing.T) {
+	// The distribution of max{X1..Xn} should match the hypoexponential
+	// stage construction in mean.
+	r := NewRand(7)
+	const n, mean, trials = 4, 8.0, 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		m := 0.0
+		for j := 0; j < n; j++ {
+			if x := r.ExpFloat64() * mean; x > m {
+				m = x
+			}
+		}
+		sum += m
+	}
+	got := sum / trials
+	want := MaxOfExponentials(n, mean).Mean()
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("max-of-exponentials empirical mean %v vs hypoexponential %v", got, want)
+	}
+}
+
+func TestMixtureMoments(t *testing.T) {
+	m := NewMixture(
+		[]Dist{Exponential{Rate: 1.0 / 80}, Exponential{Rate: 1.0 / 300}},
+		[]float64{0.75, 0.25},
+	)
+	want := 0.75*80 + 0.25*300
+	if math.Abs(m.Mean()-want) > 1e-9 {
+		t.Fatalf("mixture mean = %v, want %v", m.Mean(), want)
+	}
+	checkMoments(t, "mixture", m, 300000, 0.03)
+}
+
+func TestMixtureWeightNormalisation(t *testing.T) {
+	m := NewMixture([]Dist{Deterministic{1}, Deterministic{3}}, []float64{2, 6})
+	if math.Abs(m.Weights[0]-0.25) > 1e-12 || math.Abs(m.Weights[1]-0.75) > 1e-12 {
+		t.Fatalf("weights not normalised: %v", m.Weights)
+	}
+	if math.Abs(m.Mean()-2.5) > 1e-12 {
+		t.Fatalf("mean = %v, want 2.5", m.Mean())
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]Dist{Deterministic{1}}, []float64{1, 2}) },
+		func() { NewMixture([]Dist{Deterministic{1}}, []float64{-1}) },
+		func() { NewMixture([]Dist{Deterministic{1}}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: Exponential{Rate: 1}, Offset: 5}
+	if math.Abs(s.Mean()-6) > 1e-12 {
+		t.Fatalf("mean = %v, want 6", s.Mean())
+	}
+	if math.Abs(s.Var()-1) > 1e-12 {
+		t.Fatalf("var = %v, want 1", s.Var())
+	}
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if s.Sample(r) < 5 {
+			t.Fatal("shifted exponential below offset")
+		}
+	}
+}
+
+// Property: exponential samples are always non-negative and the sample
+// mean over a modest batch is finite for any positive rate.
+func TestExponentialPositivityProperty(t *testing.T) {
+	f := func(seed int64, rateBits uint8) bool {
+		rate := 0.001 * float64(rateBits%200+1) // (0, 0.2]
+		e := Exponential{Rate: rate}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			if x := e.Sample(r); x < 0 || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixture mean always lies within [min component mean, max
+// component mean].
+func TestMixtureMeanBoundedProperty(t *testing.T) {
+	f := func(a, b uint16, w uint8) bool {
+		m1 := float64(a%1000) + 1
+		m2 := float64(b%1000) + 1
+		wt := float64(w%99+1) / 100
+		mix := NewMixture(
+			[]Dist{Exponential{Rate: 1 / m1}, Exponential{Rate: 1 / m2}},
+			[]float64{wt, 1 - wt},
+		)
+		lo, hi := math.Min(m1, m2), math.Max(m1, m2)
+		mm := mix.Mean()
+		return mm >= lo-1e-9 && mm <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantileTable is a distribution defined by a piecewise quantile
+// function: Q(Probs[i]) = Values[i], interpolated log-linearly in the
+// value between breakpoints. Probs must start at 0, end at 1, and be
+// strictly increasing; Values must be positive and non-decreasing.
+//
+// Log-linear interpolation is the natural choice for capacity
+// distributions spanning several orders of magnitude (dial-up to fibre).
+type QuantileTable struct {
+	Probs  []float64
+	Values []float64
+}
+
+// NewQuantileTable validates and builds a QuantileTable.
+func NewQuantileTable(probs, values []float64) *QuantileTable {
+	if len(probs) != len(values) || len(probs) < 2 {
+		panic("dist: quantile table needs matching slices with at least two points")
+	}
+	if probs[0] != 0 || probs[len(probs)-1] != 1 {
+		panic("dist: quantile table probabilities must span [0,1]")
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] <= probs[i-1] {
+			panic("dist: quantile table probabilities must be strictly increasing")
+		}
+		if values[i] < values[i-1] {
+			panic("dist: quantile table values must be non-decreasing")
+		}
+	}
+	for _, v := range values {
+		if v <= 0 {
+			panic("dist: quantile table values must be positive for log-linear interpolation")
+		}
+	}
+	p := make([]float64, len(probs))
+	v := make([]float64, len(values))
+	copy(p, probs)
+	copy(v, values)
+	return &QuantileTable{Probs: p, Values: v}
+}
+
+// Quantile returns Q(p) for p in [0,1].
+func (q *QuantileTable) Quantile(p float64) float64 {
+	if p <= 0 {
+		return q.Values[0]
+	}
+	if p >= 1 {
+		return q.Values[len(q.Values)-1]
+	}
+	i := sort.SearchFloat64s(q.Probs, p)
+	if i == 0 {
+		return q.Values[0]
+	}
+	p0, p1 := q.Probs[i-1], q.Probs[i]
+	v0, v1 := q.Values[i-1], q.Values[i]
+	if v0 == v1 {
+		return v0
+	}
+	frac := (p - p0) / (p1 - p0)
+	return v0 * math.Pow(v1/v0, frac)
+}
+
+// Mean integrates the quantile function over [0,1]. For a log-linear
+// segment from v0 to v1 the probability-averaged value is the logarithmic
+// mean (v1−v0)/ln(v1/v0).
+func (q *QuantileTable) Mean() float64 {
+	var mean float64
+	for i := 1; i < len(q.Probs); i++ {
+		w := q.Probs[i] - q.Probs[i-1]
+		v0, v1 := q.Values[i-1], q.Values[i]
+		if v0 == v1 {
+			mean += w * v0
+			continue
+		}
+		mean += w * (v1 - v0) / math.Log(v1/v0)
+	}
+	return mean
+}
+
+// Var integrates Q(p)² over [0,1] and subtracts Mean()². For a
+// log-linear segment, ∫v² dp = (v1²−v0²)/(2·ln(v1/v0)).
+func (q *QuantileTable) Var() float64 {
+	var m2 float64
+	for i := 1; i < len(q.Probs); i++ {
+		w := q.Probs[i] - q.Probs[i-1]
+		v0, v1 := q.Values[i-1], q.Values[i]
+		if v0 == v1 {
+			m2 += w * v0 * v0
+			continue
+		}
+		m2 += w * (v1*v1 - v0*v0) / (2 * math.Log(v1/v0))
+	}
+	m := q.Mean()
+	return m2 - m*m
+}
+
+// Median returns Q(0.5).
+func (q *QuantileTable) Median() float64 { return q.Quantile(0.5) }
+
+// Sample draws by inverse transform.
+func (q *QuantileTable) Sample(r *rand.Rand) float64 { return q.Quantile(r.Float64()) }
+
+// BitTyrantUploadCapacities returns the heterogeneous peer upload-capacity
+// distribution used in §4.3.2, standing in for the measured distribution
+// of the BitTyrant study (Piatek et al., NSDI'07): median 50 KBps and
+// mean ≈280 KBps, strongly right-skewed. Units are KB/s.
+//
+// The original CDF is not reproducible from the paper; this table is
+// calibrated so the two published summary statistics match (see the
+// package tests), which is all §4.3.2's conclusion depends on.
+func BitTyrantUploadCapacities() *QuantileTable {
+	return NewQuantileTable(
+		[]float64{0, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1},
+		[]float64{4, 12, 25, 50, 130, 500, 1200, 4000, 12000},
+	)
+}

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileTableEndpoints(t *testing.T) {
+	q := NewQuantileTable([]float64{0, 0.5, 1}, []float64{1, 10, 100})
+	if q.Quantile(0) != 1 || q.Quantile(1) != 100 {
+		t.Fatalf("endpoints wrong: %v %v", q.Quantile(0), q.Quantile(1))
+	}
+	if q.Quantile(-0.5) != 1 || q.Quantile(2) != 100 {
+		t.Fatal("out-of-range probabilities must clamp")
+	}
+	if q.Quantile(0.5) != 10 {
+		t.Fatalf("breakpoint value: %v", q.Quantile(0.5))
+	}
+}
+
+func TestQuantileTableLogLinearMidpoint(t *testing.T) {
+	q := NewQuantileTable([]float64{0, 1}, []float64{1, 100})
+	// Log-linear: Q(0.5) = sqrt(1·100) = 10.
+	if got := q.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Q(0.5) = %v, want 10", got)
+	}
+}
+
+func TestQuantileTableMonotone(t *testing.T) {
+	q := BitTyrantUploadCapacities()
+	prev := 0.0
+	for p := 0.0; p <= 1.0; p += 0.001 {
+		v := q.Quantile(p)
+		if v < prev {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileTableAnalyticMomentsMatchSampling(t *testing.T) {
+	q := BitTyrantUploadCapacities()
+	r := NewRand(31)
+	var sum float64
+	const n = 500000
+	for i := 0; i < n; i++ {
+		sum += q.Sample(r)
+	}
+	empMean := sum / n
+	if am := q.Mean(); math.Abs(empMean-am) > 0.02*am {
+		t.Fatalf("empirical mean %v vs analytic %v", empMean, am)
+	}
+}
+
+func TestBitTyrantSummaryStatistics(t *testing.T) {
+	// §4.3.2: "The average upload rate is 280KBps and the median is
+	// 50KBps." The calibrated table must match both.
+	q := BitTyrantUploadCapacities()
+	if med := q.Median(); math.Abs(med-50) > 1e-9 {
+		t.Fatalf("median = %v KBps, want 50", med)
+	}
+	if mean := q.Mean(); math.Abs(mean-280) > 15 {
+		t.Fatalf("mean = %v KBps, want ≈280", mean)
+	}
+	if q.Var() <= 0 {
+		t.Fatalf("variance must be positive, got %v", q.Var())
+	}
+}
+
+func TestQuantileTableValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewQuantileTable([]float64{0, 1}, []float64{1}) },
+		func() { NewQuantileTable([]float64{0.1, 1}, []float64{1, 2}) },
+		func() { NewQuantileTable([]float64{0, 0.9}, []float64{1, 2}) },
+		func() { NewQuantileTable([]float64{0, 0.5, 0.5, 1}, []float64{1, 2, 3, 4}) },
+		func() { NewQuantileTable([]float64{0, 0.5, 1}, []float64{1, 3, 2}) },
+		func() { NewQuantileTable([]float64{0, 1}, []float64{0, 2}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileTableFlatSegment(t *testing.T) {
+	q := NewQuantileTable([]float64{0, 0.5, 1}, []float64{5, 5, 10})
+	if got := q.Quantile(0.25); got != 5 {
+		t.Fatalf("flat segment Q(0.25) = %v, want 5", got)
+	}
+	// Mean: 0.5·5 + 0.5·(10−5)/ln2.
+	want := 0.5*5 + 0.5*5/math.Log(2)
+	if got := q.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+// Property: sampled values always lie within [min, max] of the table.
+func TestQuantileTableSupportProperty(t *testing.T) {
+	q := BitTyrantUploadCapacities()
+	lo := q.Values[0]
+	hi := q.Values[len(q.Values)-1]
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := q.Sample(r)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, shared by cmd/figures (full-scale regeneration)
+// and the repository's benchmark harness (scaled-down regeneration with
+// reported metrics). Each driver returns a Result carrying the charts,
+// timelines, boxplots, tables and headline notes that together
+// reconstitute the published artefact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"swarmavail/internal/plot"
+)
+
+// Scale selects how much work a driver does.
+type Scale int
+
+const (
+	// Quick runs a reduced version suitable for unit tests and
+	// benchmarks (seconds).
+	Quick Scale = iota
+	// Full runs the paper-scale version (tens of seconds to minutes).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Table is a simple textual table.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is everything a driver produced.
+type Result struct {
+	// ID names the paper artefact ("fig1", "fig6a", "table-bm", …).
+	ID string
+	// Description summarises what the artefact shows.
+	Description string
+	Charts      []*plot.Chart
+	Timelines   []*plot.Timeline
+	Boxplots    []*plot.Boxplot
+	Tables      []Table
+	// Notes carries headline numbers (optima, fractions, factors) that
+	// EXPERIMENTS.md records against the paper's values.
+	Notes []string
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Driver is a runnable experiment.
+type Driver struct {
+	ID          string
+	Description string
+	Run         func(scale Scale, seed int64) (*Result, error)
+}
+
+// registry holds all drivers keyed by ID.
+var registry = map[string]Driver{}
+
+func register(d Driver) {
+	if _, dup := registry[d.ID]; dup {
+		panic("experiments: duplicate driver " + d.ID)
+	}
+	registry[d.ID] = d
+}
+
+// Lookup returns the driver for an artefact ID.
+func Lookup(id string) (Driver, bool) {
+	d, ok := registry[id]
+	return d, ok
+}
+
+// All returns every registered driver sorted by ID.
+func All() []Driver {
+	out := make([]Driver, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

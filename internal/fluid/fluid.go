@@ -1,0 +1,144 @@
+// Package fluid implements the Qiu–Srikant fluid model of BitTorrent
+// steady-state performance (SIGCOMM 2004, building on Veciana & Yang) and
+// its naive adaptation to bundles.
+//
+// The paper uses this model as the baseline comparator: "A naive
+// adaptation of the fluid model [17] to bundles suggests strictly longer
+// download times under bundling, whereas our model shows that bundling
+// can decrease download times by improving availability." The fluid model
+// has no notion of content availability — it assumes a swarm in steady
+// state with seeds always reachable — which is exactly the assumption the
+// availability model removes.
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the fluid-model parameters in Qiu–Srikant's notation,
+// normalised per file: rates are in files (not bytes) per second.
+type Params struct {
+	// Lambda is the leecher arrival rate (1/s).
+	Lambda float64
+	// Mu is the per-peer upload capacity in files/s (upload bytes per
+	// second divided by file size).
+	Mu float64
+	// C is the per-peer download capacity in files/s.
+	C float64
+	// Gamma is the rate at which seeds leave (1/s); 1/Gamma is the mean
+	// seeding time after completion.
+	Gamma float64
+	// Eta is the effectiveness of file sharing in [0,1] (the fraction of
+	// a leecher's upload capacity that is usable; ≈1 for large swarms
+	// under rarest-first).
+	Eta float64
+	// Theta is the rate at which leechers abandon before finishing (1/s).
+	Theta float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Lambda < 0 || math.IsNaN(p.Lambda):
+		return fmt.Errorf("fluid: λ=%v must be ≥ 0", p.Lambda)
+	case p.Mu <= 0:
+		return fmt.Errorf("fluid: μ=%v must be > 0", p.Mu)
+	case p.C <= 0:
+		return fmt.Errorf("fluid: c=%v must be > 0", p.C)
+	case p.Gamma <= 0:
+		return fmt.Errorf("fluid: γ=%v must be > 0", p.Gamma)
+	case p.Eta <= 0 || p.Eta > 1:
+		return fmt.Errorf("fluid: η=%v must be in (0,1]", p.Eta)
+	case p.Theta < 0:
+		return fmt.Errorf("fluid: θ=%v must be ≥ 0", p.Theta)
+	}
+	return nil
+}
+
+// SteadyState returns the steady-state leecher population x̄, seed
+// population ȳ, and mean download time T of the fluid model with no
+// abandonment (θ = 0):
+//
+//	T = max{ 1/c , (1/η)·(1/μ − 1/γ) }   (0 when uploads outpace demand)
+//	ȳ = λ/γ,  x̄ = λ·T  (Little's law)
+//
+// The download-constrained regime applies when seeds alone saturate the
+// leechers' download capacity.
+func (p Params) SteadyState() (x, y, t float64) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	tUpload := (1 / p.Eta) * (1/p.Mu - 1/p.Gamma)
+	t = math.Max(1/p.C, tUpload)
+	y = p.Lambda / p.Gamma
+	x = p.Lambda * t
+	return x, y, t
+}
+
+// DownloadTime returns the fluid steady-state mean download time.
+func (p Params) DownloadTime() float64 {
+	_, _, t := p.SteadyState()
+	return t
+}
+
+// UploadConstrained reports whether the swarm operates in the
+// upload-constrained regime (the usual case in the paper's experiments,
+// where peer upload capacity is the bottleneck).
+func (p Params) UploadConstrained() bool {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return (1/p.Eta)*(1/p.Mu-1/p.Gamma) >= 1/p.C
+}
+
+// Bundle returns the naive fluid parameters for a bundle of k files:
+// demand aggregates (λ → K·λ) and per-file-normalised capacities shrink
+// (μ → μ/K, c → c/K) because every download moves K times the bytes.
+// Seeds leave at the same rate and η is unchanged.
+func (p Params) Bundle(k int) Params {
+	if k < 1 {
+		panic("fluid: bundle size must be ≥ 1")
+	}
+	b := p
+	b.Lambda = float64(k) * p.Lambda
+	b.Mu = p.Mu / float64(k)
+	b.C = p.C / float64(k)
+	return b
+}
+
+// BundleDownloadTimeCurve returns the naive fluid prediction of bundle
+// download time for K = 1..maxK (indexed K−1). It is strictly
+// non-decreasing in K — the monotone prediction our availability model
+// contradicts for unavailable publishers.
+func (p Params) BundleDownloadTimeCurve(maxK int) []float64 {
+	if maxK < 1 {
+		panic("fluid: maxK must be ≥ 1")
+	}
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = p.Bundle(k).DownloadTime()
+	}
+	return out
+}
+
+// FromSwarm builds fluid parameters from byte-level quantities: file
+// size (same unit as the capacities' numerator), per-peer upload and
+// download capacities (units/s), mean seeding time (s) and leecher
+// arrival rate (1/s).
+func FromSwarm(lambda, sizeUnits, upload, download, seedTime, eta float64) Params {
+	if sizeUnits <= 0 {
+		panic("fluid: size must be positive")
+	}
+	gamma := math.Inf(1)
+	if seedTime > 0 {
+		gamma = 1 / seedTime
+	}
+	return Params{
+		Lambda: lambda,
+		Mu:     upload / sizeUnits,
+		C:      download / sizeUnits,
+		Gamma:  gamma,
+		Eta:    eta,
+	}
+}

@@ -1,0 +1,153 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func base() Params {
+	// 4 MB file, 50 KBps upload, 400 KBps download, 60 s seeding, η=1.
+	return FromSwarm(1.0/60, 4000, 50, 400, 60, 1)
+}
+
+func TestValidate(t *testing.T) {
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Lambda: -1, Mu: 1, C: 1, Gamma: 1, Eta: 1},
+		{Lambda: 1, Mu: 0, C: 1, Gamma: 1, Eta: 1},
+		{Lambda: 1, Mu: 1, C: 0, Gamma: 1, Eta: 1},
+		{Lambda: 1, Mu: 1, C: 1, Gamma: 0, Eta: 1},
+		{Lambda: 1, Mu: 1, C: 1, Gamma: 1, Eta: 0},
+		{Lambda: 1, Mu: 1, C: 1, Gamma: 1, Eta: 1.5},
+		{Lambda: 1, Mu: 1, C: 1, Gamma: 1, Eta: 1, Theta: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSteadyStateUploadConstrained(t *testing.T) {
+	p := base()
+	// T = (1/η)(1/μ − 1/γ): μ = 50/4000 = 0.0125 files/s → 1/μ = 80 s;
+	// 1/γ = 60 s → T = 20 s... that is below 1/c = 10 s? 1/c = 4000/400
+	// = 10 s, so T = 20 s, upload-constrained.
+	x, y, tm := p.SteadyState()
+	if math.Abs(tm-20) > 1e-9 {
+		t.Fatalf("T = %v, want 20", tm)
+	}
+	if !p.UploadConstrained() {
+		t.Fatal("should be upload-constrained")
+	}
+	// Little's law.
+	if math.Abs(x-p.Lambda*tm) > 1e-12 {
+		t.Fatalf("x̄ = %v, want λT = %v", x, p.Lambda*tm)
+	}
+	if math.Abs(y-p.Lambda/p.Gamma) > 1e-12 {
+		t.Fatalf("ȳ = %v, want λ/γ = %v", y, p.Lambda/p.Gamma)
+	}
+}
+
+func TestSteadyStateDownloadConstrained(t *testing.T) {
+	// Generous seeding: 1/μ − 1/γ < 1/c ⇒ T = 1/c.
+	p := FromSwarm(1.0/60, 4000, 50, 100, 79, 1)
+	// 1/μ = 80, 1/γ = 79 → upload term 1 s; 1/c = 40 s.
+	if got := p.DownloadTime(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("T = %v, want 40", got)
+	}
+	if p.UploadConstrained() {
+		t.Fatal("should be download-constrained")
+	}
+}
+
+func TestNoSeedingFluid(t *testing.T) {
+	p := FromSwarm(1.0/60, 4000, 50, 400, 0, 1)
+	// γ = ∞: T = 1/μ = 80 s (selfish peers, η=1).
+	if got := p.DownloadTime(); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("T = %v, want 80", got)
+	}
+}
+
+func TestEtaScalesUploadTerm(t *testing.T) {
+	p := base()
+	p.Eta = 0.5
+	if got := p.DownloadTime(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("T = %v, want 40 at η=0.5", got)
+	}
+}
+
+func TestBundleParams(t *testing.T) {
+	p := base()
+	b := p.Bundle(4)
+	if math.Abs(b.Lambda-4*p.Lambda) > 1e-12 ||
+		math.Abs(b.Mu-p.Mu/4) > 1e-12 ||
+		math.Abs(b.C-p.C/4) > 1e-12 ||
+		b.Gamma != p.Gamma {
+		t.Fatalf("bundle params wrong: %+v", b)
+	}
+	if p.Bundle(1) != p {
+		t.Fatal("K=1 must be identity")
+	}
+}
+
+func TestNaiveFluidPredictsMonotoneIncrease(t *testing.T) {
+	// The headline property of the baseline: bundle download time is
+	// non-decreasing (here strictly increasing) in K — no availability
+	// benefit exists in the fluid world.
+	curve := base().BundleDownloadTimeCurve(10)
+	for k := 1; k < len(curve); k++ {
+		if curve[k] <= curve[k-1] {
+			t.Fatalf("fluid curve not increasing at K=%d: %v", k+1, curve)
+		}
+	}
+	// And roughly linear in K in the upload-constrained, γ-fixed case:
+	// T(K) = K/μ·η⁻¹ − 1/(γη): slope between consecutive K constant.
+	d1 := curve[1] - curve[0]
+	d9 := curve[9] - curve[8]
+	if math.Abs(d1-d9) > 1e-9 {
+		t.Fatalf("fluid curve not affine: slopes %v vs %v", d1, d9)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Params{}.SteadyState() },
+		func() { base().Bundle(0) },
+		func() { base().BundleDownloadTimeCurve(0) },
+		func() { FromSwarm(1, 0, 1, 1, 1, 1) },
+		func() { Params{Lambda: -1, Mu: 1, C: 1, Gamma: 1, Eta: 1}.UploadConstrained() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: fluid download time is always ≥ the pure bandwidth bound
+// max(1/c, 0) and finite for valid parameters.
+func TestFluidLowerBoundProperty(t *testing.T) {
+	f := func(l, up, down, st uint16) bool {
+		p := FromSwarm(
+			float64(l%100)/1000+0.001,
+			4000,
+			float64(up%500)+10,
+			float64(down%2000)+50,
+			float64(st%600),
+			1,
+		)
+		tm := p.DownloadTime()
+		return tm >= 1/p.C-1e-12 && !math.IsNaN(tm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package measure
+
+import (
+	"sort"
+
+	"swarmavail/internal/trace"
+)
+
+// CaseStudy is the §2.3.2 per-franchise analysis ("there were a total of
+// 52 swarms associated with [Friends]. Among them, 23 had one or more
+// seeds available … The 23 available swarms consisted of 21 bundles,
+// whereas the 29 unavailable swarms consisted of only 7 bundles.").
+type CaseStudy struct {
+	GroupID int
+	// Swarms is the franchise's swarm count.
+	Swarms int
+	// Available/Unavailable split by seed presence; the Bundles fields
+	// count how many of each side are bundles.
+	Available          int
+	AvailableBundles   int
+	Unavailable        int
+	UnavailableBundles int
+}
+
+// BundleShareAvailable returns the fraction of available swarms that are
+// bundles (0 when none are available).
+func (c CaseStudy) BundleShareAvailable() float64 {
+	if c.Available == 0 {
+		return 0
+	}
+	return float64(c.AvailableBundles) / float64(c.Available)
+}
+
+// BundleShareUnavailable returns the fraction of unavailable swarms that
+// are bundles.
+func (c CaseStudy) BundleShareUnavailable() float64 {
+	if c.Unavailable == 0 {
+		return 0
+	}
+	return float64(c.UnavailableBundles) / float64(c.Unavailable)
+}
+
+// CaseStudies groups a snapshot dataset by franchise (GroupID > 0) and
+// computes the availability-by-bundling split for each.
+func CaseStudies(snaps []trace.Snapshot) map[int]CaseStudy {
+	out := map[int]CaseStudy{}
+	for _, s := range snaps {
+		g := s.Meta.GroupID
+		if g == 0 {
+			continue
+		}
+		cs := out[g]
+		cs.GroupID = g
+		cs.Swarms++
+		bundle := IsBundle(s.Meta)
+		if s.Seeds > 0 {
+			cs.Available++
+			if bundle {
+				cs.AvailableBundles++
+			}
+		} else {
+			cs.Unavailable++
+			if bundle {
+				cs.UnavailableBundles++
+			}
+		}
+		out[g] = cs
+	}
+	return out
+}
+
+// LargestCaseStudy returns the franchise with the most swarms — the
+// synthetic analogue of picking "Friends" — breaking ties by GroupID.
+func LargestCaseStudy(snaps []trace.Snapshot) (CaseStudy, bool) {
+	all := CaseStudies(snaps)
+	if len(all) == 0 {
+		return CaseStudy{}, false
+	}
+	ids := make([]int, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	best := all[ids[0]]
+	for _, id := range ids[1:] {
+		if all[id].Swarms > best.Swarms {
+			best = all[id]
+		}
+	}
+	return best, true
+}
+
+// BundlingAvailabilityOddsRatio aggregates across all franchises of a
+// category: the odds that a bundle has a seed divided by the odds that a
+// single-file swarm has one. Values well above 1 reproduce the paper's
+// "strong correlation between bundling and higher availability".
+func BundlingAvailabilityOddsRatio(snaps []trace.Snapshot, cat trace.Category) float64 {
+	var ba, bu, sa, su float64 // bundle-available, bundle-unavailable, single-…
+	for _, s := range snaps {
+		if s.Meta.Category != cat {
+			continue
+		}
+		bundle := IsBundle(s.Meta)
+		avail := s.Seeds > 0
+		switch {
+		case bundle && avail:
+			ba++
+		case bundle && !avail:
+			bu++
+		case !bundle && avail:
+			sa++
+		default:
+			su++
+		}
+	}
+	if bu == 0 || sa == 0 {
+		return 0
+	}
+	return (ba / bu) / (sa / su)
+}

@@ -1,0 +1,95 @@
+package measure
+
+import (
+	"testing"
+
+	"swarmavail/internal/trace"
+)
+
+func snap(group int, bundle, seeded bool) trace.Snapshot {
+	m := trace.SwarmMeta{Category: trace.TV, GroupID: group}
+	if bundle {
+		m.Files = []trace.FileMeta{{Name: "e1.avi"}, {Name: "e2.avi"}}
+	} else {
+		m.Files = []trace.FileMeta{{Name: "e1.avi"}}
+	}
+	s := trace.Snapshot{Meta: m}
+	if seeded {
+		s.Seeds = 1
+	}
+	return s
+}
+
+func TestCaseStudiesCounting(t *testing.T) {
+	snaps := []trace.Snapshot{
+		snap(1, true, true),
+		snap(1, true, true),
+		snap(1, false, true),
+		snap(1, true, false),
+		snap(1, false, false),
+		snap(2, false, true),
+		{Meta: trace.SwarmMeta{Category: trace.Music}}, // ungrouped: ignored
+	}
+	all := CaseStudies(snaps)
+	if len(all) != 2 {
+		t.Fatalf("groups: %d", len(all))
+	}
+	cs := all[1]
+	if cs.Swarms != 5 || cs.Available != 3 || cs.AvailableBundles != 2 ||
+		cs.Unavailable != 2 || cs.UnavailableBundles != 1 {
+		t.Fatalf("case study wrong: %+v", cs)
+	}
+	if got := cs.BundleShareAvailable(); got != 2.0/3 {
+		t.Fatalf("available bundle share %v", got)
+	}
+	if got := cs.BundleShareUnavailable(); got != 0.5 {
+		t.Fatalf("unavailable bundle share %v", got)
+	}
+	best, ok := LargestCaseStudy(snaps)
+	if !ok || best.GroupID != 1 {
+		t.Fatalf("largest: %+v %v", best, ok)
+	}
+}
+
+func TestCaseStudyEmpty(t *testing.T) {
+	if _, ok := LargestCaseStudy(nil); ok {
+		t.Fatal("empty dataset produced a case study")
+	}
+	zero := CaseStudy{}
+	if zero.BundleShareAvailable() != 0 || zero.BundleShareUnavailable() != 0 {
+		t.Fatal("zero case study shares must be 0")
+	}
+}
+
+func TestFriendsStyleCorrelationOnSyntheticCensus(t *testing.T) {
+	// The paper's §2.3.2 observation on the synthetic census: across TV
+	// franchises, bundles are strongly overrepresented among the
+	// available swarms.
+	snaps := trace.GenerateSnapshot(trace.SnapshotConfig{Seed: 71, NumSwarms: 60000})
+	or := BundlingAvailabilityOddsRatio(snaps, trace.TV)
+	if or < 1.5 {
+		t.Fatalf("bundling/availability odds ratio %v, want clearly > 1", or)
+	}
+	// The biggest franchise must have enough swarms for a Friends-style
+	// table and show the same direction.
+	best, ok := LargestCaseStudy(snaps)
+	if !ok {
+		t.Fatal("no franchises generated")
+	}
+	if best.Swarms < 30 {
+		t.Fatalf("largest franchise has only %d swarms", best.Swarms)
+	}
+	if best.Available > 0 && best.Unavailable > 0 {
+		if best.BundleShareAvailable() <= best.BundleShareUnavailable() {
+			t.Fatalf("bundle share not higher among available: %+v", best)
+		}
+	}
+}
+
+func TestOddsRatioDegenerate(t *testing.T) {
+	// All seeded singles: odds ratio undefined → 0.
+	snaps := []trace.Snapshot{snap(1, false, true)}
+	if got := BundlingAvailabilityOddsRatio(snaps, trace.TV); got != 0 {
+		t.Fatalf("degenerate odds ratio %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"swarmavail/internal/trace"
+)
+
+func meta(cat trace.Category, title string, names ...string) trace.SwarmMeta {
+	m := trace.SwarmMeta{Category: cat, Title: title}
+	for _, n := range names {
+		m.Files = append(m.Files, trace.FileMeta{Name: n, SizeKB: 1000})
+	}
+	return m
+}
+
+func TestIsBundleDetector(t *testing.T) {
+	cases := []struct {
+		meta trace.SwarmMeta
+		want bool
+	}{
+		{meta(trace.Music, "album", "a.mp3", "b.mp3"), true},
+		{meta(trace.Music, "single", "a.mp3"), false},
+		{meta(trace.Music, "single+cover", "a.mp3", "cover.jpg"), false},
+		{meta(trace.TV, "season", "e1.avi", "e2.mpg"), true},
+		{meta(trace.TV, "episode", "e1.avi", "readme.txt"), false},
+		{meta(trace.Books, "pack", "a.pdf", "b.djvu"), true},
+		{meta(trace.Books, "one", "a.pdf"), false},
+		// Movies are not classified even with many video files (DVD rip).
+		{meta(trace.Movies, "dvd", "VTS_01.avi", "VTS_02.avi"), false},
+		{meta(trace.Other, "misc", "a.iso", "b.iso"), false},
+		// Case-insensitive extensions.
+		{meta(trace.Music, "album", "A.MP3", "B.Mp3"), true},
+	}
+	for i, c := range cases {
+		if got := IsBundle(c.meta); got != c.want {
+			t.Errorf("case %d (%s): IsBundle = %v, want %v", i, c.meta.Title, got, c.want)
+		}
+	}
+}
+
+func TestIsCollection(t *testing.T) {
+	if !IsCollection(meta(trace.Books, "Ultimate Math Collection (1)", "a.pdf")) {
+		t.Fatal("collection keyword not detected")
+	}
+	if !IsCollection(meta(trace.Books, "my cOLLECTIOn", "a.pdf")) {
+		t.Fatal("case-insensitive match failed")
+	}
+	if IsCollection(meta(trace.Books, "Calculus Textbook", "a.pdf")) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestExtentOfBundlingOnSyntheticSnapshot(t *testing.T) {
+	snaps := trace.GenerateSnapshot(trace.SnapshotConfig{Seed: 31, NumSwarms: 40000})
+	ext := ExtentOfBundling(snaps)
+
+	// §2.3.1 marginals: music ≈72.4%, TV ≈15.8%, books ≈10.7% bundles.
+	want := map[trace.Category]float64{
+		trace.Music: 0.724,
+		trace.TV:    0.158,
+		trace.Books: 0.107,
+	}
+	for cat, frac := range want {
+		e := ext[cat]
+		if e.Swarms < 500 {
+			t.Fatalf("%v: only %d swarms", cat, e.Swarms)
+		}
+		if got := e.BundleFraction(); math.Abs(got-frac) > 0.03 {
+			t.Errorf("%v bundle fraction %v, want ≈%v", cat, got, frac)
+		}
+	}
+	// Collections exist among book swarms, and are a small share.
+	books := ext[trace.Books]
+	if books.Collections == 0 {
+		t.Fatal("no collections detected")
+	}
+	if frac := float64(books.Collections) / float64(books.Swarms); frac > 0.05 {
+		t.Fatalf("collections fraction %v too high", frac)
+	}
+	// Only analysed categories appear.
+	if _, ok := ext[trace.Movies]; ok {
+		t.Fatal("movies must not be classified")
+	}
+}
+
+func TestCompareAvailabilityBooks(t *testing.T) {
+	snaps := trace.GenerateSnapshot(trace.SnapshotConfig{Seed: 37, NumSwarms: 60000})
+	cmp := CompareAvailability(snaps, trace.Books)
+	if cmp.NAll < 2000 || cmp.NBundles < 200 {
+		t.Fatalf("too few samples: %d / %d", cmp.NAll, cmp.NBundles)
+	}
+	// §2.3.2: 62% of all book swarms seedless vs 36% of bundled ones.
+	if math.Abs(cmp.SeedlessAll-0.62) > 0.05 {
+		t.Errorf("seedless all = %v, want ≈0.62", cmp.SeedlessAll)
+	}
+	if math.Abs(cmp.SeedlessBundles-0.36) > 0.06 {
+		t.Errorf("seedless bundles = %v, want ≈0.36", cmp.SeedlessBundles)
+	}
+	// Demand: ≈2,578 vs ≈4,216 downloads.
+	if cmp.MeanDownloadsAll < 1800 || cmp.MeanDownloadsAll > 3400 {
+		t.Errorf("mean downloads (all) = %v, want ≈2578", cmp.MeanDownloadsAll)
+	}
+	if cmp.MeanDownloadsBundles < 3100 || cmp.MeanDownloadsBundles > 5400 {
+		t.Errorf("mean downloads (bundles) = %v, want ≈4216", cmp.MeanDownloadsBundles)
+	}
+	if cmp.MeanDownloadsBundles <= cmp.MeanDownloadsAll {
+		t.Error("bundles must out-draw the average")
+	}
+}
+
+func TestCompareAvailabilityEmptyCategory(t *testing.T) {
+	cmp := CompareAvailability(nil, trace.Books)
+	if cmp.NAll != 0 || cmp.SeedlessAll != 0 || cmp.MeanDownloadsAll != 0 {
+		t.Fatalf("empty comparison non-zero: %+v", cmp)
+	}
+}
+
+func TestSeedAvailabilityCDFsFigure1(t *testing.T) {
+	traces := trace.GenerateStudy(trace.DefaultStudyConfig(20000, 41))
+	firstMonth, full := SeedAvailabilityCDFs(traces)
+	if firstMonth.N() != 20000 || full.N() != 20000 {
+		t.Fatalf("CDF sizes %d/%d", firstMonth.N(), full.N())
+	}
+	// The full-trace distribution must dominate (higher CDF = less
+	// available) the first-month distribution everywhere.
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if full.At(x) < firstMonth.At(x)-0.02 {
+			t.Fatalf("full CDF below first-month CDF at %v: %v vs %v",
+				x, full.At(x), firstMonth.At(x))
+		}
+	}
+
+	h := Headlines(traces)
+	// Paper: "less than 35% of the swarms had at least one seed
+	// available all the time" in the first month.
+	if h.FullyAvailableFirstMonth < 0.20 || h.FullyAvailableFirstMonth > 0.37 {
+		t.Errorf("fully available first month = %v, want ≈0.30±", h.FullyAvailableFirstMonth)
+	}
+	// Paper: "almost 80% of the swarms are unavailable 80% of the time".
+	if h.MostlyUnavailableOverall < 0.68 || h.MostlyUnavailableOverall > 0.9 {
+		t.Errorf("mostly unavailable overall = %v, want ≈0.8", h.MostlyUnavailableOverall)
+	}
+}
+
+func TestHeadlinesEmpty(t *testing.T) {
+	h := Headlines(nil)
+	if h.Swarms != 0 || h.FullyAvailableFirstMonth != 0 {
+		t.Fatalf("empty headlines: %+v", h)
+	}
+}

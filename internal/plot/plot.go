@@ -1,0 +1,189 @@
+// Package plot renders the repository's figures as ASCII charts for the
+// terminal and as CSV series for external plotting. It supports the
+// figure types the paper uses: line charts (Figures 3, 4, 6a/6b), CDFs
+// (Figure 1), event timelines (Figures 2 and 5), boxplots (Figure 6c),
+// and bar series (Figure 7).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a set of series with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY plots the y axis in log10 space (busy periods span decades).
+	LogY bool
+}
+
+// seriesGlyphs mark successive series on the canvas.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '$'}
+
+// Render draws the chart as ASCII art of the given size (columns×rows of
+// plotting area, excluding axes).
+func (c *Chart) Render(w io.Writer, width, height int) error {
+	if width < 10 || height < 4 {
+		return fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsInf(y, 0) || math.IsNaN(y) || math.IsInf(s.X[i], 0) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return fmt.Errorf("plot: no finite points to draw")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = glyph
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yl, yh := ymin, ymax
+	unit := ""
+	if c.LogY {
+		unit = " (log10)"
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yh)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", yl)
+		case height / 2:
+			label = fmt.Sprintf("%9.3g ", (yl+yh)/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-*.4g%*.4g\n", strings.Repeat(" ", 11), width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" || unit != "" {
+		fmt.Fprintf(w, "           x: %s, y: %s%s\n", c.XLabel, c.YLabel, unit)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "           %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return nil
+}
+
+// WriteCSV emits the chart as CSV: one x column per shared axis plus one
+// column per series (rows are the union of x values; missing points are
+// empty).
+func (c *Chart) WriteCSV(w io.Writer) error {
+	// Collect the union of x values.
+	xset := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	cols := make([]string, 0, len(c.Series)+1)
+	cols = append(cols, csvEscape(c.XLabel))
+	for _, s := range c.Series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{formatFloat(x)}
+		for _, s := range c.Series {
+			val := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					val = formatFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "download time vs K",
+		XLabel: "K",
+		YLabel: "E[T] (s)",
+		Series: []Series{
+			{Name: "1/R=500", X: []float64{1, 2, 3}, Y: []float64{900, 700, 400}},
+			{Name: "1/R=100", X: []float64{1, 2, 3}, Y: []float64{300, 500, 650}},
+		},
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"download time vs K", "1/R=500", "1/R=100", "x: K", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestChartRenderLogY(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "B", X: []float64{1, 2, 3}, Y: []float64{10, 1000, 100000}}},
+		LogY:   true,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log10") {
+		t.Fatal("log axis not labelled")
+	}
+}
+
+func TestChartRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf, 5, 2); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+	empty := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{math.Inf(1)}}}}
+	if err := empty.Render(&buf, 40, 10); err == nil {
+		t.Fatal("all-infinite series accepted")
+	}
+}
+
+func TestChartRenderHandlesInfAndConstant(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{
+			Name: "mixed",
+			X:    []float64{1, 2, 3},
+			Y:    []float64{5, math.Inf(1), 5},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "K,1/R=500,1/R=100" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[1] != "1,900,300" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestChartWriteCSVSparseAndInf(t *testing.T) {
+	c := &Chart{
+		XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, math.Inf(1)}},
+			{Name: "b,q", X: []float64{2}, Y: []float64{20}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"b,q"`) {
+		t.Fatalf("comma in name not escaped: %s", out)
+	}
+	if !strings.Contains(out, "inf") {
+		t.Fatalf("inf not serialised: %s", out)
+	}
+	if !strings.Contains(out, "1,10,\n") {
+		t.Fatalf("sparse row wrong: %s", out)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := &Timeline{
+		Title:   "Figure 5: K=2",
+		Horizon: 1200,
+		Spans: []Span{
+			{Label: "pub", Start: 0, End: 300, Thick: true},
+			{Label: "p1", Start: 100, End: 500},
+			{Label: "p2", Start: 200, Open: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tl.Render(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=") {
+		t.Fatal("publisher row not thick")
+	}
+	if !strings.Contains(out, ">") {
+		t.Fatal("open span not marked")
+	}
+	if !strings.Contains(out, "Figure 5") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestTimelineRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	tl := &Timeline{Horizon: 0}
+	if err := tl.Render(&buf, 60); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	tl = &Timeline{Horizon: 100}
+	if err := tl.Render(&buf, 3); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+}
+
+func TestTimelineWriteCSV(t *testing.T) {
+	tl := &Timeline{
+		Horizon: 100,
+		Spans: []Span{
+			{Label: "pub", Start: 0, End: 50, Thick: true},
+			{Label: "p1", Start: 10, End: math.Inf(1), Open: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pub,0,50,publisher,false") {
+		t.Fatalf("publisher row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "p1,10,inf,peer,true") {
+		t.Fatalf("open peer row wrong:\n%s", out)
+	}
+}
+
+func TestBoxplotRender(t *testing.T) {
+	b := &Boxplot{
+		Title:  "Figure 6(c)",
+		YLabel: "download time (s)",
+		Groups: []BoxGroup{
+			{Label: "file1", P5: 100, Q1: 200, Median: 300, Q3: 400, P95: 600, Mean: 320, N: 40},
+			{Label: "bundle", P5: 150, Q1: 300, Median: 405, Q3: 500, P95: 700, Mean: 405, N: 160},
+		},
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") {
+		t.Fatalf("boxplot glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "median 405") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestBoxplotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Boxplot{}).Render(&buf, 50); err == nil {
+		t.Fatal("empty boxplot accepted")
+	}
+	b := &Boxplot{Groups: []BoxGroup{{Label: "x"}}}
+	if err := b.Render(&buf, 5); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+	// Degenerate all-equal group still renders.
+	b = &Boxplot{Groups: []BoxGroup{{Label: "x", P5: 5, Q1: 5, Median: 5, Q3: 5, P95: 5}}}
+	if err := b.Render(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxplotWriteCSV(t *testing.T) {
+	b := &Boxplot{Groups: []BoxGroup{
+		{Label: "g1", P5: 1, Q1: 2, Median: 3, Q3: 4, P95: 5, Mean: 3.1, N: 7},
+	}}
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "label,p5,q1,median,q3,p95,mean,n\ng1,1,2,3,4,5,3.1,7\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSortSpansByStart(t *testing.T) {
+	spans := []Span{{Label: "b", Start: 5}, {Label: "a", Start: 1}, {Label: "c", Start: 3}}
+	SortSpansByStart(spans)
+	if spans[0].Label != "a" || spans[1].Label != "c" || spans[2].Label != "b" {
+		t.Fatalf("sort wrong: %+v", spans)
+	}
+}

@@ -1,0 +1,194 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one horizontal segment on a timeline: an entity (peer or
+// publisher) present from Start to End. The renderer draws Figure 2 and
+// Figure 5 style charts: one row per entity, time on the x axis.
+type Span struct {
+	Label string
+	Start float64
+	End   float64
+	// Thick marks publisher rows (drawn with '=' instead of '-').
+	Thick bool
+	// Open marks spans that had not terminated by the horizon.
+	Open bool
+}
+
+// Timeline is a set of spans over [0, Horizon].
+type Timeline struct {
+	Title   string
+	Horizon float64
+	Spans   []Span
+}
+
+// Render draws the timeline with the given plot width. Rows appear in
+// span order (callers sort by arrival time for Figure 5).
+func (tl *Timeline) Render(w io.Writer, width int) error {
+	if width < 10 {
+		return fmt.Errorf("plot: timeline width %d too small", width)
+	}
+	if tl.Horizon <= 0 {
+		return fmt.Errorf("plot: timeline horizon must be positive")
+	}
+	if tl.Title != "" {
+		fmt.Fprintf(w, "%s\n", tl.Title)
+	}
+	maxLabel := 0
+	for _, s := range tl.Spans {
+		if len(s.Label) > maxLabel {
+			maxLabel = len(s.Label)
+		}
+	}
+	scale := func(t float64) int {
+		c := int(t / tl.Horizon * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, s := range tl.Spans {
+		row := []byte(strings.Repeat(" ", width))
+		lo := scale(s.Start)
+		end := s.End
+		if s.Open || math.IsInf(end, 1) {
+			end = tl.Horizon
+		}
+		hi := scale(end)
+		mark := byte('-')
+		if s.Thick {
+			mark = '='
+		}
+		for c := lo; c <= hi; c++ {
+			row[c] = mark
+		}
+		row[lo] = '|'
+		if !s.Open && !math.IsInf(s.End, 1) {
+			row[hi] = '|'
+		} else {
+			row[hi] = '>'
+		}
+		fmt.Fprintf(w, "%-*s %s\n", maxLabel, s.Label, string(row))
+	}
+	fmt.Fprintf(w, "%s 0%s%.4g s\n", strings.Repeat(" ", maxLabel),
+		strings.Repeat(" ", width-8), tl.Horizon)
+	return nil
+}
+
+// WriteCSV emits the spans as CSV rows (label, start, end, kind, open).
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,start,end,kind,open"); err != nil {
+		return err
+	}
+	for _, s := range tl.Spans {
+		kind := "peer"
+		if s.Thick {
+			kind = "publisher"
+		}
+		end := formatFloat(s.End)
+		if _, err := fmt.Fprintf(w, "%s,%g,%s,%s,%v\n",
+			csvEscape(s.Label), s.Start, end, kind, s.Open); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Boxplot renders Figure 6(c)-style distribution summaries: one row per
+// group showing 5th percentile, quartiles, median and 95th percentile.
+type Boxplot struct {
+	Title  string
+	YLabel string
+	Groups []BoxGroup
+}
+
+// BoxGroup is one labelled distribution.
+type BoxGroup struct {
+	Label                   string
+	P5, Q1, Median, Q3, P95 float64
+	Mean                    float64
+	N                       int
+}
+
+// Render draws the boxplot horizontally with the given width.
+func (b *Boxplot) Render(w io.Writer, width int) error {
+	if width < 20 {
+		return fmt.Errorf("plot: boxplot width %d too small", width)
+	}
+	if len(b.Groups) == 0 {
+		return fmt.Errorf("plot: no groups")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, g := range b.Groups {
+		lo = math.Min(lo, g.P5)
+		hi = math.Max(hi, g.P95)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	maxLabel := 0
+	for _, g := range b.Groups {
+		if len(g.Label) > maxLabel {
+			maxLabel = len(g.Label)
+		}
+	}
+	scale := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, g := range b.Groups {
+		row := []byte(strings.Repeat(" ", width))
+		for c := scale(g.P5); c <= scale(g.P95); c++ {
+			row[c] = '-'
+		}
+		for c := scale(g.Q1); c <= scale(g.Q3); c++ {
+			row[c] = '='
+		}
+		row[scale(g.P5)] = '|'
+		row[scale(g.P95)] = '|'
+		row[scale(g.Median)] = 'M'
+		fmt.Fprintf(w, "%-*s %s  (median %.4g, mean %.4g, n=%d)\n",
+			maxLabel, g.Label, string(row), g.Median, g.Mean, g.N)
+	}
+	fmt.Fprintf(w, "%s %.4g%s%.4g  %s\n", strings.Repeat(" ", maxLabel), lo,
+		strings.Repeat(" ", max(1, width-12)), hi, b.YLabel)
+	return nil
+}
+
+// WriteCSV emits the boxplot groups as CSV.
+func (b *Boxplot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,p5,q1,median,q3,p95,mean,n"); err != nil {
+		return err
+	}
+	for _, g := range b.Groups {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g,%g,%d\n",
+			csvEscape(g.Label), g.P5, g.Q1, g.Median, g.Q3, g.P95, g.Mean, g.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortSpansByStart orders spans by start time (stable), the conventional
+// Figure 5 presentation.
+func SortSpansByStart(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+}

@@ -1,0 +1,304 @@
+// Package queue simulates the M/G/∞ queueing processes that underpin the
+// paper's availability model, providing Monte-Carlo cross-checks for
+// every closed form in internal/core:
+//
+//   - busy periods with an exceptional first customer (Browne & Steele),
+//     validating eq. (9) and its special cases (17)–(20);
+//   - residual busy periods B(n,m) that start with n customers and end
+//     when the population reaches m, validating Lemma 3.3 (eq. 12);
+//   - the alternating idle/busy availability process of a swarm with
+//     intermittent publishers and impatient or patient peers, validating
+//     eq. (10) (unavailability) and Lemma 3.2 (eq. 11, download time).
+//
+// The simulators run on the deterministic internal/des kernel, so every
+// estimate is reproducible from its seed.
+package queue
+
+import (
+	"math"
+	"math/rand"
+
+	"swarmavail/internal/des"
+	"swarmavail/internal/dist"
+	"swarmavail/internal/stats"
+)
+
+// BusyPeriodSample records one simulated busy period.
+type BusyPeriodSample struct {
+	Length float64 // duration of the busy period
+	Served int     // customers whose service started in the period (incl. initiator)
+}
+
+// BusyPeriodConfig parameterises the exceptional-first-customer M/G/∞
+// busy-period simulation.
+type BusyPeriodConfig struct {
+	// Beta is the Poisson arrival rate during the busy period.
+	Beta float64
+	// First is the service distribution of the customer that initiates a
+	// busy period (H in Browne–Steele). If nil, Service is used.
+	First dist.Dist
+	// Service is the service distribution of all other customers (G).
+	Service dist.Dist
+}
+
+// SimulateBusyPeriods generates n consecutive busy periods of the M/G/∞
+// queue described by cfg and returns one sample per period. Idle periods
+// are skipped (their length is irrelevant to the busy-period law).
+func SimulateBusyPeriods(r *rand.Rand, cfg BusyPeriodConfig, n int) []BusyPeriodSample {
+	if cfg.Service == nil {
+		panic("queue: Service distribution required")
+	}
+	first := cfg.First
+	if first == nil {
+		first = cfg.Service
+	}
+	samples := make([]BusyPeriodSample, 0, n)
+	for i := 0; i < n; i++ {
+		samples = append(samples, simulateOneBusyPeriod(r, cfg.Beta, first, cfg.Service))
+	}
+	return samples
+}
+
+func simulateOneBusyPeriod(r *rand.Rand, beta float64, first, service dist.Dist) BusyPeriodSample {
+	sim := des.New()
+	population := 0
+	served := 0
+	depart := func() { population-- }
+
+	admit := func(d dist.Dist) {
+		population++
+		served++
+		sim.After(d.Sample(r), depart)
+	}
+
+	// The initiator arrives at time 0 with the exceptional service law.
+	admit(first)
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		if beta <= 0 {
+			return
+		}
+		sim.After(r.ExpFloat64()/beta, func() {
+			if population == 0 {
+				// The busy period has ended; this arrival belongs to the
+				// next one and is discarded here.
+				return
+			}
+			admit(service)
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+
+	// Run until the system empties. Because the arrival chain stops
+	// rescheduling once the population hits zero, the calendar drains by
+	// itself shortly after the busy period ends.
+	for population > 0 && sim.Step() {
+	}
+	return BusyPeriodSample{Length: sim.Now(), Served: served}
+}
+
+// MeanBusyPeriod is a convenience that simulates n busy periods and
+// returns the sample mean and its 95% confidence half-width.
+func MeanBusyPeriod(r *rand.Rand, cfg BusyPeriodConfig, n int) (mean, ci float64) {
+	var acc stats.Accumulator
+	for _, s := range SimulateBusyPeriods(r, cfg, n) {
+		acc.Add(s.Length)
+	}
+	return acc.Mean(), acc.CI95()
+}
+
+// SimulateResidualBusyPeriod estimates B(n,m): the expected time for an
+// M/M/∞ system that currently holds n customers (each with a memoryless
+// exp(serviceMean) residual) to first reach population m < n, with new
+// customers arriving at rate lambda and drawing exp(serviceMean) service
+// times. It returns one sample per repetition.
+//
+// This is exactly the quantity of Lemma 3.3: the residual busy period of
+// a swarm sustained by peers alone after the last publisher departs.
+func SimulateResidualBusyPeriod(r *rand.Rand, lambda, serviceMean float64, n, m, reps int) []float64 {
+	if m < 0 || n < 0 {
+		panic("queue: populations must be non-negative")
+	}
+	out := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		out = append(out, residualOnce(r, lambda, serviceMean, n, m))
+	}
+	return out
+}
+
+func residualOnce(r *rand.Rand, lambda, serviceMean float64, n, m int) float64 {
+	if n <= m {
+		return 0
+	}
+	// Pure birth–death race: with k customers present, the next departure
+	// happens at rate k/serviceMean and the next arrival at rate lambda.
+	// Simulating the embedded chain directly is faster and equivalent to
+	// the event calendar for exponential laws.
+	t := 0.0
+	k := n
+	for k > m {
+		depRate := float64(k) / serviceMean
+		total := depRate + lambda
+		t += r.ExpFloat64() / total
+		if r.Float64()*total < depRate {
+			k--
+		} else {
+			k++
+		}
+	}
+	return t
+}
+
+// AvailabilityConfig describes the alternating idle/busy swarm process of
+// §3.3.1–3.3.2: publishers arrive at rate PublisherRate and stay for
+// PublisherStay; peers arrive at rate PeerRate and need PeerService of
+// service. Content is modelled as available whenever the M/G/∞ system is
+// non-empty (coverage threshold one), and every busy period is initiated
+// by a publisher.
+type AvailabilityConfig struct {
+	PeerRate      float64
+	PublisherRate float64
+	PeerService   dist.Dist
+	PublisherStay dist.Dist
+	// Patient selects §3.3.2 semantics: peers arriving while content is
+	// unavailable wait for the next publisher and then begin service.
+	// When false (§3.3.1), such peers leave immediately unserved.
+	Patient bool
+}
+
+// AvailabilityResult aggregates a long-run simulation of the process.
+type AvailabilityResult struct {
+	// Unavailability is the fraction of peer arrivals that found the
+	// content unavailable (the paper's P).
+	Unavailability float64
+	// MeanBusyPeriod and MeanIdlePeriod are the cycle components.
+	MeanBusyPeriod float64
+	MeanIdlePeriod float64
+	// MeanDownloadTime is the mean time from peer arrival to service
+	// completion (waiting + service); only peers that completed count.
+	MeanDownloadTime float64
+	// DownloadTimeCI is the 95% confidence half-width of MeanDownloadTime.
+	DownloadTimeCI float64
+	// PeerArrivals and PeersServed count demand and completions.
+	PeerArrivals int
+	PeersServed  int
+	// BusyPeriods is the number of completed busy periods observed.
+	BusyPeriods int
+}
+
+// SimulateAvailability runs the availability process for the given
+// simulated horizon and returns long-run estimates.
+func SimulateAvailability(r *rand.Rand, cfg AvailabilityConfig, horizon float64) AvailabilityResult {
+	if cfg.PeerService == nil || cfg.PublisherStay == nil {
+		panic("queue: PeerService and PublisherStay required")
+	}
+	sim := des.New()
+
+	var (
+		population  int
+		busyStart   float64
+		busy        bool
+		waiting     []float64 // arrival times of patient peers queued while idle
+		busyAcc     stats.Accumulator
+		idleAcc     stats.Accumulator
+		idleStart   float64
+		dlAcc       stats.Accumulator
+		peerArrived int
+		peerServed  int
+		peerBlocked int // peers that arrived while content was unavailable
+	)
+
+	beginService := func(arrivalTime float64) {
+		population++
+		svc := cfg.PeerService.Sample(r)
+		sim.After(svc, func() {
+			population--
+			peerServed++
+			dlAcc.Add(sim.Now() - arrivalTime) // waiting + service
+			if population == 0 && busy {
+				busy = false
+				busyAcc.Add(sim.Now() - busyStart)
+				idleStart = sim.Now()
+			}
+		})
+	}
+
+	publisherArrive := func() {
+		wasIdle := !busy
+		population++
+		if wasIdle {
+			busy = true
+			busyStart = sim.Now()
+			idleAcc.Add(sim.Now() - idleStart)
+			// Waiting patient peers begin service now.
+			for _, at := range waiting {
+				beginService(at)
+			}
+			waiting = waiting[:0]
+		}
+		stay := cfg.PublisherStay.Sample(r)
+		sim.After(stay, func() {
+			population--
+			if population == 0 && busy {
+				busy = false
+				busyAcc.Add(sim.Now() - busyStart)
+				idleStart = sim.Now()
+			}
+		})
+	}
+
+	peerArrive := func() {
+		peerArrived++
+		if busy {
+			beginService(sim.Now())
+			return
+		}
+		peerBlocked++
+		if cfg.Patient {
+			waiting = append(waiting, sim.Now())
+		}
+		// Impatient peers leave unserved.
+	}
+
+	// Poisson arrival streams.
+	var schedPeer, schedPub func()
+	schedPeer = func() {
+		if cfg.PeerRate <= 0 {
+			return
+		}
+		sim.After(r.ExpFloat64()/cfg.PeerRate, func() {
+			peerArrive()
+			schedPeer()
+		})
+	}
+	schedPub = func() {
+		if cfg.PublisherRate <= 0 {
+			return
+		}
+		sim.After(r.ExpFloat64()/cfg.PublisherRate, func() {
+			publisherArrive()
+			schedPub()
+		})
+	}
+	schedPeer()
+	schedPub()
+
+	sim.RunUntil(horizon)
+
+	res := AvailabilityResult{
+		MeanBusyPeriod:   busyAcc.Mean(),
+		MeanIdlePeriod:   idleAcc.Mean(),
+		MeanDownloadTime: dlAcc.Mean(),
+		DownloadTimeCI:   dlAcc.CI95(),
+		PeerArrivals:     peerArrived,
+		PeersServed:      peerServed,
+		BusyPeriods:      busyAcc.N(),
+	}
+	if peerArrived > 0 {
+		res.Unavailability = float64(peerBlocked) / float64(peerArrived)
+	} else {
+		res.Unavailability = math.NaN()
+	}
+	return res
+}

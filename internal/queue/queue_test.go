@@ -1,0 +1,286 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/stats"
+)
+
+// simpleBusyPeriod is the closed form E[B] = (e^{βα}−1)/β for the M/G/∞
+// busy period with homogeneous mean-α services (paper eq. 20/2).
+func simpleBusyPeriod(beta, alpha float64) float64 {
+	return (math.Exp(beta*alpha) - 1) / beta
+}
+
+// exceptionalBusyPeriod is eq. (19): homogeneous exp(α) services except
+// the initiator, which is exp(θ).
+func exceptionalBusyPeriod(beta, alpha, theta float64) float64 {
+	sum := 0.0
+	term := 1.0 // (βα)^i / i! for i=0
+	for i := 1; i <= 500; i++ {
+		term *= beta * alpha / float64(i)
+		inc := term / (alpha + float64(i)*theta)
+		sum += inc
+		if inc < 1e-16*sum {
+			break
+		}
+	}
+	return theta + alpha*theta*sum
+}
+
+// residualB is eq. (12): B(n,0) for service mean sm and arrival rate
+// lambda, with x = sm·lambda.
+func residualB(n int, lambda, sm float64) float64 {
+	var b float64
+	for i := 1; i <= n; i++ {
+		b += sm / float64(i)
+	}
+	x := sm * lambda
+	// Σ x^i [(n+i)! − n! i!] / (i! (n+i)! i) = Σ x^i [1/(i·i!) − n!/(i·(n+i)!)]
+	xi := 1.0
+	fact := 1.0  // i!
+	ratio := 1.0 // n!/(n+i)! running product of 1/(n+1)...(n+i)
+	var tail float64
+	for i := 1; i <= 500; i++ {
+		xi *= x
+		fact *= float64(i)
+		ratio /= float64(n + i)
+		inc := xi * (1/(float64(i)*fact) - ratio/float64(i))
+		tail += inc
+		if math.Abs(inc) < 1e-16*math.Abs(tail)+1e-300 {
+			break
+		}
+	}
+	return b + sm*tail
+}
+
+func TestBusyPeriodNoArrivals(t *testing.T) {
+	r := dist.NewRand(100)
+	cfg := BusyPeriodConfig{Beta: 0, Service: dist.Exponential{Rate: 1.0 / 30}}
+	mean, ci := MeanBusyPeriod(r, cfg, 20000)
+	if math.Abs(mean-30) > 3*ci+0.5 {
+		t.Fatalf("busy period with no arrivals: %v ± %v, want 30", mean, ci)
+	}
+}
+
+func TestBusyPeriodMatchesSimpleClosedForm(t *testing.T) {
+	// βα = 1.2 → E[B] = (e^1.2 − 1)/β.
+	r := dist.NewRand(101)
+	beta, alpha := 0.04, 30.0
+	cfg := BusyPeriodConfig{Beta: beta, Service: dist.Exponential{Rate: 1 / alpha}}
+	mean, ci := MeanBusyPeriod(r, cfg, 40000)
+	want := simpleBusyPeriod(beta, alpha)
+	if math.Abs(mean-want) > 3*ci+0.02*want {
+		t.Fatalf("E[B] = %v ± %v, want %v", mean, ci, want)
+	}
+}
+
+func TestBusyPeriodInsensitivityOfMean(t *testing.T) {
+	// The mean M/G/∞ busy period depends on G only through its mean:
+	// deterministic service with the same mean must agree.
+	r := dist.NewRand(102)
+	beta, alpha := 0.05, 20.0
+	want := simpleBusyPeriod(beta, alpha)
+	for name, svc := range map[string]dist.Dist{
+		"deterministic": dist.Deterministic{Value: alpha},
+		"uniform":       dist.Uniform{Lo: 0, Hi: 2 * alpha},
+		"pareto":        dist.Pareto{Scale: alpha / 3, Shape: 1.5}, // mean = alpha
+	} {
+		cfg := BusyPeriodConfig{Beta: beta, Service: svc}
+		mean, ci := MeanBusyPeriod(r, cfg, 60000)
+		if math.Abs(mean-want) > 4*ci+0.03*want {
+			t.Errorf("%s: E[B] = %v ± %v, want %v", name, mean, ci, want)
+		}
+	}
+}
+
+func TestBusyPeriodExceptionalFirstCustomer(t *testing.T) {
+	// Initiator stays 5× longer than ordinary customers (a publisher
+	// with residence u = 5·s/μ): eq. (19).
+	r := dist.NewRand(103)
+	beta, alpha, theta := 0.03, 25.0, 125.0
+	cfg := BusyPeriodConfig{
+		Beta:    beta,
+		First:   dist.Exponential{Rate: 1 / theta},
+		Service: dist.Exponential{Rate: 1 / alpha},
+	}
+	mean, ci := MeanBusyPeriod(r, cfg, 40000)
+	want := exceptionalBusyPeriod(beta, alpha, theta)
+	if math.Abs(mean-want) > 3*ci+0.02*want {
+		t.Fatalf("E[B] = %v ± %v, want %v", mean, ci, want)
+	}
+}
+
+func TestBusyPeriodServedCount(t *testing.T) {
+	// E[N] = 1 + β·E[B]: arrivals during the busy period plus the
+	// initiator (Wald / PASTA for Poisson arrivals over the busy span).
+	r := dist.NewRand(104)
+	beta, alpha := 0.06, 15.0
+	cfg := BusyPeriodConfig{Beta: beta, Service: dist.Exponential{Rate: 1 / alpha}}
+	samples := SimulateBusyPeriods(r, cfg, 50000)
+	var nAcc, bAcc stats.Accumulator
+	for _, s := range samples {
+		nAcc.Add(float64(s.Served))
+		bAcc.Add(s.Length)
+	}
+	want := 1 + beta*bAcc.Mean()
+	if math.Abs(nAcc.Mean()-want) > 0.03*want {
+		t.Fatalf("E[N] = %v, want %v", nAcc.Mean(), want)
+	}
+}
+
+func TestBusyPeriodRequiresService(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without Service")
+		}
+	}()
+	SimulateBusyPeriods(dist.NewRand(1), BusyPeriodConfig{Beta: 1}, 1)
+}
+
+func TestResidualBusyPeriodClosedForm(t *testing.T) {
+	r := dist.NewRand(105)
+	lambda, sm := 0.02, 10.0 // x = 0.2
+	for _, n := range []int{1, 3, 6} {
+		samples := SimulateResidualBusyPeriod(r, lambda, sm, n, 0, 60000)
+		var acc stats.Accumulator
+		acc.AddAll(samples)
+		want := residualB(n, lambda, sm)
+		if math.Abs(acc.Mean()-want) > 3*acc.CI95()+0.02*want {
+			t.Errorf("B(%d,0) = %v ± %v, want %v", n, acc.Mean(), acc.CI95(), want)
+		}
+	}
+}
+
+func TestResidualBusyPeriodRecursion(t *testing.T) {
+	// Lemma 3.3: B(n,m) = B(n,0) − B(m,0).
+	r := dist.NewRand(106)
+	lambda, sm := 0.03, 8.0
+	n, m := 7, 3
+	var nm stats.Accumulator
+	nm.AddAll(SimulateResidualBusyPeriod(r, lambda, sm, n, m, 60000))
+	want := residualB(n, lambda, sm) - residualB(m, lambda, sm)
+	if math.Abs(nm.Mean()-want) > 3*nm.CI95()+0.03*want {
+		t.Fatalf("B(%d,%d) = %v ± %v, want %v", n, m, nm.Mean(), nm.CI95(), want)
+	}
+}
+
+func TestResidualBusyPeriodDegenerate(t *testing.T) {
+	samples := SimulateResidualBusyPeriod(dist.NewRand(1), 0.1, 5, 2, 2, 10)
+	for _, s := range samples {
+		if s != 0 {
+			t.Fatalf("n<=m must be 0, got %v", s)
+		}
+	}
+	samples = SimulateResidualBusyPeriod(dist.NewRand(1), 0.1, 5, 1, 3, 10)
+	for _, s := range samples {
+		if s != 0 {
+			t.Fatalf("n<m must be 0, got %v", s)
+		}
+	}
+}
+
+func TestResidualBusyPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative populations")
+		}
+	}()
+	SimulateResidualBusyPeriod(dist.NewRand(1), 0.1, 5, -1, 0, 1)
+}
+
+func TestAvailabilityImpatientMatchesClosedForm(t *testing.T) {
+	// Special case u = s/μ (§3.2 with peers+publishers): all services
+	// share mean α so E[B] = (e^{(λ+r)α}−1)/(λ+r) and
+	// P = (1/r)/(E[B]+1/r).
+	r := dist.NewRand(107)
+	lambda, pub, alpha := 0.02, 0.005, 40.0
+	cfg := AvailabilityConfig{
+		PeerRate:      lambda,
+		PublisherRate: pub,
+		PeerService:   dist.Exponential{Rate: 1 / alpha},
+		PublisherStay: dist.Exponential{Rate: 1 / alpha},
+		Patient:       false,
+	}
+	res := SimulateAvailability(r, cfg, 4e6)
+	eb := simpleBusyPeriod(lambda+pub, alpha)
+	want := (1 / pub) / (eb + 1/pub)
+	if math.Abs(res.Unavailability-want) > 0.05*want+0.01 {
+		t.Fatalf("P = %v, want %v (E[B] sim %v vs %v)",
+			res.Unavailability, want, res.MeanBusyPeriod, eb)
+	}
+	if math.Abs(res.MeanIdlePeriod-1/pub) > 0.05/pub {
+		t.Fatalf("idle period %v, want %v", res.MeanIdlePeriod, 1/pub)
+	}
+}
+
+func TestAvailabilityPatientDownloadTime(t *testing.T) {
+	// Lemma 3.2: E[T] = s/μ + P/r for patient peers. The closed form
+	// neglects the impact of the waiting group on the busy period
+	// (§3.3.2), so keep the expected group size λ/r small.
+	r := dist.NewRand(108)
+	lambda, pub, alpha := 0.002, 0.004, 50.0
+	cfg := AvailabilityConfig{
+		PeerRate:      lambda,
+		PublisherRate: pub,
+		PeerService:   dist.Exponential{Rate: 1 / alpha},
+		PublisherStay: dist.Exponential{Rate: 1 / alpha},
+		Patient:       true,
+	}
+	res := SimulateAvailability(r, cfg, 4e6)
+	eb := simpleBusyPeriod(lambda+pub, alpha)
+	p := (1 / pub) / (eb + 1/pub)
+	want := alpha + p/pub
+	if math.Abs(res.MeanDownloadTime-want) > 3*res.DownloadTimeCI+0.05*want {
+		t.Fatalf("E[T] = %v ± %v, want %v", res.MeanDownloadTime, res.DownloadTimeCI, want)
+	}
+	// Patient peers are all eventually served (modulo horizon edge).
+	if res.PeersServed < res.PeerArrivals*95/100 {
+		t.Fatalf("served %d of %d patient peers", res.PeersServed, res.PeerArrivals)
+	}
+}
+
+func TestAvailabilityImpatientServesOnlyBusyArrivals(t *testing.T) {
+	r := dist.NewRand(109)
+	cfg := AvailabilityConfig{
+		PeerRate:      0.05,
+		PublisherRate: 0.002,
+		PeerService:   dist.Exponential{Rate: 1.0 / 20},
+		PublisherStay: dist.Exponential{Rate: 1.0 / 20},
+		Patient:       false,
+	}
+	res := SimulateAvailability(r, cfg, 1e6)
+	wantServed := float64(res.PeerArrivals) * (1 - res.Unavailability)
+	if math.Abs(float64(res.PeersServed)-wantServed) > 0.02*float64(res.PeerArrivals)+5 {
+		t.Fatalf("served %d, arrivals %d, P %v", res.PeersServed, res.PeerArrivals, res.Unavailability)
+	}
+}
+
+func TestAvailabilityHigherPublisherRateImprovesAvailability(t *testing.T) {
+	base := AvailabilityConfig{
+		PeerRate:      0.01,
+		PublisherStay: dist.Exponential{Rate: 1.0 / 100},
+		PeerService:   dist.Exponential{Rate: 1.0 / 100},
+	}
+	lo := base
+	lo.PublisherRate = 0.0005
+	hi := base
+	hi.PublisherRate = 0.005
+	rlo := SimulateAvailability(dist.NewRand(110), lo, 2e6)
+	rhi := SimulateAvailability(dist.NewRand(111), hi, 2e6)
+	if rhi.Unavailability >= rlo.Unavailability {
+		t.Fatalf("unavailability did not fall with publisher rate: %v vs %v",
+			rhi.Unavailability, rlo.Unavailability)
+	}
+}
+
+func TestAvailabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without distributions")
+		}
+	}()
+	SimulateAvailability(dist.NewRand(1), AvailabilityConfig{PeerRate: 1}, 10)
+}

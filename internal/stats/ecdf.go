@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. It backs Figure 1 (CDF of seed availability).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied, then sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns F(x) = P[X ≤ x].
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Count of values ≤ x = index of first value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	return quantileSorted(e.sorted, q)
+}
+
+// Points returns (x, F(x)) pairs suitable for plotting: the sorted unique
+// sample values with their cumulative probabilities.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+			continue // keep only the last (highest-F) point per x
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(i+1)/float64(n))
+	}
+	return xs, fs
+}
+
+// Histogram is a fixed-width binned count over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over
+// [lo, hi). It panics on invalid parameters.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // float edge case at Hi-ε
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the counts below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the normalised density estimate per bin (integrates to
+// the in-range fraction).
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(h.total) * w)
+	}
+	return out
+}
+
+// TimeSeries bins (time, value-less) events into fixed-width time buckets
+// and reports per-bucket counts — the building block of Figure 7 (peer
+// arrivals per interval) and Figure 4 (completions over time).
+type TimeSeries struct {
+	Width  float64
+	counts map[int]int
+	maxBin int
+}
+
+// NewTimeSeries creates a series with the given bucket width (seconds).
+func NewTimeSeries(width float64) *TimeSeries {
+	if width <= 0 {
+		panic("stats: time series bucket width must be positive")
+	}
+	return &TimeSeries{Width: width, counts: make(map[int]int), maxBin: -1}
+}
+
+// Record counts an event at time t (t < 0 is ignored).
+func (ts *TimeSeries) Record(t float64) {
+	if t < 0 {
+		return
+	}
+	b := int(t / ts.Width)
+	ts.counts[b]++
+	if b > ts.maxBin {
+		ts.maxBin = b
+	}
+}
+
+// Counts returns the dense per-bucket counts from bucket 0 through the
+// last non-empty bucket.
+func (ts *TimeSeries) Counts() []int {
+	if ts.maxBin < 0 {
+		return nil
+	}
+	out := make([]int, ts.maxBin+1)
+	for b, c := range ts.counts {
+		out[b] = c
+	}
+	return out
+}
+
+// Cumulative returns the running total per bucket (e.g. cumulative
+// completed downloads over time, Figure 4).
+func (ts *TimeSeries) Cumulative() []int {
+	cs := ts.Counts()
+	for i := 1; i < len(cs); i++ {
+		cs[i] += cs[i-1]
+	}
+	return cs
+}
+
+// CoefficientOfVariation returns stddev/mean of the bucket counts — the
+// statistic that separates bursty new-swarm arrivals from steady
+// old-swarm arrivals in §4.3.4.
+func (ts *TimeSeries) CoefficientOfVariation() float64 {
+	cs := ts.Counts()
+	if len(cs) == 0 {
+		return 0
+	}
+	var acc Accumulator
+	for _, c := range cs {
+		acc.Add(float64(c))
+	}
+	if acc.Mean() == 0 {
+		return 0
+	}
+	return acc.StdDev() / acc.Mean()
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)| between two empirical CDFs — the measure used
+// to compare the first-month and whole-trace availability distributions
+// of Figure 1. It returns NaN when either sample is empty.
+func KSDistance(a, b *ECDF) float64 {
+	if a.N() == 0 || b.N() == 0 {
+		return math.NaN()
+	}
+	var d float64
+	// The supremum is attained at a sample point of either CDF.
+	for _, xs := range [][]float64{a.sorted, b.sorted} {
+		for _, x := range xs {
+			if diff := math.Abs(a.At(x) - b.At(x)); diff > d {
+				d = diff
+			}
+		}
+	}
+	return d
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples, or NaN when undefined.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	var ax, ay Accumulator
+	ax.AddAll(xs)
+	ay.AddAll(ys)
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - ax.Mean()) * (ys[i] - ay.Mean())
+	}
+	cov /= float64(len(xs) - 1)
+	den := ax.StdDev() * ay.StdDev()
+	if den == 0 {
+		return math.NaN()
+	}
+	return cov / den
+}

@@ -1,0 +1,142 @@
+package swarm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swarmavail/internal/dist"
+)
+
+// randomConfig builds a small but varied configuration from fuzz input.
+func randomConfig(seed int64) Config {
+	r := rand.New(rand.NewSource(seed))
+	k := 1 + r.Intn(4)
+	files := make([]FileSpec, k)
+	for i := range files {
+		files[i] = FileSpec{
+			SizeKB: 500 + r.Float64()*4000,
+			Lambda: 1.0 / (30 + r.Float64()*300),
+		}
+	}
+	cfg := Config{
+		Seed:                seed,
+		Files:               files,
+		PieceSizeKB:         float64(int(64) << r.Intn(3)), // 64..256
+		PeerUpload:          dist.Deterministic{Value: 20 + r.Float64()*80},
+		MaxUploads:          1 + r.Intn(5),
+		PublisherUploadKBps: 40 + r.Float64()*100,
+		Horizon:             500 + r.Float64()*2500,
+	}
+	switch r.Intn(3) {
+	case 0:
+		cfg.PublisherMode = PublisherAlwaysOn
+	case 1:
+		cfg.PublisherMode = PublisherOnOff
+		cfg.PublisherOn = dist.NewExponentialFromMean(100 + r.Float64()*400)
+		cfg.PublisherOff = dist.NewExponentialFromMean(100 + r.Float64()*800)
+	default:
+		cfg.PublisherMode = PublisherUntilFirstCompletion
+	}
+	if r.Intn(2) == 0 {
+		cfg.LingerMeanSeconds = r.Float64() * 300
+	}
+	if r.Intn(2) == 0 {
+		cfg.DepartureLagSeconds = r.Float64() * 30
+	}
+	if r.Intn(3) == 0 {
+		cfg.AbandonMeanSeconds = 200 + r.Float64()*2000
+	}
+	if r.Intn(3) == 0 {
+		cfg.RandomPieceSelection = true
+	}
+	if r.Intn(3) == 0 {
+		cfg.ArrivalCutoff = cfg.Horizon * (0.3 + 0.5*r.Float64())
+	}
+	return cfg
+}
+
+// TestEngineInvariantsProperty fuzzes the engine with random
+// configurations and checks the result's structural invariants — the
+// swarm-level analogue of a model checker for the dispatch logic.
+func TestEngineInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randomConfig(seed)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		// Records in arrival order, lifecycle ordered, classes valid.
+		prev := -1.0
+		for i, p := range res.Records {
+			if p.Arrive < prev {
+				t.Logf("seed %d: record %d out of order", seed, i)
+				return false
+			}
+			prev = p.Arrive
+			if p.Class < 0 || p.Class >= len(cfg.Files) {
+				t.Logf("seed %d: record %d class %d", seed, i, p.Class)
+				return false
+			}
+			if p.Completed() && p.Complete < p.Arrive {
+				t.Logf("seed %d: record %d completes before arrival", seed, i)
+				return false
+			}
+			if !math.IsInf(p.Depart, 1) {
+				if p.Depart > res.Horizon+1e-9 {
+					t.Logf("seed %d: record %d departs after horizon", seed, i)
+					return false
+				}
+				if p.Completed() && p.Depart < p.Complete {
+					t.Logf("seed %d: record %d departs before completing", seed, i)
+					return false
+				}
+				if !p.Completed() && !p.Abandoned && cfg.AbandonMeanSeconds == 0 {
+					t.Logf("seed %d: record %d departed incomplete without abandonment", seed, i)
+					return false
+				}
+			}
+			if p.Abandoned && p.Completed() {
+				t.Logf("seed %d: record %d both outcomes", seed, i)
+				return false
+			}
+		}
+		// Intervals sorted, disjoint, inside [0, horizon].
+		for name, ivs := range map[string][]dist.Interval{
+			"availability": res.AvailableIntervals,
+			"publisher":    res.PublisherSessions,
+		} {
+			end := -1.0
+			for _, iv := range ivs {
+				if iv.Start < 0 || iv.End > res.Horizon+1e-9 || iv.End <= iv.Start {
+					t.Logf("seed %d: bad %s interval %+v", seed, name, iv)
+					return false
+				}
+				if iv.Start <= end {
+					t.Logf("seed %d: %s intervals overlap", seed, name)
+					return false
+				}
+				end = iv.End
+			}
+		}
+		// Content availability can never be below publisher availability.
+		if res.AvailabilityFraction() < res.PublisherAvailabilityFraction()-1e-9 {
+			t.Logf("seed %d: availability %v < publisher %v", seed,
+				res.AvailabilityFraction(), res.PublisherAvailabilityFraction())
+			return false
+		}
+		// Traffic accounting: delivered covers completions; nothing negative.
+		floor := float64(res.CompletedCount()*res.TotalPieces) * cfg.withDefaults().PieceSizeKB
+		if res.DeliveredKB < floor-1e-6 || res.WastedKB < 0 {
+			t.Logf("seed %d: traffic accounting broken: %v < %v (wasted %v)",
+				seed, res.DeliveredKB, floor, res.WastedKB)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

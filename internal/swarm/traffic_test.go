@@ -1,0 +1,205 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+
+	"swarmavail/internal/dist"
+)
+
+func TestDeliveredBytesAccounting(t *testing.T) {
+	// Always-on publisher, one peer: exactly the content volume moves
+	// (16 pieces × 256 KB) and nothing is wasted.
+	c := oneFileConfig(41)
+	c.Files[0].Lambda = 1e-9
+	c.Arrivals = dist.NewTraceArrivals([]float64{50})
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCount() != 1 {
+		t.Fatal("peer did not complete")
+	}
+	want := float64(res.TotalPieces) * 256
+	if math.Abs(res.DeliveredKB-want) > 1e-9 {
+		t.Fatalf("delivered %v KB, want %v", res.DeliveredKB, want)
+	}
+	if res.WastedKB != 0 {
+		t.Fatalf("wasted %v KB in a clean run", res.WastedKB)
+	}
+}
+
+func TestDeliveredBytesLowerBound(t *testing.T) {
+	// Every completed peer received the whole content.
+	c := oneFileConfig(43)
+	c.Horizon = 4000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := float64(res.CompletedCount()) * float64(res.TotalPieces) * 256
+	if res.DeliveredKB < min-1e-6 {
+		t.Fatalf("delivered %v KB below completion floor %v", res.DeliveredKB, min)
+	}
+}
+
+func TestWastedBytesOnPublisherChurn(t *testing.T) {
+	// An on/off publisher aborts transfers mid-piece: waste must appear.
+	c := oneFileConfig(47)
+	c.PublisherMode = PublisherOnOff
+	c.PublisherOn = dist.NewExponentialFromMean(60) // short sessions: many aborts
+	c.PublisherOff = dist.NewExponentialFromMean(120)
+	c.Files[0].Lambda = 1.0 / 40
+	c.Horizon = 6000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WastedKB <= 0 {
+		t.Fatal("publisher churn produced no waste")
+	}
+	// Waste is bounded by one piece per abort and must stay a modest
+	// fraction of useful traffic in a functioning swarm.
+	if res.WastedKB > res.DeliveredKB {
+		t.Fatalf("waste %v exceeds useful traffic %v", res.WastedKB, res.DeliveredKB)
+	}
+}
+
+func TestTrafficOverheadGrowsWithBundleSize(t *testing.T) {
+	// A peer comes for one file but downloads the whole bundle: the
+	// traffic multiplier approaches K.
+	overhead := func(k int) float64 {
+		files := make([]FileSpec, k)
+		for i := range files {
+			files[i] = FileSpec{SizeKB: 2000, Lambda: 1.0 / 100}
+		}
+		res, err := Run(Config{
+			Seed:                int64(50 + k),
+			Files:               files,
+			PeerUpload:          dist.Deterministic{Value: 50},
+			PublisherUploadKBps: 100,
+			PublisherMode:       PublisherAlwaysOn,
+			Horizon:             6000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrafficOverhead()
+	}
+	o1 := overhead(1)
+	o4 := overhead(4)
+	if math.Abs(o1-1) > 0.25 {
+		t.Fatalf("K=1 overhead %v, want ≈1", o1)
+	}
+	if o4 < 3 || o4 > 5 {
+		t.Fatalf("K=4 overhead %v, want ≈4", o4)
+	}
+}
+
+func TestTrafficOverheadEmpty(t *testing.T) {
+	r := &Result{}
+	if r.TrafficOverhead() != 0 {
+		t.Fatal("empty result overhead must be 0")
+	}
+}
+
+func TestDownloadCapLimitsSinglePeer(t *testing.T) {
+	// One peer, always-on 50 KBps publisher, but the peer can only
+	// receive at 20 KBps: the download must take 16·256/20 s instead of
+	// 16·256/50 s.
+	c := oneFileConfig(61)
+	c.Files[0].Lambda = 1e-9
+	c.Arrivals = dist.NewTraceArrivals([]float64{10})
+	c.PeerDownload = dist.Deterministic{Value: 20}
+	c.Horizon = 3000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCount() != 1 {
+		t.Fatal("peer did not complete")
+	}
+	want := 16.0 * 256 / 20
+	if got := res.Records[0].DownloadTime(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("capped download time %v, want %v", got, want)
+	}
+}
+
+func TestDownloadCapAboveUploadIsNeutral(t *testing.T) {
+	// A generous download cap must not change the upload-limited result.
+	base := oneFileConfig(63)
+	base.Files[0].Lambda = 1e-9
+	base.Arrivals = dist.NewTraceArrivals([]float64{10})
+	capped := base
+	capped.Arrivals = dist.NewTraceArrivals([]float64{10})
+	capped.PeerDownload = dist.Deterministic{Value: 100000}
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Records[0].DownloadTime()-r2.Records[0].DownloadTime()) > 1e-6 {
+		t.Fatalf("generous cap changed the result: %v vs %v",
+			r1.Records[0].DownloadTime(), r2.Records[0].DownloadTime())
+	}
+}
+
+func TestAbandonment(t *testing.T) {
+	// Publisher never present after the first completion; impatient
+	// peers must give up instead of waiting forever.
+	c := oneFileConfig(53)
+	c.PublisherMode = PublisherUntilFirstCompletion
+	c.Files[0].Lambda = 1.0 / 100
+	c.AbandonMeanSeconds = 300
+	c.Horizon = 8000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbandonedCount() == 0 {
+		t.Fatal("no peer abandoned despite an absent publisher")
+	}
+	for i, p := range res.Records {
+		if p.Abandoned {
+			if p.Completed() {
+				t.Fatalf("record %d both completed and abandoned", i)
+			}
+			if math.IsInf(p.Depart, 1) {
+				t.Fatalf("record %d abandoned but never departed", i)
+			}
+		}
+	}
+}
+
+func TestAbandonmentDoesNotKillCompletions(t *testing.T) {
+	// With an always-on publisher and generous patience, abandonment
+	// stays rare and completions dominate.
+	c := oneFileConfig(59)
+	c.AbandonMeanSeconds = 3600
+	c.Horizon = 4000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCount() == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.AbandonedCount() > res.CompletedCount()/2 {
+		t.Fatalf("too many abandonments: %d vs %d completions",
+			res.AbandonedCount(), res.CompletedCount())
+	}
+	// Lingering seeds must never be hit by stale abandonment timers.
+	c.LingerMeanSeconds = 200
+	res, err = Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Records {
+		if p.Completed() && p.Abandoned {
+			t.Fatalf("record %d: completed peer marked abandoned", i)
+		}
+	}
+}

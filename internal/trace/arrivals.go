@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"math/rand"
+
+	"swarmavail/internal/dist"
+	"swarmavail/internal/stats"
+)
+
+// ArrivalPattern bundles an arrival process with a label for the
+// Figure 7 comparison of young and old swarms.
+type ArrivalPattern struct {
+	Label   string
+	Process dist.ArrivalProcess
+}
+
+// NewSwarmArrivals models a freshly published swarm (Figure 7a): a
+// flash crowd whose rate decays from peakPerHour to floorPerHour with
+// the given time constant (hours). Times are in seconds.
+func NewSwarmArrivals(peakPerHour, decayHours, floorPerHour float64) ArrivalPattern {
+	return ArrivalPattern{
+		Label: "new swarm (flash crowd)",
+		Process: dist.FlashCrowd{
+			Peak:  peakPerHour / 3600,
+			Decay: decayHours * 3600,
+			Floor: floorPerHour / 3600,
+		},
+	}
+}
+
+// OldSwarmArrivals models a mature swarm (Figure 7b): steady Poisson
+// arrivals at ratePerHour. Times are in seconds.
+func OldSwarmArrivals(ratePerHour float64) ArrivalPattern {
+	return ArrivalPattern{
+		Label:   "old swarm (steady)",
+		Process: dist.PoissonProcess{Rate: ratePerHour / 3600},
+	}
+}
+
+// BinnedArrivals simulates the pattern over horizon seconds and returns
+// per-bucket arrival counts (bucket width in seconds) — the series
+// Figure 7 plots — together with the coefficient of variation of the
+// bucket counts, the statistic §4.3.4 uses to contrast the two regimes.
+func BinnedArrivals(p ArrivalPattern, r *rand.Rand, horizon, bucket float64) (counts []int, cv float64) {
+	ts := stats.NewTimeSeries(bucket)
+	for _, t := range dist.CollectArrivals(p.Process, r, horizon, 0) {
+		ts.Record(t)
+	}
+	return ts.Counts(), ts.CoefficientOfVariation()
+}

@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swarmavail/internal/dist"
+)
+
+// StudyConfig parameterises the seven-month availability study
+// generator. Defaults (via DefaultStudyConfig) are calibrated to the
+// paper's Figure 1: ≲35% of swarms fully seeded during their first
+// month, and ≈80% of swarms unavailable ≥80% of the time over the whole
+// trace.
+type StudyConfig struct {
+	Seed      int64
+	NumSwarms int
+	// HorizonDays is the monitoring duration per swarm (the paper
+	// monitored each swarm for at least one month within a 7-month
+	// campaign; we use a per-swarm horizon).
+	HorizonDays float64
+	// AttentionMeanDays is the mean of the exponential "attended period"
+	// after publication, during which the publisher keeps its seed
+	// mostly online. Afterwards the seed disappears except for rare
+	// revisits.
+	AttentionMeanDays float64
+	// AlwaysOnFraction is the fraction of publishers whose seed stays
+	// continuously online during the attended period.
+	AlwaysOnFraction float64
+	// MeanOnHours/MeanOffHours shape the duty cycle of the remaining
+	// (intermittent) publishers during the attended period.
+	MeanOnHours  float64
+	MeanOffHours float64
+	// RevisitRatePerDay is the rate of brief post-abandonment seed
+	// reappearances; RevisitMeanHours their mean duration.
+	RevisitRatePerDay float64
+	RevisitMeanHours  float64
+}
+
+// DefaultStudyConfig returns the calibrated configuration.
+func DefaultStudyConfig(numSwarms int, seed int64) StudyConfig {
+	return StudyConfig{
+		Seed:              seed,
+		NumSwarms:         numSwarms,
+		HorizonDays:       210,
+		AttentionMeanDays: 45,
+		AlwaysOnFraction:  0.62,
+		MeanOnHours:       7,
+		MeanOffHours:      17,
+		RevisitRatePerDay: 0.02,
+		RevisitMeanHours:  5,
+	}
+}
+
+// GenerateStudy produces the availability-study dataset.
+func GenerateStudy(cfg StudyConfig) []SwarmTrace {
+	if cfg.NumSwarms <= 0 || cfg.HorizonDays <= 0 {
+		panic("trace: study needs positive swarm count and horizon")
+	}
+	r := dist.NewRand(cfg.Seed)
+	snap := newSnapshotModel(r) // reuse the category/file machinery
+	out := make([]SwarmTrace, 0, cfg.NumSwarms)
+	for i := 0; i < cfg.NumSwarms; i++ {
+		meta := snap.meta(i)
+		out = append(out, SwarmTrace{
+			Meta:          meta,
+			SeedSessions:  cfg.seedSessions(r),
+			MonitoredDays: cfg.HorizonDays,
+		})
+	}
+	return out
+}
+
+// seedSessions simulates one swarm's publisher behaviour over the
+// horizon (all times in days).
+func (cfg StudyConfig) seedSessions(r *rand.Rand) []dist.Interval {
+	attended := r.ExpFloat64() * cfg.AttentionMeanDays
+	if attended > cfg.HorizonDays {
+		attended = cfg.HorizonDays
+	}
+	var sessions []dist.Interval
+	if r.Float64() < cfg.AlwaysOnFraction {
+		if attended > 0 {
+			sessions = append(sessions, dist.Interval{Start: 0, End: attended})
+		}
+	} else {
+		onOff := dist.OnOff{
+			On:      dist.NewExponentialFromMean(cfg.MeanOnHours / 24),
+			Off:     dist.NewExponentialFromMean(cfg.MeanOffHours / 24),
+			StartOn: true,
+		}
+		sessions = onOff.Sessions(r, attended)
+	}
+	// Rare revisits after abandonment.
+	if cfg.RevisitRatePerDay > 0 {
+		t := attended
+		for {
+			t += r.ExpFloat64() / cfg.RevisitRatePerDay
+			if t >= cfg.HorizonDays {
+				break
+			}
+			d := r.ExpFloat64() * cfg.RevisitMeanHours / 24
+			end := math.Min(t+d, cfg.HorizonDays)
+			sessions = append(sessions, dist.Interval{Start: t, End: end})
+			t = end
+		}
+	}
+	return dist.MergeIntervals(sessions)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot dataset (§2.3).
+
+// SnapshotConfig parameterises the single-day dataset generator. The
+// defaults reproduce the Mininova May 6 2009 marginals: category mix,
+// per-category bundling fractions (72.4% of music, 15.8% of TV, ~10.7%
+// of book swarms), download counts (books: ≈2,578 mean overall, ≈4,216
+// for collections), and seed-presence rates coupled to bundling
+// (books: 62% of all swarms seedless vs 36% of collections).
+type SnapshotConfig struct {
+	Seed      int64
+	NumSwarms int
+}
+
+// audio/video/book extensions used both by the generator and by the
+// measure classifier (they are part of the §2.3 methodology).
+var (
+	AudioExts = []string{".mp3", ".mid", ".wav", ".flac"}
+	VideoExts = []string{".mpg", ".avi", ".mkv", ".mp4"}
+	BookExts  = []string{".pdf", ".djvu", ".epub"}
+	otherExts = []string{".iso", ".exe", ".zip", ".rar"}
+)
+
+// categoryShares approximates Mininova's category mix: the three
+// analysed categories account for ≈46% of swarms (music 24.6%,
+// TV 15.2%, books 6.1%).
+var categoryShares = map[Category]float64{
+	Music:  0.246,
+	TV:     0.152,
+	Books:  0.061,
+	Movies: 0.28,
+	Other:  0.261,
+}
+
+// bundleFraction is the generator-side probability that a swarm of the
+// category is authored as a bundle (multiple principal files):
+// music 193,491/267,117; TV 25,990/164,930; books (841+6,270)/66,387.
+var bundleFraction = map[Category]float64{
+	Music:  0.724,
+	TV:     0.158,
+	Books:  0.107,
+	Movies: 0.0, // DVD rips: many files, one movie — not detectable bundles
+	Other:  0.05,
+}
+
+// collectionFractionOfBookBundles is the share of book bundles that are
+// keyword-titled "collections" (841 of 841+6,270).
+const collectionFractionOfBookBundles = 0.118
+
+// numTVShows is the franchise pool behind TV swarms' GroupIDs.
+const numTVShows = 400
+
+type snapshotModel struct {
+	r        *rand.Rand
+	catPick  *dist.Categorical
+	catOrder []Category
+}
+
+func newSnapshotModel(r *rand.Rand) *snapshotModel {
+	order := []Category{Music, TV, Books, Movies, Other}
+	weights := make([]float64, len(order))
+	for i, c := range order {
+		weights[i] = categoryShares[c]
+	}
+	return &snapshotModel{r: r, catPick: dist.NewCategorical(weights), catOrder: order}
+}
+
+func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// meta generates one swarm's static metadata.
+func (m *snapshotModel) meta(id int) SwarmMeta {
+	cat := m.catOrder[m.catPick.Sample(m.r)]
+	meta := SwarmMeta{
+		ID:         id,
+		Category:   cat,
+		CreatedDay: m.r.Float64() * 700, // up to ~2 years old
+	}
+	bundle := m.r.Float64() < bundleFraction[cat]
+	switch cat {
+	case Music:
+		if bundle {
+			n := 2 + m.r.Intn(18)
+			meta.Title = fmt.Sprintf("Album %d", id)
+			for i := 0; i < n; i++ {
+				meta.Files = append(meta.Files, FileMeta{
+					Name:   fmt.Sprintf("track%02d%s", i+1, pick(m.r, AudioExts)),
+					SizeKB: 3000 + m.r.Float64()*6000,
+				})
+			}
+		} else {
+			meta.Title = fmt.Sprintf("Single %d", id)
+			meta.Files = []FileMeta{{
+				Name:   fmt.Sprintf("song%d%s", id, pick(m.r, AudioExts)),
+				SizeKB: 3000 + m.r.Float64()*6000,
+			}}
+		}
+	case TV:
+		// Swarms of one show share a GroupID; popularity over shows is
+		// skewed so hit shows accumulate dozens of swarms (the Friends
+		// case study had 52).
+		show := 1 + int(math.Floor(math.Pow(m.r.Float64(), 2)*float64(numTVShows)))
+		meta.GroupID = show
+		if bundle {
+			n := 2 + m.r.Intn(22)
+			meta.Title = fmt.Sprintf("Show %d Season %d", show, 1+m.r.Intn(9))
+			for i := 0; i < n; i++ {
+				meta.Files = append(meta.Files, FileMeta{
+					Name:   fmt.Sprintf("s01e%02d%s", i+1, pick(m.r, VideoExts)),
+					SizeKB: 200000 + m.r.Float64()*300000,
+				})
+			}
+		} else {
+			meta.Title = fmt.Sprintf("Show %d episode", show)
+			meta.Files = []FileMeta{{
+				Name:   fmt.Sprintf("episode%d%s", id, pick(m.r, VideoExts)),
+				SizeKB: 200000 + m.r.Float64()*300000,
+			}}
+		}
+	case Books:
+		if bundle {
+			collection := m.r.Float64() < collectionFractionOfBookBundles
+			n := 2 + m.r.Intn(12)
+			if collection {
+				meta.Title = fmt.Sprintf("Ultimate Collection %d", id)
+				n = 20 + m.r.Intn(600)
+			} else {
+				meta.Title = fmt.Sprintf("Book pack %d", id)
+			}
+			for i := 0; i < n; i++ {
+				meta.Files = append(meta.Files, FileMeta{
+					Name:   fmt.Sprintf("book%03d%s", i+1, pick(m.r, BookExts)),
+					SizeKB: 500 + m.r.Float64()*9000,
+				})
+			}
+		} else {
+			meta.Title = fmt.Sprintf("Book %d", id)
+			meta.Files = []FileMeta{{
+				Name:   fmt.Sprintf("book%d%s", id, pick(m.r, BookExts)),
+				SizeKB: 500 + m.r.Float64()*9000,
+			}}
+		}
+	case Movies:
+		// A DVD rip: several video/other files that are NOT separate
+		// contents — the case the paper calls out as hard to classify.
+		n := 1 + m.r.Intn(4)
+		meta.Title = fmt.Sprintf("Movie %d", id)
+		for i := 0; i < n; i++ {
+			meta.Files = append(meta.Files, FileMeta{
+				Name:   fmt.Sprintf("VTS_%02d_1%s", i+1, pick(m.r, VideoExts)),
+				SizeKB: 700000 + m.r.Float64()*300000,
+			})
+		}
+	default:
+		n := 1
+		if bundle {
+			n = 2 + m.r.Intn(5)
+		}
+		meta.Title = fmt.Sprintf("Misc %d", id)
+		for i := 0; i < n; i++ {
+			meta.Files = append(meta.Files, FileMeta{
+				Name:   fmt.Sprintf("file%d%s", i+1, pick(m.r, otherExts)),
+				SizeKB: 10000 + m.r.Float64()*100000,
+			})
+		}
+	}
+	return meta
+}
+
+// isBundleMeta reports whether the generator authored meta as a bundle
+// of ≥2 principal files (ground truth; the measure package re-detects
+// this from the file listing alone).
+func isBundleMeta(meta SwarmMeta) bool {
+	return len(meta.Files) >= 2 && meta.Category != Movies
+}
+
+// GenerateSnapshot produces the single-day dataset.
+func GenerateSnapshot(cfg SnapshotConfig) []Snapshot {
+	if cfg.NumSwarms <= 0 {
+		panic("trace: snapshot needs a positive swarm count")
+	}
+	r := dist.NewRand(cfg.Seed)
+	m := newSnapshotModel(r)
+	out := make([]Snapshot, 0, cfg.NumSwarms)
+	for i := 0; i < cfg.NumSwarms; i++ {
+		meta := m.meta(i)
+		bundle := isBundleMeta(meta)
+		out = append(out, Snapshot{
+			Meta:      meta,
+			Seeds:     m.seeds(meta.Category, bundle),
+			Leechers:  m.leechers(bundle),
+			Downloads: m.downloads(meta.Category, bundle),
+		})
+	}
+	return out
+}
+
+// seeds draws the instantaneous seed count. Bundled content is more
+// available (§2.3.2): for books, 62% of all swarms are seedless but only
+// 36% of collections.
+func (m *snapshotModel) seeds(cat Category, bundle bool) int {
+	seedless := 0.62
+	if bundle {
+		seedless = 0.36
+	}
+	if cat == Movies || cat == Other {
+		seedless = 0.55
+	}
+	if m.r.Float64() < seedless {
+		return 0
+	}
+	// Geometric-ish positive seed counts.
+	n := 1
+	for m.r.Float64() < 0.45 && n < 200 {
+		n++
+	}
+	return n
+}
+
+func (m *snapshotModel) leechers(bundle bool) int {
+	mean := 2.0
+	if bundle {
+		mean = 4.0
+	}
+	return dist.PoissonCount(m.r, m.r.ExpFloat64()*mean)
+}
+
+// downloads draws the cumulative download counter: lognormal popularity
+// with bundles drawing more demand (books: 2,578 typical vs 4,216 for
+// collections — a ratio of ≈1.64).
+func (m *snapshotModel) downloads(cat Category, bundle bool) int {
+	// lognormal with median ≈ e^mu. Calibrated so the books-category
+	// means land near the paper's: mean = e^{mu+sigma²/2}.
+	mu, sigma := 7.13, 1.2
+	if bundle {
+		mu += 0.49 // ×1.63 in the mean
+	}
+	_ = cat
+	v := math.Exp(mu + sigma*m.r.NormFloat64())
+	if v > 5e6 {
+		v = 5e6
+	}
+	return int(v)
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTraces serialises traces as JSON lines (one swarm per line) — the
+// archival format of the synthetic measurement campaign.
+func WriteTraces(w io.Writer, traces []SwarmTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range traces {
+		if err := enc.Encode(&traces[i]); err != nil {
+			return fmt.Errorf("trace: encoding swarm %d: %w", traces[i].Meta.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces parses a JSON-lines trace stream.
+func ReadTraces(r io.Reader) ([]SwarmTrace, error) {
+	var out []SwarmTrace
+	dec := json.NewDecoder(r)
+	for {
+		var t SwarmTrace
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, t)
+	}
+}
+
+// WriteSnapshots serialises a snapshot dataset as JSON lines.
+func WriteSnapshots(w io.Writer, snaps []Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range snaps {
+		if err := enc.Encode(&snaps[i]); err != nil {
+			return fmt.Errorf("trace: encoding snapshot %d: %w", snaps[i].Meta.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshots parses a JSON-lines snapshot stream.
+func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
+	var out []Snapshot
+	dec := json.NewDecoder(r)
+	for {
+		var s Snapshot
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+}

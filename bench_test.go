@@ -9,6 +9,7 @@ package swarmavail
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 	"swarmavail/internal/core"
 	"swarmavail/internal/dist"
 	"swarmavail/internal/experiments"
+	"swarmavail/internal/ingest"
 	"swarmavail/internal/queue"
 	"swarmavail/internal/swarm"
 )
@@ -325,6 +327,40 @@ func BenchmarkTrackerAnnounce(b *testing.B) {
 		if _, err := tracker.Announce(ts.Client(), req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngest measures the streaming-analytics hot path
+// (internal/ingest): a pre-generated availability campaign converted to
+// monitor records once, then pushed through the sharded engine each
+// iteration. Sub-benchmarks compare a single shard against 8 so future
+// PRs can track both raw apply cost and sharding speed-up; records/sec
+// is attached as a metric.
+func BenchmarkIngest(b *testing.B) {
+	traces := GenerateStudy(DefaultStudyConfig(2000, 42))
+	var ops []ingest.Op
+	for _, t := range traces {
+		ops = append(ops, ingest.TraceOps(t)...)
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				e := ingest.New(ingest.Config{Shards: shards, BatchSize: 256})
+				w := e.NewWriter()
+				for _, op := range ops {
+					w.Put(op)
+				}
+				w.Flush()
+				e.Flush()
+				m := e.Metrics()
+				rate = m.RecordsPerSecond
+				e.Close()
+			}
+			b.ReportMetric(rate, "records/sec")
+			b.ReportMetric(float64(len(ops)), "records/op")
+		})
 	}
 }
 

@@ -1,0 +1,443 @@
+// Command availd is the online availability-analytics daemon: the
+// serving front end of internal/ingest. It consumes monitor records —
+// live over HTTP or replayed from archived JSONL campaigns — and
+// answers the §2 availability and bundling questions continuously
+// instead of after the campaign ends.
+//
+// Endpoints:
+//
+//	GET  /v1/swarm/{id}          one swarm's online stats
+//	GET  /v1/availability/cdf    availability quantiles + headline stats
+//	                             (?q=0.25,0.5,… to pick quantiles)
+//	GET  /v1/bundling/summary    per-category bundling counters
+//	POST /v1/ingest              JSONL monitor records (ingest.Record)
+//	GET  /metrics                operational counters (Prometheus text)
+//	GET  /healthz                liveness
+//
+// Replay mode streams an archived availability study (and optionally a
+// census) through the full ingest path:
+//
+//	availd -replay data/availability_study.jsonl -census data/census.jsonl -verify
+//
+// With -verify it recomputes the offline internal/measure statistics in
+// the same pass and checks the online results converge: per-swarm
+// availabilities within 1e-9 (the arithmetic is shared and ordered
+// identically, so they agree bitwise) and CDF quantiles equal to the
+// offline sketch of the same geometry (each accurate to one sketch bin,
+// ±1/4096, against the exact order statistics). A tolerance violation
+// exits non-zero. Add -listen to keep serving after a replay.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/measure"
+	"swarmavail/internal/stats"
+	"swarmavail/internal/trace"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "HTTP listen address (e.g. :8647); empty = no server unless nothing to replay")
+		shards  = flag.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 0, "writer batch size (0 = default)")
+		replay  = flag.String("replay", "", "availability-study JSONL to stream through the engine")
+		census  = flag.String("census", "", "census JSONL to stream through the engine")
+		writers = flag.Int("writers", 4, "concurrent replay writers")
+		verify  = flag.Bool("verify", false, "check online statistics against the offline analysis")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *shards, *batch, *replay, *census, *writers, *verify); err != nil {
+		fmt.Fprintf(os.Stderr, "availd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, shards, batch int, replay, census string, writers int, verify bool) error {
+	e := ingest.New(ingest.Config{Shards: shards, BatchSize: batch})
+
+	if replay != "" {
+		if err := replayStudy(e, replay, writers, verify); err != nil {
+			return err
+		}
+	}
+	if census != "" {
+		if err := replayCensus(e, census, writers, verify); err != nil {
+			return err
+		}
+	}
+
+	if listen == "" {
+		if replay == "" && census == "" {
+			return fmt.Errorf("nothing to do: pass -listen and/or -replay/-census")
+		}
+		return nil
+	}
+	srv := &server{engine: e}
+	fmt.Printf("availd: serving on %s (%d shards)\n", listen, e.Shards())
+	return http.ListenAndServe(listen, srv.handler())
+}
+
+// offlineRef accumulates the offline reference statistics during the
+// replay scan, so verification needs no second pass over the file.
+type offlineRef struct {
+	avail      map[int][2]float64
+	firstMonth *stats.QuantileSketch
+	full       *stats.QuantileSketch
+	fm, fl     []float64
+}
+
+func replayStudy(e *ingest.Engine, path string, writers int, verify bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var ref *offlineRef
+	sc := trace.NewTraceScanner(f)
+	start := time.Now()
+	var n int
+	if !verify {
+		n, err = ingest.ReplayTraces(e, sc, writers)
+	} else {
+		ref = &offlineRef{
+			avail:      make(map[int][2]float64),
+			firstMonth: stats.NewAvailabilitySketch(),
+			full:       stats.NewAvailabilitySketch(),
+		}
+		// Feed the engine through one writer per scanned record while
+		// computing the offline answers from the same record.
+		w := e.NewWriter()
+		for sc.Scan() {
+			t := sc.Record()
+			for _, op := range ingest.TraceOps(t) {
+				w.Put(op)
+			}
+			fm, full := measure.Availability(t)
+			ref.avail[t.Meta.ID] = [2]float64{fm, full}
+			ref.firstMonth.Add(fm)
+			ref.full.Add(full)
+			ref.fm = append(ref.fm, fm)
+			ref.fl = append(ref.fl, full)
+			n++
+		}
+		w.Flush()
+		e.Flush()
+		err = sc.Err()
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	m := e.Metrics()
+	fmt.Printf("replayed %d swarms (%d records) in %v — %.0f records/s, batch p50 latency %s\n",
+		n, m.Applied, elapsed.Round(time.Millisecond),
+		float64(m.Applied)/elapsed.Seconds(), fmtSeconds(m.LatencyP50))
+
+	sum := e.Summary()
+	h := sum.Headlines()
+	fmt.Printf("online headlines: %.1f%% fully seeded through month 1, %.1f%% available ≤20%% of the trace\n",
+		100*h.FullyAvailableFirstMonth, 100*h.MostlyUnavailableOverall)
+	fmt.Println("online availability quantiles (first month / whole trace):")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
+		fmt.Printf("  p%-3.0f  %.3f / %.3f\n", q*100, sum.FirstMonth.Quantile(q), sum.Full.Quantile(q))
+	}
+
+	if verify {
+		return verifyStudy(e, sum, ref)
+	}
+	return nil
+}
+
+func verifyStudy(e *ingest.Engine, sum *ingest.Summary, ref *offlineRef) error {
+	var maxDelta float64
+	for id, want := range ref.avail {
+		st, ok := e.Swarm(id)
+		if !ok {
+			return fmt.Errorf("verify: swarm %d missing from online state", id)
+		}
+		d := math.Max(math.Abs(st.FirstMonth-want[0]), math.Abs(st.Full-want[1]))
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	const tol = 1e-9
+	fmt.Printf("verify: %d swarms, max |online − offline| availability = %.3g (tolerance %g)\n",
+		len(ref.avail), maxDelta, tol)
+	if maxDelta > tol {
+		return fmt.Errorf("verify: per-swarm availability diverged by %g > %g", maxDelta, tol)
+	}
+
+	// Online sketches must equal the offline single-pass sketches, and
+	// both must sit within one bin of the exact order statistics.
+	sort.Float64s(ref.fm)
+	sort.Float64s(ref.fl)
+	res := sum.FirstMonth.Resolution()
+	var maxQ float64
+	for _, q := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		if sum.FirstMonth.Quantile(q) != ref.firstMonth.Quantile(q) ||
+			sum.Full.Quantile(q) != ref.full.Quantile(q) {
+			return fmt.Errorf("verify: online sketch quantile q=%v diverged from offline sketch", q)
+		}
+		rank := int(math.Ceil(q * float64(len(ref.fm))))
+		dFM := math.Abs(sum.FirstMonth.Quantile(q) - ref.fm[rank-1])
+		dFL := math.Abs(sum.Full.Quantile(q) - ref.fl[rank-1])
+		maxQ = math.Max(maxQ, math.Max(dFM, dFL))
+	}
+	fmt.Printf("verify: CDF quantiles identical to offline sketch; max |sketch − exact order stat| = %.3g (tolerance %.3g)\n",
+		maxQ, res)
+	if maxQ > res+1e-12 {
+		return fmt.Errorf("verify: sketch quantile error %g exceeds resolution %g", maxQ, res)
+	}
+	fmt.Println("verify: OK")
+	return nil
+}
+
+func replayCensus(e *ingest.Engine, path string, writers int, verify bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+
+	var offline map[trace.Category]measure.BundlingExtent
+	var n int
+	if !verify {
+		n, err = ingest.ReplaySnapshots(e, trace.NewSnapshotScanner(f), writers)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Stream both pipelines from one scan; the offline extent uses
+		// the identical classifier on each record.
+		ext := map[trace.Category]measure.BundlingExtent{}
+		w := e.NewWriter()
+		sc := trace.NewSnapshotScanner(f)
+		for sc.Scan() {
+			s := sc.Record()
+			w.ObserveCensus(s)
+			acc := ext[s.Meta.Category]
+			acc.Category = s.Meta.Category
+			acc.Swarms++
+			if measure.IsBundle(s.Meta) {
+				acc.Bundles++
+			}
+			if s.Meta.Category == trace.Books && measure.IsCollection(s.Meta) {
+				acc.Collections++
+			}
+			ext[s.Meta.Category] = acc
+			n++
+		}
+		w.Flush()
+		e.Flush()
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		offline = ext
+	}
+	fmt.Printf("replayed %d census snapshots in %v\n", n, time.Since(start).Round(time.Millisecond))
+
+	sum := e.Summary()
+	for _, cat := range []trace.Category{trace.Music, trace.TV, trace.Books} {
+		cc := sum.Categories[cat]
+		fmt.Printf("  %-6s %8d swarms, %6d bundles, %d collections, %.1f%% seedless\n",
+			cat, cc.Swarms, cc.Bundles, cc.Collections,
+			100*cc.Compare(cat).SeedlessAll)
+		if offline != nil {
+			if got := cc.Extent(cat); got != offline[cat] {
+				return fmt.Errorf("verify: %v bundling counters diverged: online %+v offline %+v",
+					cat, got, offline[cat])
+			}
+		}
+	}
+	if offline != nil {
+		fmt.Println("verify: bundling counters identical to offline analysis")
+	}
+	return nil
+}
+
+func fmtSeconds(s float64) string {
+	if s <= 0 {
+		return "n/a"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// server wires the engine into the HTTP API.
+type server struct {
+	engine *ingest.Engine
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/swarm/{id}", s.handleSwarm)
+	mux.HandleFunc("GET /v1/availability/cdf", s.handleCDF)
+	mux.HandleFunc("GET /v1/bundling/summary", s.handleBundling)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad swarm id", http.StatusBadRequest)
+		return
+	}
+	st, ok := s.engine.Swarm(id)
+	if !ok {
+		http.Error(w, "unknown swarm", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
+}
+
+type cdfResponse struct {
+	Swarms     int                `json:"swarms"`
+	FirstMonth map[string]float64 `json:"first_month_quantiles"`
+	Full       map[string]float64 `json:"full_quantiles"`
+	// ToleranceAbs is the sketch resolution: every quantile is within
+	// this of the exact order statistic.
+	ToleranceAbs float64                `json:"tolerance_abs"`
+	Headlines    measure.StudyHeadlines `json:"headlines"`
+}
+
+func (s *server) handleCDF(w http.ResponseWriter, r *http.Request) {
+	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	if arg := r.URL.Query().Get("q"); arg != "" {
+		qs = qs[:0]
+		for _, part := range strings.Split(arg, ",") {
+			q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || q < 0 || q > 1 {
+				http.Error(w, "bad quantile list", http.StatusBadRequest)
+				return
+			}
+			qs = append(qs, q)
+		}
+	}
+	sum := s.engine.Summary()
+	resp := cdfResponse{
+		Swarms:       sum.StudySwarms,
+		FirstMonth:   make(map[string]float64, len(qs)),
+		Full:         make(map[string]float64, len(qs)),
+		ToleranceAbs: sum.Full.Resolution(),
+		Headlines:    sum.Headlines(),
+	}
+	for _, q := range qs {
+		key := strconv.FormatFloat(q, 'g', -1, 64)
+		resp.FirstMonth[key] = sum.FirstMonth.Quantile(q)
+		resp.Full[key] = sum.Full.Quantile(q)
+	}
+	writeJSON(w, resp)
+}
+
+type bundlingCategory struct {
+	Category             string  `json:"category"`
+	Swarms               int     `json:"swarms"`
+	Bundles              int     `json:"bundles"`
+	BundleFraction       float64 `json:"bundle_fraction"`
+	Collections          int     `json:"collections"`
+	SeedlessAll          float64 `json:"seedless_all"`
+	SeedlessBundles      float64 `json:"seedless_bundles"`
+	MeanDownloadsAll     float64 `json:"mean_downloads_all"`
+	MeanDownloadsBundles float64 `json:"mean_downloads_bundles"`
+}
+
+func (s *server) handleBundling(w http.ResponseWriter, r *http.Request) {
+	sum := s.engine.Summary()
+	cats := make([]trace.Category, 0, len(sum.Categories))
+	for cat := range sum.Categories {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	out := struct {
+		CensusSwarms int                `json:"census_swarms"`
+		Categories   []bundlingCategory `json:"categories"`
+	}{CensusSwarms: sum.CensusSwarms}
+	for _, cat := range cats {
+		cc := sum.Categories[cat]
+		cmp := cc.Compare(cat)
+		out.Categories = append(out.Categories, bundlingCategory{
+			Category:             cat.String(),
+			Swarms:               cc.Swarms,
+			Bundles:              cc.Bundles,
+			BundleFraction:       cc.Extent(cat).BundleFraction(),
+			Collections:          cc.Collections,
+			SeedlessAll:          cmp.SeedlessAll,
+			SeedlessBundles:      cmp.SeedlessBundles,
+			MeanDownloadsAll:     cmp.MeanDownloadsAll,
+			MeanDownloadsBundles: cmp.MeanDownloadsBundles,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleIngest accepts JSONL ingest.Record lines and streams them into
+// the engine through a request-scoped writer.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	wr := s.engine.NewWriter()
+	n := 0
+	for {
+		var rec ingest.Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			wr.Flush()
+			http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
+			return
+		}
+		wr.Observe(rec)
+		n++
+	}
+	wr.Flush()
+	writeJSON(w, map[string]int{"accepted": n})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.engine.Metrics()
+	sum := s.engine.Summary()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "availd_uptime_seconds %g\n", m.UptimeSeconds)
+	fmt.Fprintf(w, "availd_ingest_records_total %d\n", m.Records)
+	fmt.Fprintf(w, "availd_ingest_applied_total %d\n", m.Applied)
+	fmt.Fprintf(w, "availd_ingest_batches_total %d\n", m.Batches)
+	fmt.Fprintf(w, "availd_ingest_records_per_second %g\n", m.RecordsPerSecond)
+	fmt.Fprintf(w, "availd_ingest_batch_size_mean %g\n", m.MeanBatchSize)
+	fmt.Fprintf(w, "availd_ingest_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50)
+	fmt.Fprintf(w, "availd_ingest_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99)
+	for i, d := range m.ShardDepths {
+		fmt.Fprintf(w, "availd_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	fmt.Fprintf(w, "availd_swarms_total %d\n", sum.Swarms)
+	fmt.Fprintf(w, "availd_census_swarms_total %d\n", sum.CensusSwarms)
+	fmt.Fprintf(w, "availd_seeds_online %d\n", sum.SeedsOnline)
+	fmt.Fprintf(w, "availd_leechers_online %d\n", sum.LeechersOnline)
+	fmt.Fprintf(w, "availd_busy_periods_total %d\n", sum.BusyPeriods)
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"swarmavail/internal/measure"
+	"swarmavail/internal/stats"
 	"swarmavail/internal/trace"
 )
 
@@ -50,24 +51,33 @@ func run(swarms, census int, seed int64, dir string) error {
 	}
 	fmt.Printf("  wrote %s\n", tracePath)
 
-	// Re-read to prove the archival round trip, then analyse.
+	// Re-read to prove the archival round trip, then analyse. The
+	// scanner streams one record at a time: only the per-swarm
+	// availability pairs are retained, so the analysis pass works at
+	// census scale without materialising the dataset.
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
 	}
-	reread, err := trace.ReadTraces(f)
+	sc := trace.NewTraceScanner(f)
+	var fm, fl []float64
+	for sc.Scan() {
+		a, b := measure.Availability(sc.Record())
+		fm = append(fm, a)
+		fl = append(fl, b)
+	}
 	f.Close()
-	if err != nil {
+	if err := sc.Err(); err != nil {
 		return err
 	}
-	h := measure.Headlines(reread)
+	h := measure.HeadlinesFromAvailabilities(fm, fl)
 	fmt.Printf("  swarms analysed:                 %d\n", h.Swarms)
 	fmt.Printf("  fully seeded through month 1:    %.1f%%  (paper: <35%%)\n",
 		100*h.FullyAvailableFirstMonth)
 	fmt.Printf("  availability ≤20%% over trace:    %.1f%%  (paper: ≈80%%)\n",
 		100*h.MostlyUnavailableOverall)
 
-	firstMonth, full := measure.SeedAvailabilityCDFs(reread)
+	firstMonth, full := stats.NewECDF(fm), stats.NewECDF(fl)
 	fmt.Println("  seed-availability quantiles (first month / whole trace):")
 	for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
 		fmt.Printf("    p%-3.0f  %.2f / %.2f\n", q*100, firstMonth.Quantile(q), full.Quantile(q))

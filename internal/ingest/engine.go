@@ -1,0 +1,196 @@
+package ingest
+
+import (
+	"runtime"
+	"sync"
+
+	"swarmavail/internal/trace"
+)
+
+// Engine is the sharded streaming-ingestion engine. Writes scale
+// across shards (one state-owning goroutine each); reads are served
+// from consistent per-shard snapshots merged on demand.
+//
+// Lifecycle: New → any number of concurrent Submit/Writer producers and
+// Summary/Swarm readers → Flush (barrier) → Close. Submitting after
+// Close panics.
+type Engine struct {
+	cfg     Config
+	shards  []*shard
+	metrics *Metrics
+	wg      sync.WaitGroup
+}
+
+// New starts an engine with cfg (zero fields take defaults).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults(runtime.GOMAXPROCS(0))
+	e := &Engine{cfg: cfg, metrics: newMetrics()}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(cfg.QueueDepth, e.metrics)
+	}
+	e.wg.Add(cfg.Shards)
+	for _, s := range e.shards {
+		go func(s *shard) {
+			defer e.wg.Done()
+			s.run()
+		}(s)
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+func (e *Engine) shardFor(swarmID int) *shard {
+	return e.shards[shardIndex(swarmID, len(e.shards))]
+}
+
+// Submit partitions ops by owning shard and enqueues one batch per
+// shard touched. Safe for concurrent use; ops for the same swarm keep
+// their relative order within a call (and across calls from the same
+// goroutine).
+func (e *Engine) Submit(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	e.metrics.records.Add(uint64(len(ops)))
+	if len(e.shards) == 1 {
+		batch := make([]Op, len(ops))
+		copy(batch, ops)
+		e.shards[0].in <- shardMsg{ops: batch}
+		return
+	}
+	parts := make([][]Op, len(e.shards))
+	for _, op := range ops {
+		i := shardIndex(op.SwarmID(), len(e.shards))
+		parts[i] = append(parts[i], op)
+	}
+	for i, part := range parts {
+		if len(part) > 0 {
+			e.shards[i].in <- shardMsg{ops: part}
+		}
+	}
+}
+
+// Observe ingests a single monitor record (convenience; prefer a
+// Writer on hot paths).
+func (e *Engine) Observe(rec Record) { e.Submit([]Op{EventOp(rec)}) }
+
+// RegisterSwarm ingests a swarm registration.
+func (e *Engine) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) {
+	e.Submit([]Op{MetaOp(meta, horizonDays)})
+}
+
+// ObserveCensus ingests a census observation.
+func (e *Engine) ObserveCensus(snap trace.Snapshot) { e.Submit([]Op{CensusOp(snap)}) }
+
+// Flush blocks until every op submitted before the call has been
+// applied (a barrier through every shard queue).
+func (e *Engine) Flush() {
+	ack := make(chan struct{}, len(e.shards))
+	for _, s := range e.shards {
+		s.in <- shardMsg{ack: ack}
+	}
+	for range e.shards {
+		<-ack
+	}
+}
+
+// Close stops the shard goroutines after draining their queues. Read
+// snapshots (Summary/Swarm) must be taken before Close.
+func (e *Engine) Close() {
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+}
+
+// Summary requests a consistent aggregate from every shard and merges
+// them. It observes everything the caller submitted before the call
+// (readers queue behind writes, never the other way around).
+func (e *Engine) Summary() *Summary {
+	ch := make(chan *Summary, len(e.shards))
+	for _, s := range e.shards {
+		s.in <- shardMsg{summary: ch}
+	}
+	sum := NewSummary()
+	for range e.shards {
+		sum.Merge(<-ch)
+	}
+	return sum
+}
+
+// Swarm returns the current snapshot of one swarm.
+func (e *Engine) Swarm(id int) (SwarmStats, bool) {
+	ch := make(chan *SwarmStats, 1)
+	e.shardFor(id).in <- shardMsg{swarmID: id, swarm: ch}
+	st := <-ch
+	if st == nil {
+		return SwarmStats{}, false
+	}
+	return *st, true
+}
+
+// Metrics snapshots the engine's operational counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	depths := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		depths[i] = len(s.in)
+	}
+	return e.metrics.snapshot(depths)
+}
+
+// Writer is a per-producer batching front end: ops accumulate in
+// per-shard buffers and flush to the shard queues when BatchSize is
+// reached (or on Flush). One Writer must not be shared between
+// goroutines; open one per producer — per-swarm ordering is preserved
+// because a swarm's ops always travel through the same shard buffer in
+// append order.
+type Writer struct {
+	e    *Engine
+	bufs [][]Op
+}
+
+// NewWriter opens a batching writer.
+func (e *Engine) NewWriter() *Writer {
+	return &Writer{e: e, bufs: make([][]Op, len(e.shards))}
+}
+
+// Put appends one op, flushing the owning shard's buffer if full.
+func (w *Writer) Put(op Op) {
+	i := shardIndex(op.SwarmID(), len(w.e.shards))
+	w.bufs[i] = append(w.bufs[i], op)
+	if len(w.bufs[i]) >= w.e.cfg.BatchSize {
+		w.flushShard(i)
+	}
+}
+
+// Observe appends a monitor record.
+func (w *Writer) Observe(rec Record) { w.Put(EventOp(rec)) }
+
+// RegisterSwarm appends a swarm registration.
+func (w *Writer) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) {
+	w.Put(MetaOp(meta, horizonDays))
+}
+
+// ObserveCensus appends a census observation.
+func (w *Writer) ObserveCensus(snap trace.Snapshot) { w.Put(CensusOp(snap)) }
+
+func (w *Writer) flushShard(i int) {
+	batch := w.bufs[i]
+	if len(batch) == 0 {
+		return
+	}
+	w.bufs[i] = nil
+	w.e.metrics.records.Add(uint64(len(batch)))
+	w.e.shards[i].in <- shardMsg{ops: batch}
+}
+
+// Flush pushes every buffered op to its shard. It does not wait for
+// application; use Engine.Flush for a barrier.
+func (w *Writer) Flush() {
+	for i := range w.bufs {
+		w.flushShard(i)
+	}
+}

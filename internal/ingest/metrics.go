@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmavail/internal/stats"
+)
+
+// latency sketch geometry: log10(seconds) from 10ns to 100s at ~2.3%
+// relative resolution.
+const (
+	latLogLo   = -8.0
+	latLogHi   = 2.0
+	latLogBins = 1000
+)
+
+// Metrics tracks the engine's operational counters: ingest volume,
+// batch sizes, per-batch apply latency (as a mergeable log-scale
+// sketch), and — via Engine.Metrics — instantaneous shard queue depths.
+// Counter updates are atomic; the latency sketch takes a short mutex
+// once per *batch*, off the per-record hot path.
+type Metrics struct {
+	start   time.Time
+	records atomic.Uint64 // ops accepted by Submit/Writer
+	applied atomic.Uint64 // ops applied by shards
+	batches atomic.Uint64
+
+	mu         sync.Mutex
+	latency    *stats.QuantileSketch // log10(batch apply seconds)
+	batchSizes stats.Accumulator
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		start:   time.Now(),
+		latency: stats.NewQuantileSketch(latLogLo, latLogHi, latLogBins),
+	}
+}
+
+// observeBatch records one applied batch.
+func (m *Metrics) observeBatch(n int, d time.Duration) {
+	m.applied.Add(uint64(n))
+	m.batches.Add(1)
+	sec := d.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	m.mu.Lock()
+	m.latency.Add(math.Log10(sec))
+	m.batchSizes.Add(float64(n))
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time copy of the engine's counters.
+type MetricsSnapshot struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Records          uint64  `json:"records"`
+	Applied          uint64  `json:"applied"`
+	Batches          uint64  `json:"batches"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+	MaxBatchSize     float64 `json:"max_batch_size"`
+	// Batch apply latency quantiles in seconds (sketch-accurate to
+	// ~2.3% relative).
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+	// ShardDepths are instantaneous queue depths in batches.
+	ShardDepths []int `json:"shard_depths"`
+}
+
+func (m *Metrics) snapshot(depths []int) MetricsSnapshot {
+	up := time.Since(m.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds: up,
+		Records:       m.records.Load(),
+		Applied:       m.applied.Load(),
+		Batches:       m.batches.Load(),
+		ShardDepths:   depths,
+	}
+	if up > 0 {
+		snap.RecordsPerSecond = float64(snap.Applied) / up
+	}
+	m.mu.Lock()
+	snap.MeanBatchSize = m.batchSizes.Mean()
+	snap.MaxBatchSize = m.batchSizes.Max()
+	if m.latency.N() > 0 {
+		snap.LatencyP50 = math.Pow(10, m.latency.Quantile(0.5))
+		snap.LatencyP99 = math.Pow(10, m.latency.Quantile(0.99))
+	}
+	m.mu.Unlock()
+	return snap
+}

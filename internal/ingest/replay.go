@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"sync"
+
+	"swarmavail/internal/trace"
+)
+
+// publisherID derives a stable synthetic peer id for a swarm's archived
+// publisher sessions (the study traces don't name the publisher).
+func publisherID(swarmID int) uint64 { return uint64(swarmID)<<1 | 1 }
+
+// TraceOps converts one archived availability-study record into its op
+// stream: a registration followed by the publisher's online/offline
+// transitions in session order. Replaying these through an engine
+// reproduces the offline availability analysis exactly.
+func TraceOps(t trace.SwarmTrace) []Op {
+	ops := make([]Op, 0, 1+2*len(t.SeedSessions))
+	ops = append(ops, MetaOp(t.Meta, t.MonitoredDays))
+	pid := publisherID(t.Meta.ID)
+	for _, s := range t.SeedSessions {
+		ops = append(ops,
+			EventOp(Record{SwarmID: t.Meta.ID, PeerID: pid, Seed: true, Online: true, Time: s.Start}),
+			EventOp(Record{SwarmID: t.Meta.ID, PeerID: pid, Seed: true, Online: false, Time: s.End}),
+		)
+	}
+	return ops
+}
+
+// ReplayTraces streams an availability-study dataset through the engine
+// using `writers` concurrent producers and returns the number of swarms
+// replayed. Each swarm's ops are produced by exactly one writer, so
+// per-swarm ordering (and with it offline/online exactness) is
+// preserved regardless of concurrency. The engine is flushed before
+// returning.
+func ReplayTraces(e *Engine, sc *trace.Scanner[trace.SwarmTrace], writers int) (int, error) {
+	n, err := replay(e, sc, writers, func(w *Writer, t trace.SwarmTrace) {
+		for _, op := range TraceOps(t) {
+			w.Put(op)
+		}
+	})
+	return n, err
+}
+
+// ReplaySnapshots streams a census dataset through the engine with
+// `writers` concurrent producers.
+func ReplaySnapshots(e *Engine, sc *trace.Scanner[trace.Snapshot], writers int) (int, error) {
+	return replay(e, sc, writers, func(w *Writer, s trace.Snapshot) {
+		w.ObserveCensus(s)
+	})
+}
+
+func replay[T any](e *Engine, sc *trace.Scanner[T], writers int, put func(*Writer, T)) (int, error) {
+	if writers < 1 {
+		writers = 1
+	}
+	ch := make(chan T, 4*writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := e.NewWriter()
+			for rec := range ch {
+				put(w, rec)
+			}
+			w.Flush()
+		}()
+	}
+	n := 0
+	for sc.Scan() {
+		ch <- sc.Record()
+		n++
+	}
+	close(ch)
+	wg.Wait()
+	e.Flush()
+	return n, sc.Err()
+}

@@ -1,0 +1,206 @@
+package ingest
+
+import (
+	"time"
+
+	"swarmavail/internal/measure"
+	"swarmavail/internal/stats"
+	"swarmavail/internal/trace"
+)
+
+// shardMsg is the single message type flowing through a shard's queue.
+// Exactly one of the fields is set. Routing reads through the same
+// queue as writes keeps them ordered after every batch submitted before
+// them — and means a reader never takes a lock a writer could contend
+// on.
+type shardMsg struct {
+	ops []Op // batch of work
+
+	ack chan<- struct{} // flush barrier: signalled once prior msgs applied
+
+	summary chan<- *Summary // aggregate snapshot request
+
+	swarmID int
+	swarm   chan<- *SwarmStats // per-swarm snapshot request (nil reply = unknown)
+}
+
+// shard owns a partition of the swarm keyspace. Only its goroutine
+// touches the maps — no locks anywhere on the apply path.
+type shard struct {
+	in      chan shardMsg
+	metrics *Metrics
+	swarms  map[int]*swarmState
+	cats    map[trace.Category]*CategoryCounters
+}
+
+func newShard(queueDepth int, m *Metrics) *shard {
+	return &shard{
+		in:      make(chan shardMsg, queueDepth),
+		metrics: m,
+		swarms:  make(map[int]*swarmState),
+		cats:    make(map[trace.Category]*CategoryCounters),
+	}
+}
+
+// run drains the queue until the channel closes.
+func (s *shard) run() {
+	for msg := range s.in {
+		switch {
+		case msg.ops != nil:
+			start := time.Now()
+			for _, op := range msg.ops {
+				s.apply(op)
+			}
+			s.metrics.observeBatch(len(msg.ops), time.Since(start))
+		case msg.ack != nil:
+			msg.ack <- struct{}{}
+		case msg.summary != nil:
+			msg.summary <- s.summarize()
+		case msg.swarm != nil:
+			if st, ok := s.swarms[msg.swarmID]; ok {
+				snap := st.stats()
+				msg.swarm <- &snap
+			} else {
+				msg.swarm <- nil
+			}
+		}
+	}
+}
+
+func (s *shard) state(id int) *swarmState {
+	st, ok := s.swarms[id]
+	if !ok {
+		st = &swarmState{}
+		s.swarms[id] = st
+	}
+	return st
+}
+
+func (s *shard) apply(op Op) {
+	switch op.kind {
+	case opEvent:
+		s.state(op.rec.SwarmID).apply(op.rec)
+	case opMeta:
+		st := s.state(op.meta.ID)
+		st.meta = op.meta
+		st.horizon = op.horizon
+		st.hasMeta = true
+	case opCensus:
+		st := s.state(op.census.Meta.ID)
+		first := !st.hasCensus
+		if !st.hasMeta {
+			st.meta = op.census.Meta
+		}
+		st.censusSeeds = op.census.Seeds
+		st.censusLeechers = op.census.Leechers
+		st.downloads = op.census.Downloads
+		st.hasCensus = true
+		if first {
+			cat := op.census.Meta.Category
+			cc, ok := s.cats[cat]
+			if !ok {
+				cc = &CategoryCounters{}
+				s.cats[cat] = cc
+			}
+			cc.observe(op.census)
+		}
+	}
+}
+
+// summarize folds the shard's swarms into a mergeable aggregate.
+func (s *shard) summarize() *Summary {
+	sum := NewSummary()
+	sum.Swarms = len(s.swarms)
+	for _, st := range s.swarms {
+		sum.SeedsOnline += st.seedsOnline
+		sum.LeechersOnline += st.leechersOnline
+		sum.BusyPeriods += st.busyPeriods
+		sum.Events += st.events
+		if st.events > 0 || st.hasMeta {
+			fm, full := st.availability()
+			sum.FirstMonth.Add(fm)
+			sum.Full.Add(full)
+			if measure.IsFullyAvailable(fm) {
+				sum.FullyAvailableFirstMonth++
+			}
+			if measure.IsMostlyUnavailable(full) {
+				sum.MostlyUnavailable++
+			}
+			sum.StudySwarms++
+		}
+		if st.hasCensus {
+			sum.CensusSwarms++
+		}
+	}
+	for cat, cc := range s.cats {
+		merged := sum.Categories[cat]
+		merged.merge(*cc)
+		sum.Categories[cat] = merged
+	}
+	return sum
+}
+
+// Summary is the engine-wide (or per-shard, pre-merge) aggregate
+// snapshot: rolling gauges, online availability sketches, headline
+// counters, and per-category bundling counters.
+type Summary struct {
+	Swarms         int `json:"swarms"`
+	StudySwarms    int `json:"study_swarms"` // swarms with events or registration
+	CensusSwarms   int `json:"census_swarms"`
+	SeedsOnline    int `json:"seeds_online"`
+	LeechersOnline int `json:"leechers_online"`
+	BusyPeriods    int `json:"busy_periods"`
+
+	Events uint64 `json:"events"`
+
+	// FirstMonth and Full are mergeable availability sketches over the
+	// per-swarm online availabilities (Figure 1's two CDFs, live).
+	FirstMonth *stats.QuantileSketch `json:"-"`
+	Full       *stats.QuantileSketch `json:"-"`
+
+	// Headline counters under the shared §2 definitions.
+	FullyAvailableFirstMonth int `json:"fully_available_first_month"`
+	MostlyUnavailable        int `json:"mostly_unavailable"`
+
+	Categories map[trace.Category]CategoryCounters `json:"-"`
+}
+
+// NewSummary returns an empty summary with sketches of the standard
+// geometry.
+func NewSummary() *Summary {
+	return &Summary{
+		FirstMonth: stats.NewAvailabilitySketch(),
+		Full:       stats.NewAvailabilitySketch(),
+		Categories: make(map[trace.Category]CategoryCounters),
+	}
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	s.Swarms += other.Swarms
+	s.StudySwarms += other.StudySwarms
+	s.CensusSwarms += other.CensusSwarms
+	s.SeedsOnline += other.SeedsOnline
+	s.LeechersOnline += other.LeechersOnline
+	s.BusyPeriods += other.BusyPeriods
+	s.Events += other.Events
+	s.FirstMonth.Merge(other.FirstMonth)
+	s.Full.Merge(other.Full)
+	s.FullyAvailableFirstMonth += other.FullyAvailableFirstMonth
+	s.MostlyUnavailable += other.MostlyUnavailable
+	for cat, cc := range other.Categories {
+		merged := s.Categories[cat]
+		merged.merge(cc)
+		s.Categories[cat] = merged
+	}
+}
+
+// Headlines converts the counters to measure's offline headline type.
+func (s *Summary) Headlines() measure.StudyHeadlines {
+	h := measure.StudyHeadlines{Swarms: s.StudySwarms}
+	if s.StudySwarms > 0 {
+		h.FullyAvailableFirstMonth = float64(s.FullyAvailableFirstMonth) / float64(s.StudySwarms)
+		h.MostlyUnavailableOverall = float64(s.MostlyUnavailable) / float64(s.StudySwarms)
+	}
+	return h
+}

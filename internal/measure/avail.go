@@ -1,0 +1,93 @@
+package measure
+
+import (
+	"swarmavail/internal/stats"
+	"swarmavail/internal/trace"
+)
+
+// This file holds the shared availability definitions used by both the
+// offline batch analysis (this package) and the online ingestion engine
+// (internal/ingest). Keeping them in one place guarantees the streaming
+// statistics converge to exactly the numbers the §2 reproduction
+// reports.
+
+const (
+	// FirstMonthDays is the paper's "first month" availability window.
+	FirstMonthDays = 30.0
+	// FullAvailabilityEps is the tolerance under which a first-month
+	// availability counts as "fully seeded" (guards float roundoff in
+	// interval arithmetic).
+	FullAvailabilityEps = 1e-9
+	// LowAvailabilityThreshold is the whole-trace availability at or
+	// below which a swarm counts as "unavailable most of the time"
+	// (the paper's ≈80%-of-swarms headline).
+	LowAvailabilityThreshold = 0.2
+)
+
+// IsFullyAvailable reports whether a first-month availability fraction
+// counts as fully seeded through the first month.
+func IsFullyAvailable(firstMonth float64) bool {
+	return firstMonth >= 1-FullAvailabilityEps
+}
+
+// IsMostlyUnavailable reports whether a whole-trace availability
+// fraction counts as unavailable at least 80% of the time.
+func IsMostlyUnavailable(full float64) bool {
+	return full <= LowAvailabilityThreshold
+}
+
+// Availability returns the two per-swarm availability fractions the §2
+// study reports: over the first month and over the whole monitored
+// window. It is the single definition both pipelines evaluate.
+func Availability(t trace.SwarmTrace) (firstMonth, full float64) {
+	return t.AvailabilityOver(FirstMonthDays), t.AvailabilityOver(t.MonitoredDays)
+}
+
+// HeadlinesFromAvailabilities computes StudyHeadlines from per-swarm
+// availability pairs — the streaming-friendly core of Headlines.
+// firstMonth and full must be parallel slices.
+func HeadlinesFromAvailabilities(firstMonth, full []float64) StudyHeadlines {
+	h := StudyHeadlines{Swarms: len(firstMonth)}
+	if len(firstMonth) == 0 || len(firstMonth) != len(full) {
+		return h
+	}
+	var fullFM, lowFull int
+	for i := range firstMonth {
+		if IsFullyAvailable(firstMonth[i]) {
+			fullFM++
+		}
+		if IsMostlyUnavailable(full[i]) {
+			lowFull++
+		}
+	}
+	h.FullyAvailableFirstMonth = float64(fullFM) / float64(len(firstMonth))
+	h.MostlyUnavailableOverall = float64(lowFull) / float64(len(full))
+	return h
+}
+
+// Availabilities evaluates Availability over a dataset, returning the
+// parallel per-swarm samples behind Figure 1.
+func Availabilities(traces []trace.SwarmTrace) (firstMonth, full []float64) {
+	firstMonth = make([]float64, 0, len(traces))
+	full = make([]float64, 0, len(traces))
+	for _, t := range traces {
+		fm, fl := Availability(t)
+		firstMonth = append(firstMonth, fm)
+		full = append(full, fl)
+	}
+	return firstMonth, full
+}
+
+// AvailabilitySketches folds a dataset's availabilities into mergeable
+// quantile sketches with the ingestion pipeline's standard geometry —
+// the offline reference for online CDF convergence tests.
+func AvailabilitySketches(traces []trace.SwarmTrace) (firstMonth, full *stats.QuantileSketch) {
+	firstMonth = stats.NewAvailabilitySketch()
+	full = stats.NewAvailabilitySketch()
+	for _, t := range traces {
+		fm, fl := Availability(t)
+		firstMonth.Add(fm)
+		full.Add(fl)
+	}
+	return firstMonth, full
+}

@@ -144,12 +144,7 @@ func CompareAvailability(snaps []trace.Snapshot, cat trace.Category) Availabilit
 // availability study: the per-swarm seed availability over the first
 // month and over the whole monitored window.
 func SeedAvailabilityCDFs(traces []trace.SwarmTrace) (firstMonth, full *stats.ECDF) {
-	fm := make([]float64, 0, len(traces))
-	fl := make([]float64, 0, len(traces))
-	for _, t := range traces {
-		fm = append(fm, t.FirstMonthAvailability())
-		fl = append(fl, t.FullAvailability())
-	}
+	fm, fl := Availabilities(traces)
 	return stats.NewECDF(fm), stats.NewECDF(fl)
 }
 
@@ -165,20 +160,6 @@ type StudyHeadlines struct {
 
 // Headlines computes StudyHeadlines from a study dataset.
 func Headlines(traces []trace.SwarmTrace) StudyHeadlines {
-	h := StudyHeadlines{Swarms: len(traces)}
-	if len(traces) == 0 {
-		return h
-	}
-	var fullFM, lowFull int
-	for _, t := range traces {
-		if t.FirstMonthAvailability() >= 1-1e-9 {
-			fullFM++
-		}
-		if t.FullAvailability() <= 0.2 {
-			lowFull++
-		}
-	}
-	h.FullyAvailableFirstMonth = float64(fullFM) / float64(len(traces))
-	h.MostlyUnavailableOverall = float64(lowFull) / float64(len(traces))
-	return h
+	fm, full := Availabilities(traces)
+	return HeadlinesFromAvailabilities(fm, full)
 }

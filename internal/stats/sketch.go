@@ -1,0 +1,194 @@
+package stats
+
+import "math"
+
+// QuantileSketch is a mergeable, fixed-resolution quantile summary over
+// a bounded value range [Lo, Hi]: a histogram with equal-width bins plus
+// exact min/max. It is the streaming counterpart of ECDF for the online
+// ingestion path (internal/ingest), where per-swarm availabilities
+// arrive continuously across shards and must be summarised without
+// retaining the sample.
+//
+// Accuracy: any quantile (and any CDF evaluation) is exact up to one bin
+// width, (Hi−Lo)/bins — e.g. ±1/4096 ≈ 2.4e-4 for availabilities in
+// [0,1] at the default resolution. Sketches with identical geometry
+// merge losslessly (the merged sketch equals the sketch of the
+// concatenated stream), which is what lets each ingest shard keep its
+// own sketch and a reader fold them on demand.
+type QuantileSketch struct {
+	Lo, Hi   float64
+	counts   []uint64
+	n        uint64
+	min, max float64
+}
+
+// DefaultSketchBins is the resolution used by the ingestion pipeline.
+const DefaultSketchBins = 4096
+
+// NewQuantileSketch creates an empty sketch over [lo, hi] with the given
+// number of bins. It panics on invalid geometry.
+func NewQuantileSketch(lo, hi float64, bins int) *QuantileSketch {
+	if bins <= 0 || !(hi > lo) {
+		panic("stats: quantile sketch needs hi > lo and positive bins")
+	}
+	return &QuantileSketch{Lo: lo, Hi: hi, counts: make([]uint64, bins)}
+}
+
+// NewAvailabilitySketch returns the standard sketch for availability
+// fractions: [0, 1] at DefaultSketchBins resolution.
+func NewAvailabilitySketch() *QuantileSketch {
+	return NewQuantileSketch(0, 1, DefaultSketchBins)
+}
+
+// Resolution returns the bin width — the worst-case value error of
+// Quantile and the x-resolution of At.
+func (s *QuantileSketch) Resolution() float64 {
+	return (s.Hi - s.Lo) / float64(len(s.counts))
+}
+
+// bin returns the bin index for x, clamping out-of-range values to the
+// edge bins (min/max remain exact, so the clamp only affects shape).
+func (s *QuantileSketch) bin(x float64) int {
+	i := int((x - s.Lo) / (s.Hi - s.Lo) * float64(len(s.counts)))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(s.counts) {
+		return len(s.counts) - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.counts[s.bin(x)]++
+	s.n++
+}
+
+// Merge folds other into s. Both sketches must share the same geometry.
+func (s *QuantileSketch) Merge(other *QuantileSketch) {
+	if other == nil {
+		return
+	}
+	if other.Lo != s.Lo || other.Hi != s.Hi || len(other.counts) != len(s.counts) {
+		panic("stats: merging quantile sketches with different geometry")
+	}
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+	s.n += other.n
+}
+
+// Clone returns an independent copy.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	c := *s
+	c.counts = make([]uint64, len(s.counts))
+	copy(c.counts, s.counts)
+	return &c
+}
+
+// N returns the number of observations.
+func (s *QuantileSketch) N() int { return int(s.n) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *QuantileSketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *QuantileSketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns an estimate of the q-quantile: the upper edge of the
+// bin containing the ⌈q·n⌉-th order statistic, clamped to [Min, Max].
+// NaN when empty.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			v := s.Lo + (float64(i)+1)*s.Resolution()
+			if v > s.max {
+				v = s.max
+			}
+			if v < s.min {
+				v = s.min
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// At returns the estimated CDF value F(x) = P[X ≤ x]: the fraction of
+// observations in bins entirely at or below x.
+func (s *QuantileSketch) At(x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if x < s.min {
+		return 0
+	}
+	if x >= s.max {
+		return 1
+	}
+	// Bins [0, k) lie entirely ≤ x when their upper edge ≤ x.
+	k := int(math.Floor((x - s.Lo) / (s.Hi - s.Lo) * float64(len(s.counts))))
+	if k <= 0 {
+		return 0
+	}
+	if k > len(s.counts) {
+		k = len(s.counts)
+	}
+	var cum uint64
+	for i := 0; i < k; i++ {
+		cum += s.counts[i]
+	}
+	return float64(cum) / float64(s.n)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileSketchAgainstECDF(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewAvailabilitySketch()
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mixture resembling availability data: mass at 0, mass near 1,
+		// and a spread in between.
+		var x float64
+		switch {
+		case i%5 == 0:
+			x = 0
+		case i%5 == 1:
+			x = 1
+		default:
+			x = r.Float64()
+		}
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	e := NewECDF(xs)
+	tol := s.Resolution()
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, want := s.Quantile(q), e.Quantile(q)
+		if math.Abs(got-want) > tol+1e-12 {
+			t.Errorf("Quantile(%v) = %v, ECDF %v (tol %v)", q, got, want, tol)
+		}
+	}
+	for _, x := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		got, want := s.At(x), e.At(x)
+		// A bin of probability mass can straddle x.
+		if math.Abs(got-want) > 0.25 {
+			t.Errorf("At(%v) = %v, ECDF %v", x, got, want)
+		}
+	}
+	if s.N() != e.N() {
+		t.Fatalf("N = %d, want %d", s.N(), e.N())
+	}
+}
+
+func TestQuantileSketchMergeEqualsConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	whole := NewAvailabilitySketch()
+	parts := make([]*QuantileSketch, 4)
+	for i := range parts {
+		parts[i] = NewAvailabilitySketch()
+	}
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		whole.Add(x)
+		parts[i%4].Add(x)
+	}
+	merged := NewAvailabilitySketch()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merge metadata mismatch: %d/%v/%v vs %d/%v/%v",
+			merged.N(), merged.Min(), merged.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v, whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestQuantileSketchEdges(t *testing.T) {
+	s := NewQuantileSketch(0, 1, 16)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch quantile must be NaN")
+	}
+	if s.At(0.5) != 0 {
+		t.Fatal("empty sketch CDF must be 0")
+	}
+	s.Add(math.NaN()) // ignored
+	if s.N() != 0 {
+		t.Fatal("NaN must be ignored")
+	}
+	// Out-of-range values clamp into edge bins but keep exact min/max.
+	s.Add(-3)
+	s.Add(7)
+	if s.Min() != -3 || s.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if q := s.Quantile(0); q != -3 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := s.Quantile(1); q != 7 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	// Single value: every quantile is that value.
+	one := NewQuantileSketch(0, 1, 16)
+	one.Add(0.42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); math.Abs(got-0.42) > one.Resolution() {
+			t.Fatalf("Quantile(%v) = %v", q, got)
+		}
+	}
+	// Clone independence.
+	c := one.Clone()
+	c.Add(0.9)
+	if one.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: %d/%d", one.N(), c.N())
+	}
+	// Geometry mismatch must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch must panic")
+		}
+	}()
+	one.Merge(NewQuantileSketch(0, 2, 16))
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validTraceLine is a well-formed study record used to seed the corpus.
+const validTraceLine = `{"meta":{"id":7,"category":1,"title":"show s01","files":[{"name":"e1.avi","size_kb":350000}],"created_day":3},"seed_sessions":[{"Start":0,"End":12.5}],"monitored_days":210}` + "\n"
+
+// validSnapshotLine is a well-formed census record.
+const validSnapshotLine = `{"meta":{"id":9,"category":2,"title":"books collection","files":[{"name":"a.pdf","size_kb":900},{"name":"b.pdf","size_kb":700}],"created_day":101},"seeds":0,"leechers":3,"downloads":2578}` + "\n"
+
+// FuzzReadTraces drives the streaming trace scanner with arbitrary
+// bytes: it must never panic, the batch reader must agree with the
+// scanner record-for-record, and a truncated tail must surface as an
+// error rather than a silent clean EOF.
+func FuzzReadTraces(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n",
+		validTraceLine,
+		validTraceLine + validTraceLine,
+		validTraceLine[:len(validTraceLine)/2], // truncated record
+		`{"meta":{"id":1}}` + "\n" + `{"meta":` + "\n",
+		`nulltrue{"monitored_days":1}`,
+		`{"seed_sessions":[{"Start":1e999}]}`,
+		"{}\n[]\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, batchErr := ReadTraces(bytes.NewReader(data))
+
+		sc := NewTraceScanner(bytes.NewReader(data))
+		var streamed []SwarmTrace
+		for sc.Scan() {
+			streamed = append(streamed, sc.Record())
+		}
+		if (batchErr == nil) != (sc.Err() == nil) {
+			t.Fatalf("batch error %v vs scanner error %v", batchErr, sc.Err())
+		}
+		if batchErr != nil {
+			return
+		}
+		if len(batch) != len(streamed) || sc.Count() != len(streamed) {
+			t.Fatalf("batch read %d records, scanner %d (Count %d)",
+				len(batch), len(streamed), sc.Count())
+		}
+		// Whatever was accepted must survive an archival round trip.
+		var buf bytes.Buffer
+		if err := WriteTraces(&buf, streamed); err != nil {
+			t.Fatalf("re-encoding accepted records: %v", err)
+		}
+		again, err := ReadTraces(&buf)
+		if err != nil {
+			t.Fatalf("re-reading archived records: %v", err)
+		}
+		if len(again) != len(streamed) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(again), len(streamed))
+		}
+	})
+}
+
+// FuzzReadSnapshots is the census-file variant of FuzzReadTraces.
+func FuzzReadSnapshots(f *testing.F) {
+	seeds := []string{
+		"",
+		validSnapshotLine,
+		validSnapshotLine + validSnapshotLine,
+		validSnapshotLine[:20],
+		`{"seeds":"three"}`,
+		`{"meta":{"files":[{}]}}` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, batchErr := ReadSnapshots(bytes.NewReader(data))
+
+		sc := NewSnapshotScanner(bytes.NewReader(data))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if (batchErr == nil) != (sc.Err() == nil) {
+			t.Fatalf("batch error %v vs scanner error %v", batchErr, sc.Err())
+		}
+		if batchErr != nil {
+			return
+		}
+		if len(batch) != n {
+			t.Fatalf("batch read %d records, scanner %d", len(batch), n)
+		}
+	})
+}
+
+// TestScannerTruncation pins the EOF semantics: clean EOF is not an
+// error, a mid-record cut is.
+func TestScannerTruncation(t *testing.T) {
+	sc := NewTraceScanner(bytes.NewReader([]byte(validTraceLine + validTraceLine[:30])))
+	if !sc.Scan() {
+		t.Fatalf("first record must scan (err %v)", sc.Err())
+	}
+	if sc.Record().Meta.ID != 7 {
+		t.Fatalf("unexpected record %+v", sc.Record())
+	}
+	if sc.Scan() {
+		t.Fatal("truncated record must not scan")
+	}
+	if err := sc.Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation must report io.ErrUnexpectedEOF, got %v", err)
+	}
+	if sc.Scan() {
+		t.Fatal("scanner must stay stopped after an error")
+	}
+
+	clean := NewTraceScanner(bytes.NewReader([]byte(validTraceLine)))
+	for clean.Scan() {
+	}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean EOF must not error: %v", err)
+	}
+	if clean.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", clean.Count())
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -20,20 +21,82 @@ func WriteTraces(w io.Writer, traces []SwarmTrace) error {
 	return bw.Flush()
 }
 
-// ReadTraces parses a JSON-lines trace stream.
-func ReadTraces(r io.Reader) ([]SwarmTrace, error) {
-	var out []SwarmTrace
-	dec := json.NewDecoder(r)
-	for {
-		var t SwarmTrace
-		if err := dec.Decode(&t); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
-		}
-		out = append(out, t)
+// Scanner streams a JSON-lines dataset one record at a time, so replay
+// and analysis tools can process campaigns far larger than memory.
+// Instantiated as Scanner[SwarmTrace] (NewTraceScanner) or
+// Scanner[Snapshot] (NewSnapshotScanner).
+//
+// Usage follows bufio.Scanner:
+//
+//	sc := trace.NewTraceScanner(f)
+//	for sc.Scan() {
+//	    t := sc.Record()
+//	    …
+//	}
+//	if err := sc.Err(); err != nil { … }
+type Scanner[T any] struct {
+	dec *json.Decoder
+	cur T
+	n   int
+	err error
+}
+
+// NewTraceScanner returns a streaming reader over an availability-study
+// trace file.
+func NewTraceScanner(r io.Reader) *Scanner[SwarmTrace] { return newScanner[SwarmTrace](r) }
+
+// NewSnapshotScanner returns a streaming reader over a census snapshot
+// file.
+func NewSnapshotScanner(r io.Reader) *Scanner[Snapshot] { return newScanner[Snapshot](r) }
+
+func newScanner[T any](r io.Reader) *Scanner[T] {
+	// json.Decoder reads in small chunks; the bufio layer keeps the
+	// underlying reads large even for unbuffered sources (files, pipes,
+	// network bodies).
+	return &Scanner[T]{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Scan advances to the next record. It returns false at end of input or
+// on the first decode error; Err distinguishes the two.
+func (s *Scanner[T]) Scan() bool {
+	if s.err != nil {
+		return false
 	}
+	var rec T
+	if err := s.dec.Decode(&rec); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = fmt.Errorf("trace: decoding record %d: %w", s.n, err)
+		}
+		return false
+	}
+	s.cur = rec
+	s.n++
+	return true
+}
+
+// Record returns the record read by the last successful Scan.
+func (s *Scanner[T]) Record() T { return s.cur }
+
+// Count returns the number of records successfully read so far.
+func (s *Scanner[T]) Count() int { return s.n }
+
+// Err returns the first decode error, or nil if the stream ended
+// cleanly. A truncated final record surfaces as io.ErrUnexpectedEOF
+// (wrapped), not as a clean end.
+func (s *Scanner[T]) Err() error { return s.err }
+
+// ReadTraces parses a JSON-lines trace stream into memory. Prefer
+// NewTraceScanner for large datasets.
+func ReadTraces(r io.Reader) ([]SwarmTrace, error) {
+	sc := NewTraceScanner(r)
+	var out []SwarmTrace
+	for sc.Scan() {
+		out = append(out, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteSnapshots serialises a snapshot dataset as JSON lines.
@@ -48,18 +111,16 @@ func WriteSnapshots(w io.Writer, snaps []Snapshot) error {
 	return bw.Flush()
 }
 
-// ReadSnapshots parses a JSON-lines snapshot stream.
+// ReadSnapshots parses a JSON-lines snapshot stream into memory. Prefer
+// NewSnapshotScanner for large datasets.
 func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
+	sc := NewSnapshotScanner(r)
 	var out []Snapshot
-	dec := json.NewDecoder(r)
-	for {
-		var s Snapshot
-		if err := dec.Decode(&s); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
-		}
-		out = append(out, s)
+	for sc.Scan() {
+		out = append(out, sc.Record())
 	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

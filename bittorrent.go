@@ -63,6 +63,8 @@ func NewPeer(cfg PeerConfig) (*PeerNode, error) { return peer.New(cfg) }
 
 // Probe joins a swarm's control plane, records the bitfields peers
 // advertise and classifies seeds — the paper's §2 monitoring agent.
+// The timeout bounds both the per-peer dial and its I/O deadline
+// (peer.DefaultDialTimeout if 0).
 func Probe(t *Torrent, timeout time.Duration) ([]ProbeResult, error) {
-	return peer.Probe(t, timeout)
+	return peer.Probe(t, peer.ProbeConfig{DialTimeout: timeout})
 }

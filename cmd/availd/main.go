@@ -29,17 +29,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"swarmavail/internal/ingest"
@@ -57,16 +61,29 @@ func main() {
 		census  = flag.String("census", "", "census JSONL to stream through the engine")
 		writers = flag.Int("writers", 4, "concurrent replay writers")
 		verify  = flag.Bool("verify", false, "check online statistics against the offline analysis")
+		push    = flag.String("push", "", "push -replay records to a remote availd ingest URL (e.g. http://host:8647/v1/ingest) instead of the local engine")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *shards, *batch, *replay, *census, *writers, *verify); err != nil {
+	// SIGINT/SIGTERM end this context; both the server and the push
+	// client drain gracefully from it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *listen, *shards, *batch, *replay, *census, *writers, *verify, *push); err != nil {
 		fmt.Fprintf(os.Stderr, "availd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, shards, batch int, replay, census string, writers int, verify bool) error {
+func run(ctx context.Context, listen string, shards, batch int, replay, census string, writers int, verify bool, push string) error {
+	if push != "" {
+		if replay == "" {
+			return fmt.Errorf("-push needs -replay (the records to send)")
+		}
+		return pushStudy(ctx, push, replay, batch)
+	}
+
 	e := ingest.New(ingest.Config{Shards: shards, BatchSize: batch})
 
 	if replay != "" {
@@ -86,9 +103,108 @@ func run(listen string, shards, batch int, replay, census string, writers int, v
 		}
 		return nil
 	}
-	srv := &server{engine: e}
-	fmt.Printf("availd: serving on %s (%d shards)\n", listen, e.Shards())
-	return http.ListenAndServe(listen, srv.handler())
+	return serve(ctx, e, listen, nil)
+}
+
+// serve runs the hardened HTTP front end until ctx ends, then shuts
+// down gracefully: stop accepting, finish in-flight requests, drain the
+// ingest engine. Every record acknowledged to a client before the
+// signal is applied before exit. If ready is non-nil it receives the
+// bound address once the listener is up (tests use ":0").
+func serve(ctx context.Context, e *ingest.Engine, listen string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: (&server{engine: e}).handler(),
+		// Slow-client protection: a peer that stalls mid-headers or
+		// mid-body cannot pin a connection goroutine forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	fmt.Printf("availd: serving on %s (%d shards)\n", ln.Addr(), e.Shards())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("availd: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// In-flight requests overran the grace period; the engine still
+		// drains what they enqueued (late writes get ErrClosed → 503).
+		fmt.Fprintf(os.Stderr, "availd: shutdown: %v\n", err)
+	}
+	e.Close()
+	m := e.Metrics()
+	fmt.Printf("availd: drained, %d records applied\n", m.Applied)
+	return nil
+}
+
+// pushStudy is replay-over-network: it streams an archived availability
+// study's monitor records to a remote availd's /v1/ingest through the
+// retrying HTTP client, riding out transient outages with backoff.
+func pushStudy(ctx context.Context, url, path string, batch int) error {
+	if batch <= 0 {
+		batch = 256
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c := ingest.NewHTTPClient(ingest.HTTPClientConfig{
+		URL: url,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("availd: "+format+"\n", args...)
+		},
+	})
+	sc := trace.NewTraceScanner(f)
+	buf := make([]ingest.Record, 0, batch)
+	var sent, swarms int
+	start := time.Now()
+	flush := func() error {
+		if err := c.Push(ctx, buf); err != nil {
+			return err
+		}
+		sent += len(buf)
+		buf = buf[:0]
+		return nil
+	}
+	for sc.Scan() {
+		t := sc.Record()
+		swarms++
+		for _, op := range ingest.TraceOps(t) {
+			rec, ok := op.EventRecord()
+			if !ok {
+				continue // registrations travel only on the local path
+			}
+			buf = append(buf, rec)
+			if len(buf) >= batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("pushed %d records from %d swarms to %s in %v (%d retries)\n",
+		sent, swarms, url, time.Since(start).Round(time.Millisecond), c.Retries())
+	return nil
 }
 
 // offlineRef accumulates the offline reference statistics during the
@@ -397,9 +513,16 @@ func (s *server) handleBundling(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// maxIngestBody bounds one /v1/ingest request (32 MiB ≈ 300k records);
+// push clients batch far below this.
+const maxIngestBody = 32 << 20
+
 // handleIngest accepts JSONL ingest.Record lines and streams them into
-// the engine through a request-scoped writer.
+// the engine through a request-scoped writer. The 200 acknowledgement
+// means every record is in the engine's queues — state a graceful
+// shutdown drains before exiting.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
 	dec := json.NewDecoder(r.Body)
 	wr := s.engine.NewWriter()
 	n := 0
@@ -409,15 +532,38 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			wr.Flush()
+			_ = wr.Flush()
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
 			return
 		}
-		wr.Observe(rec)
+		if err := wr.Observe(rec); err != nil {
+			ingestUnavailable(w, err)
+			return
+		}
 		n++
 	}
-	wr.Flush()
+	if err := wr.Flush(); err != nil {
+		ingestUnavailable(w, err)
+		return
+	}
 	writeJSON(w, map[string]int{"accepted": n})
+}
+
+// ingestUnavailable reports a write the draining engine refused; the
+// retrying client treats 503 as temporary and replays the batch
+// elsewhere/later, preserving at-least-once delivery.
+func ingestUnavailable(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ingest.ErrClosed) {
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +574,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "availd_ingest_records_total %d\n", m.Records)
 	fmt.Fprintf(w, "availd_ingest_applied_total %d\n", m.Applied)
 	fmt.Fprintf(w, "availd_ingest_batches_total %d\n", m.Batches)
+	fmt.Fprintf(w, "availd_ingest_shed_total{policy=%q} %d\n", m.OverflowPolicy, m.Shed)
 	fmt.Fprintf(w, "availd_ingest_records_per_second %g\n", m.RecordsPerSecond)
 	fmt.Fprintf(w, "availd_ingest_batch_size_mean %g\n", m.MeanBatchSize)
 	fmt.Fprintf(w, "availd_ingest_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50)

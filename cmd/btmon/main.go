@@ -44,7 +44,7 @@ func main() {
 	probes := 0
 	withSeed := 0
 	for {
-		results, err := peer.Probe(tor, *timeout)
+		results, err := peer.Probe(tor, peer.ProbeConfig{DialTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "btmon: probe failed: %v\n", err)
 		} else {

@@ -38,6 +38,7 @@ func main() {
 		announce    = flag.String("announce", "http://127.0.0.1:7070/announce", "tracker URL (create)")
 		pieceLen    = flag.Int64("piece", 256*1024, "piece length in bytes (create)")
 		listen      = flag.String("listen", "127.0.0.1:0", "peer listen address")
+		dialTimeout = flag.Duration("dial-timeout", 0, "peer dial timeout (0 = default)")
 	)
 	flag.Parse()
 	if *torrentPath == "" {
@@ -64,7 +65,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := peer.Config{Torrent: tor, ListenAddr: *listen}
+	// Classified tracker/dial events reach the console: "announce failed
+	// (temporary …)" is the tracker briefly down and being retried with
+	// backoff; "announce rejected (fatal …)" means the tracker answered
+	// and refused us (e.g. a torrent it does not serve).
+	cfg := peer.Config{
+		Torrent:     tor,
+		ListenAddr:  *listen,
+		DialTimeout: *dialTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("btnode: "+format+"\n", args...)
+		},
+	}
 	if *contentPath != "" {
 		content, err := readContents(*contentPath)
 		if err != nil {

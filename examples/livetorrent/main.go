@@ -112,7 +112,7 @@ func main() {
 
 // probe runs the monitoring agent once and prints what it saw.
 func probe(tor *metainfo.Torrent) {
-	results, err := peer.Probe(tor, 2*time.Second)
+	results, err := peer.Probe(tor, peer.ProbeConfig{DialTimeout: 2 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

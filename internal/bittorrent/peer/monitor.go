@@ -3,6 +3,7 @@ package peer
 import (
 	"crypto/rand"
 	"net"
+	"net/http"
 	"time"
 
 	"swarmavail/internal/bittorrent/metainfo"
@@ -20,12 +21,33 @@ type ProbeResult struct {
 	Pieces int
 }
 
+// ProbeConfig parameterises a monitoring probe with the same networking
+// knobs a Node has: the dial timeout (DefaultDialTimeout if 0, and also
+// the per-peer I/O deadline), an optional dialer override, and an
+// optional HTTP client for the announce.
+type ProbeConfig struct {
+	DialTimeout time.Duration
+	Dial        DialFunc
+	HTTPClient  *http.Client
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.Dial == nil {
+		c.Dial = net.DialTimeout
+	}
+	return c
+}
+
 // Probe is the §2 monitoring methodology in miniature: join the swarm's
 // control plane (announce to the tracker), connect to each reported
 // peer, record the bitfield it advertises, and classify seeds — without
 // uploading or downloading any content. The probe deregisters itself
 // afterwards.
-func Probe(t *metainfo.Torrent, timeout time.Duration) ([]ProbeResult, error) {
+func Probe(t *metainfo.Torrent, cfg ProbeConfig) ([]ProbeResult, error) {
+	cfg = cfg.withDefaults()
 	info := &t.Info
 	ih, err := info.Hash()
 	if err != nil {
@@ -45,18 +67,18 @@ func Probe(t *metainfo.Torrent, timeout time.Duration) ([]ProbeResult, error) {
 		NumWant:    200,
 		IP:         "127.0.0.1",
 	}
-	resp, err := tracker.Announce(nil, req)
+	resp, err := tracker.Announce(cfg.HTTPClient, req)
 	if err != nil {
 		return nil, err
 	}
 	defer func() {
 		req.Event = "stopped"
-		_, _ = tracker.Announce(nil, req)
+		_, _ = tracker.Announce(cfg.HTTPClient, req)
 	}()
 
 	var out []ProbeResult
 	for _, p := range resp.Peers {
-		r, err := probeOne(p.String(), ih, id, info.NumPieces(), timeout)
+		r, err := probeOne(cfg, p.String(), ih, id, info.NumPieces())
 		if err != nil {
 			continue // unreachable peers are simply skipped, as on PlanetLab
 		}
@@ -65,14 +87,14 @@ func Probe(t *metainfo.Torrent, timeout time.Duration) ([]ProbeResult, error) {
 	return out, nil
 }
 
-func probeOne(addr string, ih metainfo.InfoHash, id [20]byte, numPieces int, timeout time.Duration) (ProbeResult, error) {
+func probeOne(cfg ProbeConfig, addr string, ih metainfo.InfoHash, id [20]byte, numPieces int) (ProbeResult, error) {
 	res := ProbeResult{Addr: addr}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	c, err := cfg.Dial("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return res, err
 	}
 	defer c.Close()
-	_ = c.SetDeadline(time.Now().Add(timeout))
+	_ = c.SetDeadline(time.Now().Add(cfg.DialTimeout))
 	if err := wire.WriteHandshake(c, wire.Handshake{InfoHash: ih, PeerID: id}); err != nil {
 		return res, err
 	}

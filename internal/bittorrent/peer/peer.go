@@ -18,6 +18,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"net"
+	"net/http"
 	"strconv"
 	"sync"
 	"time"
@@ -26,6 +27,14 @@ import (
 	"swarmavail/internal/bittorrent/tracker"
 	"swarmavail/internal/bittorrent/wire"
 )
+
+// DefaultDialTimeout bounds outgoing peer dials when Config.DialTimeout
+// (or ProbeConfig.DialTimeout) is zero.
+const DefaultDialTimeout = 3 * time.Second
+
+// DialFunc dials one peer; it matches net.DialTimeout and
+// faultnet.Network.Dial, so a fault-injection layer slots straight in.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 // Config describes a node.
 type Config struct {
@@ -63,6 +72,24 @@ type Config struct {
 	// UnchokeSlots is the number of reciprocation-ranked unchoke slots
 	// (3 if 0); the optimistic slot is additional.
 	UnchokeSlots int
+	// DialTimeout bounds each outgoing peer dial (DefaultDialTimeout
+	// if 0). Flaky-network deployments want this well below the announce
+	// interval so one dead peer cannot stall a discovery round.
+	DialTimeout time.Duration
+	// Dial overrides the peer dialer (nil = net.DialTimeout). A
+	// faultnet.Network's Dial goes here to run the node under injected
+	// faults.
+	Dial DialFunc
+	// Listen overrides the listener constructor (nil = net.Listen); a
+	// fault layer can wrap accepted connections here.
+	Listen func(network, addr string) (net.Listener, error)
+	// HTTPClient performs tracker announces (nil = http.DefaultClient);
+	// inject a faulty http.RoundTripper to exercise announce retry.
+	HTTPClient *http.Client
+	// Logf, when set, receives classified lifecycle events: announce
+	// failures (temporary vs. fatal) and dial backoff decisions. Leave
+	// nil for silence.
+	Logf func(format string, args ...any)
 }
 
 // Node is a running peer.
@@ -83,6 +110,13 @@ type Node struct {
 	dialed    map[string]bool
 	known     map[string]bool // peer listen addresses learned (tracker, PEX, handshakes)
 	stopped   bool
+
+	// Dial-failure backoff (guarded by mu): consecutive failures per
+	// address and the earliest next attempt, capped exponential with
+	// jitter so a dead peer is not hammered every announce round.
+	dialFails  map[string]int
+	nextDial   map[string]time.Time
+	backoffRng *mrand.Rand
 
 	doneOnce sync.Once
 	doneCh   chan struct{}
@@ -140,17 +174,22 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Pipeline == 0 {
 		cfg.Pipeline = 2
 	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
 	n := &Node{
-		cfg:      cfg,
-		info:     info,
-		infoHash: ih,
-		have:     wire.NewBitfield(info.NumPieces()),
-		pending:  make(map[int]*conn),
-		conns:    make(map[*conn]struct{}),
-		dialed:   make(map[string]bool),
-		known:    make(map[string]bool),
-		doneCh:   make(chan struct{}),
-		stopCh:   make(chan struct{}),
+		cfg:       cfg,
+		info:      info,
+		infoHash:  ih,
+		have:      wire.NewBitfield(info.NumPieces()),
+		pending:   make(map[int]*conn),
+		conns:     make(map[*conn]struct{}),
+		dialed:    make(map[string]bool),
+		known:     make(map[string]bool),
+		dialFails: make(map[string]int),
+		nextDial:  make(map[string]time.Time),
+		doneCh:    make(chan struct{}),
+		stopCh:    make(chan struct{}),
 	}
 	copy(n.peerID[:], "-SA0001-")
 	if _, err := rand.Read(n.peerID[8:]); err != nil {
@@ -161,6 +200,7 @@ func New(cfg Config) (*Node, error) {
 		rngSeed = rngSeed<<8 | int64(b)
 	}
 	n.optimisticRng = mrand.New(mrand.NewSource(rngSeed))
+	n.backoffRng = mrand.New(mrand.NewSource(rngSeed ^ 0x5eed))
 	if cfg.Content != nil {
 		if int64(len(cfg.Content)) != info.TotalLength() {
 			return nil, fmt.Errorf("peer: content is %d bytes, torrent says %d",
@@ -198,7 +238,11 @@ func (n *Node) InfoHash() metainfo.InfoHash { return n.infoHash }
 
 // Start begins listening, announcing, and dialing.
 func (n *Node) Start() error {
-	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	listen := n.cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", n.cfg.ListenAddr)
 	if err != nil {
 		return err
 	}
@@ -294,8 +338,41 @@ func (n *Node) Stop() {
 		_ = c.c.Close()
 	}
 	// Best-effort goodbye to the tracker.
-	_, _ = tracker.Announce(nil, n.announceReq("stopped"))
+	_, _ = tracker.Announce(n.cfg.HTTPClient, n.announceReq("stopped"))
 	n.wg.Wait()
+}
+
+// logf reports a lifecycle event through Config.Logf, if set.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// dial performs one outgoing connection through the configured dialer.
+func (n *Node) dial(addr string) (net.Conn, error) {
+	dial := n.cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	return dial("tcp", addr, n.cfg.DialTimeout)
+}
+
+// backoffAfter returns the capped-exponential-with-jitter delay to wait
+// after the given consecutive-failure count (1 = first failure).
+func backoffAfter(failures int, base, cap time.Duration, rng *mrand.Rand) time.Duration {
+	if failures < 1 {
+		failures = 1
+	}
+	d := base
+	for i := 1; i < failures && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// Uniform jitter in [d/2, d): desynchronises retry herds.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
 func (n *Node) signalDone() {
@@ -318,14 +395,24 @@ func (n *Node) announceReq(event string) tracker.AnnounceRequest {
 	}
 }
 
+// announceLoop announces on the tracker interval, retrying failures
+// with capped exponential backoff. Temporary failures (tracker down,
+// 5xx, garbled response) retry faster than the full interval; fatal
+// rejections ("torrent unregistered") keep the normal cadence — a hot
+// retry cannot fix them, but a tracker-side fix should be picked up.
 func (n *Node) announceLoop() {
 	defer n.wg.Done()
 	interval := n.cfg.AnnounceInterval
 	event := "started"
+	failures := 0
 	for {
-		resp, err := tracker.Announce(nil, n.announceReq(event))
-		event = ""
-		if err == nil && resp.FailureMsg == "" {
+		resp, err := tracker.Announce(n.cfg.HTTPClient, n.announceReq(event))
+		if err == nil {
+			if failures > 0 {
+				n.logf("announce recovered after %d failed attempts", failures)
+			}
+			failures = 0
+			event = "" // the event landed; don't repeat it
 			if interval == 0 {
 				interval = resp.Interval
 			}
@@ -337,15 +424,33 @@ func (n *Node) announceLoop() {
 				n.rememberAddrs(addrs)
 				n.dialAddrs(addrs)
 			}
+		} else if tracker.IsTemporary(err) {
+			failures++
+			n.logf("announce failed (temporary, attempt %d): %v", failures, err)
+		} else {
+			// The tracker answered and said no; retrying sooner won't help.
+			failures = 0
+			n.logf("announce rejected (fatal): %v", err)
 		}
 		n.broadcastPex()
 		if interval <= 0 {
 			interval = tracker.DefaultInterval
 		}
+		wait := interval
+		if failures > 0 {
+			// Retry sooner than the full interval, backing off toward it.
+			base := interval / 8
+			if base < 50*time.Millisecond {
+				base = 50 * time.Millisecond
+			}
+			n.mu.Lock()
+			wait = backoffAfter(failures, base, interval, n.backoffRng)
+			n.mu.Unlock()
+		}
 		select {
 		case <-n.stopCh:
 			return
-		case <-time.After(interval):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -373,15 +478,20 @@ func (n *Node) knownAddrs() []string {
 	return out
 }
 
-// dialAddrs connects to every address not already tried.
+// dialAddrs connects to every address not already connected or inside
+// its failure-backoff window. Dial failures back off exponentially (with
+// jitter) per address; a connection that later drops clears its dialed
+// mark so churned peers are re-dialed on the next discovery round.
 func (n *Node) dialAddrs(addrs []string) {
 	self := n.Addr()
+	now := time.Now()
 	for _, addr := range addrs {
 		if addr == self {
 			continue
 		}
 		n.mu.Lock()
-		skip := n.dialed[addr] || n.stopped || len(n.conns) >= n.cfg.MaxPeers
+		skip := n.dialed[addr] || n.stopped || len(n.conns) >= n.cfg.MaxPeers ||
+			now.Before(n.nextDial[addr])
 		if !skip {
 			n.dialed[addr] = true
 		}
@@ -392,14 +502,30 @@ func (n *Node) dialAddrs(addrs []string) {
 		n.wg.Add(1)
 		go func(addr string) {
 			defer n.wg.Done()
-			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+			c, err := n.dial(addr)
 			if err != nil {
 				n.mu.Lock()
-				delete(n.dialed, addr) // allow a retry on the next announce
+				delete(n.dialed, addr) // allow a retry once the backoff passes
+				n.dialFails[addr]++
+				wait := backoffAfter(n.dialFails[addr],
+					250*time.Millisecond, 15*time.Second, n.backoffRng)
+				n.nextDial[addr] = time.Now().Add(wait)
+				fails := n.dialFails[addr]
 				n.mu.Unlock()
+				n.logf("dial %s failed (%d consecutive, next try in %v): %v",
+					addr, fails, wait.Round(time.Millisecond), err)
 				return
 			}
+			n.mu.Lock()
+			delete(n.dialFails, addr)
+			delete(n.nextDial, addr)
+			n.mu.Unlock()
 			n.runConn(c, true)
+			// The connection ended — churn, reset, or shutdown. Unmark the
+			// address so a future announce/PEX round may reconnect.
+			n.mu.Lock()
+			delete(n.dialed, addr)
+			n.mu.Unlock()
 		}(addr)
 	}
 }
@@ -854,7 +980,7 @@ func (n *Node) receivePiece(c *conn, m *wire.Message) error {
 	if complete {
 		n.signalDone()
 		// Tell the tracker we are now a seed (best effort, async).
-		go func() { _, _ = tracker.Announce(nil, n.announceReq("completed")) }()
+		go func() { _, _ = tracker.Announce(n.cfg.HTTPClient, n.announceReq("completed")) }()
 	}
 	n.requestMore(c)
 	return nil

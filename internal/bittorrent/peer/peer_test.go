@@ -2,7 +2,14 @@ package peer
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -165,7 +172,7 @@ func TestMonitoringProbeClassifiesSeeds(t *testing.T) {
 	var results []ProbeResult
 	for time.Now().Before(deadline) {
 		var err error
-		results, err = Probe(tor, 2*time.Second)
+		results, err = Probe(tor, ProbeConfig{DialTimeout: 2 * time.Second})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,4 +254,176 @@ func TestTrackerSeesSeedTransition(t *testing.T) {
 		time.Sleep(100 * time.Millisecond)
 	}
 	t.Fatal("tracker never observed two seeds")
+}
+
+func TestDialTimeoutKnob(t *testing.T) {
+	announce := startTracker(t)
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 4096}}, 1024, 9)
+	seeder := startNode(t, Config{Torrent: tor, Content: content})
+
+	// A custom dialer observes the timeout the node passes through.
+	timeouts := make(chan time.Duration, 8)
+	leecher := startNode(t, Config{
+		Torrent:     tor,
+		DialTimeout: 123 * time.Millisecond,
+		Dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			timeouts <- timeout
+			return net.DialTimeout(network, addr, timeout)
+		},
+		Bootstrap: []string{seeder.Addr()},
+	})
+	waitDone(t, leecher, 15*time.Second)
+	select {
+	case got := <-timeouts:
+		if got != 123*time.Millisecond {
+			t.Fatalf("dialer saw timeout %v, want 123ms", got)
+		}
+	default:
+		t.Fatal("custom dialer never invoked")
+	}
+
+	// The zero value defaults to DefaultDialTimeout.
+	n, err := New(Config{Torrent: tor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.DialTimeout != DefaultDialTimeout {
+		t.Fatalf("default dial timeout %v, want %v", n.cfg.DialTimeout, DefaultDialTimeout)
+	}
+}
+
+func TestAnnounceRetriesThroughOutage(t *testing.T) {
+	// The tracker is unreachable for the node's first announces; backoff
+	// retries must land the registration once it comes back.
+	srv := tracker.NewServer()
+	ln, closeFn, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = closeFn() })
+	announce := "http://" + ln.Addr().String() + "/announce"
+	tor, content := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 4096}}, 1024, 10)
+
+	var mu sync.Mutex
+	down := true
+	failures := make(chan struct{}, 64)
+	rt := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			select {
+			case failures <- struct{}{}:
+			default:
+			}
+			return nil, errors.New("injected: tracker down")
+		}
+		return http.DefaultTransport.RoundTrip(r)
+	})
+
+	var logMu sync.Mutex
+	var logs []string
+	n, err := New(Config{
+		Torrent:          tor,
+		Content:          content,
+		AnnounceInterval: 100 * time.Millisecond,
+		HTTPClient:       &http.Client{Transport: rt},
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	// Wait for a couple of failed attempts, then restore the tracker.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-failures:
+		case <-time.After(5 * time.Second):
+			t.Fatal("node never attempted to announce")
+		}
+	}
+	mu.Lock()
+	down = false
+	mu.Unlock()
+
+	ih, _ := tor.Info.Hash()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s, _ := srv.Counts(ih); s == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("announce never landed after the outage healed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The tracker registers the peer before the client goroutine gets to
+	// log "recovered", so give the log a moment to catch up.
+	checkLogs := func() (sawTemp, sawRecover bool) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		for _, l := range logs {
+			if strings.Contains(l, "temporary") {
+				sawTemp = true
+			}
+			if strings.Contains(l, "recovered") {
+				sawRecover = true
+			}
+		}
+		return
+	}
+	for {
+		sawTemp, sawRecover := checkLogs()
+		if sawTemp && sawRecover {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("logs missed the outage story (temporary=%v recovered=%v)",
+				sawTemp, sawRecover)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestDialBackoffSkipsDeadPeer(t *testing.T) {
+	announce := startTracker(t)
+	tor, _ := makeTorrent(t, announce,
+		[]metainfo.File{{Path: "f.bin", Length: 4096}}, 1024, 11)
+
+	var dials atomic.Int32
+	n, err := New(Config{
+		Torrent:     tor,
+		DialTimeout: 50 * time.Millisecond,
+		Dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			return nil, errors.New("injected: unreachable")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten discovery rounds at a dead address: the backoff window must
+	// swallow most of them (without backoff this would be 10 dials).
+	dead := []string{"127.0.0.1:1"}
+	for i := 0; i < 10; i++ {
+		n.dialAddrs(dead)
+		time.Sleep(20 * time.Millisecond)
+	}
+	n.wg.Wait()
+	if got := dials.Load(); got >= 5 {
+		t.Fatalf("%d dials in 10 rounds, want backoff to suppress most", got)
+	}
 }

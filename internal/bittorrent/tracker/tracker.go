@@ -254,6 +254,50 @@ func (s *Server) Counts(ih metainfo.InfoHash) (seeds, leechers int) {
 // ---------------------------------------------------------------------------
 // Client side.
 
+// Error is a classified announce failure. Temporary errors — the
+// tracker was unreachable, timed out, answered 5xx, or returned bytes
+// that did not parse — are worth retrying with backoff; fatal ones mean
+// the tracker answered and rejected the announce (a torrent it does not
+// serve, a malformed request) and will not fix themselves. The
+// distinction lets clients log "tracker briefly down" differently from
+// "torrent unregistered" and back off accordingly.
+type Error struct {
+	URL       string
+	Reason    string // in-band "failure reason", if the tracker sent one
+	Temporary bool
+	Err       error // underlying transport/parse error, if any
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	kind := "fatal"
+	if e.Temporary {
+		kind = "temporary"
+	}
+	switch {
+	case e.Reason != "":
+		return fmt.Sprintf("tracker: announce rejected (%s): %s", kind, e.Reason)
+	case e.Err != nil:
+		return fmt.Sprintf("tracker: announce failed (%s): %v", kind, e.Err)
+	}
+	return "tracker: announce failed (" + kind + ")"
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsTemporary reports whether err is a retryable announce failure.
+// Errors that are not a tracker.Error default to temporary — on
+// PlanetLab-grade networks an unclassified failure is far more likely a
+// flaky path than a permanent rejection.
+func IsTemporary(err error) bool {
+	var te *Error
+	if errors.As(err, &te) {
+		return te.Temporary
+	}
+	return err != nil
+}
+
 // PeerAddr is one peer endpoint from an announce response.
 type PeerAddr struct {
 	IP   net.IP
@@ -288,7 +332,11 @@ type AnnounceResponse struct {
 	FailureMsg string
 }
 
-// Announce performs one announce over HTTP.
+// Announce performs one announce over HTTP. Failures come back as a
+// classified *Error: transport problems, 5xx statuses, and unparseable
+// responses are Temporary; an in-band "failure reason" (also surfaced
+// in the response's FailureMsg for compatibility) or a non-5xx HTTP
+// error status is fatal.
 func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, error) {
 	if client == nil {
 		client = http.DefaultClient
@@ -318,9 +366,16 @@ func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, erro
 
 	httpResp, err := client.Get(u.String())
 	if err != nil {
-		return nil, err
+		return nil, &Error{URL: req.TrackerURL, Temporary: true, Err: err}
 	}
 	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, &Error{
+			URL:       req.TrackerURL,
+			Temporary: httpResp.StatusCode >= 500 || httpResp.StatusCode == http.StatusTooManyRequests,
+			Err:       fmt.Errorf("http status %s", httpResp.Status),
+		}
+	}
 	body := make([]byte, 0, 4096)
 	buf := make([]byte, 4096)
 	for {
@@ -330,10 +385,18 @@ func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, erro
 			break
 		}
 		if len(body) > 1<<20 {
-			return nil, errors.New("tracker: response too large")
+			return nil, &Error{URL: req.TrackerURL, Temporary: true,
+				Err: errors.New("response too large")}
 		}
 	}
-	return ParseAnnounceResponse(body)
+	resp, err := ParseAnnounceResponse(body)
+	if err != nil {
+		return nil, &Error{URL: req.TrackerURL, Temporary: true, Err: err}
+	}
+	if resp.FailureMsg != "" {
+		return resp, &Error{URL: req.TrackerURL, Reason: resp.FailureMsg}
+	}
+	return resp, nil
 }
 
 // ParseAnnounceResponse decodes a bencoded announce reply.

@@ -1,6 +1,8 @@
 package tracker
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -205,12 +207,67 @@ func TestAnnounceFailureCases(t *testing.T) {
 	for i, req := range cases {
 		req.PeerID = testPeerID('z')
 		resp, err := Announce(client, req)
-		if err != nil {
-			t.Fatalf("case %d transport error: %v", i, err)
+		if err == nil {
+			t.Fatalf("case %d accepted", i)
 		}
-		if resp.FailureMsg == "" {
-			t.Errorf("case %d accepted", i)
+		var te *Error
+		if !errors.As(err, &te) || te.Temporary || te.Reason == "" {
+			t.Errorf("case %d: error %v, want fatal tracker.Error with a reason", i, err)
 		}
+		if IsTemporary(err) {
+			t.Errorf("case %d: in-band rejection classified temporary", i)
+		}
+		// The in-band reason stays readable on the response too.
+		if resp == nil || resp.FailureMsg == "" {
+			t.Errorf("case %d: FailureMsg not preserved", i)
+		}
+	}
+}
+
+func TestAnnounceErrorClassification(t *testing.T) {
+	ih := testHash(11)
+	valid := func(url string) AnnounceRequest {
+		return AnnounceRequest{TrackerURL: url, InfoHash: ih,
+			PeerID: testPeerID('c'), Port: 7000, IP: "127.0.0.1"}
+	}
+
+	// Unreachable tracker: temporary.
+	_, err := Announce(nil, valid("http://127.0.0.1:1/announce"))
+	if err == nil || !IsTemporary(err) {
+		t.Fatalf("unreachable tracker: %v, want temporary", err)
+	}
+
+	// 5xx: temporary. 404: fatal. Garbage body: temporary.
+	for _, tc := range []struct {
+		status    int
+		body      string
+		temporary bool
+	}{
+		{http.StatusServiceUnavailable, "down", true},
+		{http.StatusNotFound, "no such tracker", false},
+		{http.StatusOK, "this is not bencode", true},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(tc.status)
+			_, _ = io.WriteString(w, tc.body)
+		}))
+		_, err := Announce(srv.Client(), valid(srv.URL+"/announce"))
+		if err == nil {
+			t.Fatalf("status %d accepted", tc.status)
+		}
+		if IsTemporary(err) != tc.temporary {
+			t.Errorf("status %d %q: IsTemporary=%v, want %v (err: %v)",
+				tc.status, tc.body, IsTemporary(err), tc.temporary, err)
+		}
+		srv.Close()
+	}
+
+	// Unclassified errors default to temporary; nil is not an error.
+	if !IsTemporary(errors.New("mystery")) {
+		t.Fatal("unclassified error must default to temporary")
+	}
+	if IsTemporary(nil) {
+		t.Fatal("nil classified as temporary failure")
 	}
 }
 

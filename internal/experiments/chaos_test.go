@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestChaosSustainability is the PR's headline robustness check: a real
+// TCP swarm, a seeded fault layer resetting connections mid-stream, and
+// a publisher that departs at first completion — the scaled-down §4.2
+// run must still complete. The seed is fixed, so the fault decision
+// stream is reproducible run to run.
+func TestChaosSustainability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-swarm chaos run")
+	}
+	res, stats, err := chaosRun(Quick, 42)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	// A chaos run that injected nothing proves nothing.
+	if stats.Resets == 0 && stats.DialsDenied == 0 {
+		t.Fatalf("no faults injected (stats %+v); increase probabilities or traffic", stats)
+	}
+	if len(res.Notes) == 0 || len(res.Timelines) == 0 {
+		t.Fatalf("chaos result missing notes/timeline: %+v", res)
+	}
+	for _, note := range res.Notes {
+		t.Log(note)
+	}
+}

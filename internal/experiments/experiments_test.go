@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-arrivals", "ablation-busyperiod", "ablation-distributions",
 		"ablation-impatience", "ablation-lingering", "ablation-patience",
 		"ablation-pieces", "ablation-slots", "ablation-threshold",
-		"ablation-traffic", "ablation-waitinggroup",
+		"ablation-traffic", "ablation-waitinggroup", "chaos",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c",
 		"fig7", "fluid-baseline", "scaling-laws", "sec2.3", "table-bm",
 	}

@@ -1,0 +1,74 @@
+package faultnet
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// conn applies mid-stream faults: latency per delivering op, bandwidth
+// pacing on writes, probabilistic resets, and truncated writes. Once a
+// fault resets the connection, every subsequent operation fails — both
+// sides observe the death, like a real RST.
+type conn struct {
+	net.Conn
+	net   *Network
+	reset atomic.Bool
+}
+
+// kill closes the underlying connection and marks it reset.
+func (c *conn) kill() {
+	c.reset.Store(true)
+	_ = c.Conn.Close()
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrReset
+	}
+	if c.net.chance(c.net.cfg.ResetProb) {
+		c.net.mu.Lock()
+		c.net.stats.Resets++
+		c.net.mu.Unlock()
+		c.kill()
+		return 0, ErrReset
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.net.sleep()
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrReset
+	}
+	if c.net.chance(c.net.cfg.ResetProb) {
+		c.net.mu.Lock()
+		c.net.stats.Resets++
+		c.net.mu.Unlock()
+		c.kill()
+		return 0, ErrReset
+	}
+	if c.net.chance(c.net.cfg.TruncateProb) {
+		c.net.mu.Lock()
+		c.net.stats.Truncations++
+		c.net.mu.Unlock()
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.kill()
+		return n, ErrReset
+	}
+	c.net.sleep()
+	c.pace(len(p))
+	return c.Conn.Write(p)
+}
+
+// pace sleeps long enough that n bytes respect the bandwidth cap.
+func (c *conn) pace(n int) {
+	bw := c.net.cfg.BandwidthKBps
+	if bw <= 0 || n == 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(n) / (bw * 1024) * float64(time.Second)))
+}

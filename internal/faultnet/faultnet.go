@@ -1,0 +1,247 @@
+// Package faultnet is a deterministic, seedable fault-injection layer
+// for the repository's networking stacks. It wraps net.Conn,
+// net.Listener, dial functions, and http.RoundTripper with controllable
+// failure modes — added latency, bandwidth caps, probabilistic dial
+// drops and mid-stream connection resets, write truncation, and
+// scripted partitions / host-churn schedules — so the BitTorrent
+// testbed and the availd ingest path can be exercised under the flaky
+// conditions the paper's §4 PlanetLab deployment actually ran in
+// (peer churn, dead trackers, partial connectivity).
+//
+// All probabilistic decisions are drawn from one seeded generator
+// behind a mutex, so a fixed Config.Seed yields a reproducible
+// *decision stream*: the k-th injected fault is the same across runs
+// even though goroutine interleaving may assign it to a different
+// connection. Counters of every injected fault are available via
+// Stats for test assertions.
+//
+// Typical wiring:
+//
+//	net := faultnet.New(faultnet.Config{Seed: 42, ResetProb: 0.05})
+//	node, _ := peer.New(peer.Config{..., Dial: net.Dial})
+//	ln = net.Listener(ln)                        // fault accepted conns too
+//	client := &http.Client{Transport: net.RoundTripper(nil)}
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config parameterises a Network. The zero value injects nothing.
+type Config struct {
+	// Seed initialises the decision stream (0 is a valid fixed seed).
+	Seed int64
+
+	// Latency is added to every dial and to every Read/Write that
+	// delivers data. Jitter adds a uniform [0, Jitter) extra.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// BandwidthKBps caps per-connection throughput by pacing Writes
+	// (0 = unlimited).
+	BandwidthKBps float64
+
+	// DropProb is the probability a dial attempt fails outright
+	// (connection refused / host unreachable).
+	DropProb float64
+
+	// ResetProb is the per-Read/Write probability the connection is
+	// reset mid-stream (both directions die, as a TCP RST would).
+	ResetProb float64
+
+	// TruncateProb is the per-Write probability that only a prefix of
+	// the buffer is written before the connection is reset — the
+	// partial-transfer failure mode.
+	TruncateProb float64
+}
+
+// Stats counts the faults a Network has injected.
+type Stats struct {
+	Dials       uint64 // dial attempts seen
+	DialsDenied uint64 // dials failed by DropProb or partition
+	Resets      uint64 // mid-stream resets injected
+	Truncations uint64 // truncated writes injected
+	Conns       uint64 // connections wrapped
+}
+
+// errInjected distinguishes injected failures from real ones.
+type errInjected struct{ op string }
+
+func (e errInjected) Error() string { return "faultnet: injected " + e.op }
+
+// Timeout and Temporary make injected faults look like ordinary
+// transient network errors to retry logic.
+func (e errInjected) Timeout() bool   { return false }
+func (e errInjected) Temporary() bool { return true }
+
+// ErrReset is returned (wrapped) from reads/writes on a reset
+// connection and from dials denied by DropProb.
+var ErrReset = errInjected{op: "connection reset"}
+
+// ErrPartitioned is returned from dials blocked by a partition or a
+// killed host.
+var ErrPartitioned = errors.New("faultnet: host partitioned")
+
+// IsInjected reports whether err originated from a faultnet injection
+// (as opposed to a genuine network failure).
+func IsInjected(err error) bool {
+	var inj errInjected
+	return errors.As(err, &inj) || errors.Is(err, ErrPartitioned)
+}
+
+// Network is one fault-injection domain: a shared decision stream,
+// fault schedule, and host-liveness map.
+type Network struct {
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	down  map[string]bool // host:port (or host) → unreachable
+	stats Stats
+}
+
+// New creates a Network with the given configuration.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		down: make(map[string]bool),
+	}
+}
+
+// chance draws one Bernoulli decision from the seeded stream.
+func (n *Network) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// delay returns the configured latency plus jitter for one operation.
+func (n *Network) delay() time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// sleep applies one latency delay, if any.
+func (n *Network) sleep() {
+	if d := n.delay(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// KillHost makes every future dial to addr (a "host:port" endpoint or a
+// bare host, matching either form) fail until RestoreHost — scripted
+// host churn.
+func (n *Network) KillHost(addr string) {
+	n.mu.Lock()
+	n.down[addr] = true
+	n.mu.Unlock()
+}
+
+// RestoreHost reverses KillHost.
+func (n *Network) RestoreHost(addr string) {
+	n.mu.Lock()
+	delete(n.down, addr)
+	n.mu.Unlock()
+}
+
+// Partition kills both endpoints for the given duration, restoring them
+// afterwards from a background timer — a scheduled transient partition.
+func (n *Network) Partition(d time.Duration, addrs ...string) {
+	for _, a := range addrs {
+		n.KillHost(a)
+	}
+	time.AfterFunc(d, func() {
+		for _, a := range addrs {
+			n.RestoreHost(a)
+		}
+	})
+}
+
+// unreachable reports whether addr (host:port) is currently killed,
+// by endpoint or by bare host.
+func (n *Network) unreachable(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[addr] {
+		return true
+	}
+	return err == nil && n.down[host]
+}
+
+// Stats snapshots the injected-fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Dial dials through the fault layer: partitions and DropProb can deny
+// the attempt, latency delays it, and the resulting connection is
+// wrapped for mid-stream faults. The signature matches
+// peer.Config.Dial.
+func (n *Network) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	n.mu.Lock()
+	n.stats.Dials++
+	n.mu.Unlock()
+	if n.unreachable(addr) {
+		n.mu.Lock()
+		n.stats.DialsDenied++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrPartitioned)
+	}
+	if n.chance(n.cfg.DropProb) {
+		n.mu.Lock()
+		n.stats.DialsDenied++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrReset)
+	}
+	n.sleep()
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.Wrap(c), nil
+}
+
+// Listener wraps ln so accepted connections pass through the fault
+// layer.
+func (n *Network) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, net: n}
+}
+
+type listener struct {
+	net.Listener
+	net *Network
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.Wrap(c), nil
+}
+
+// Wrap returns c with the Network's mid-stream faults applied to every
+// Read and Write.
+func (n *Network) Wrap(c net.Conn) net.Conn {
+	n.mu.Lock()
+	n.stats.Conns++
+	n.mu.Unlock()
+	return &conn{Conn: c, net: n}
+}

@@ -1,0 +1,239 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// echoServer accepts one connection at a time and echoes bytes back.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+}
+
+func TestCleanNetworkPassesTraffic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	n := New(Config{Seed: 1})
+	fln := n.Listener(ln)
+	echoServer(t, fln)
+
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the fault layer")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	st := n.Stats()
+	if st.Dials != 1 || st.Conns != 2 || st.Resets != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeterministicDecisionStream(t *testing.T) {
+	// The same seed must produce the same accept/deny sequence.
+	decide := func(seed int64) []bool {
+		n := New(Config{Seed: seed, DropProb: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = n.chance(n.cfg.DropProb)
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across runs with the same seed", i)
+		}
+	}
+	c := decide(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestDialDropAndPartition(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	n := New(Config{Seed: 3, DropProb: 1})
+	if _, err := n.Dial("tcp", addr, time.Second); !IsInjected(err) {
+		t.Fatalf("DropProb=1 dial error = %v, want injected", err)
+	}
+
+	n2 := New(Config{Seed: 3})
+	n2.KillHost(addr)
+	if _, err := n2.Dial("tcp", addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("killed-host dial error = %v, want ErrPartitioned", err)
+	}
+	n2.RestoreHost(addr)
+	c, err := n2.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	c.Close()
+	if st := n2.Stats(); st.DialsDenied != 1 {
+		t.Fatalf("denied %d, want 1", st.DialsDenied)
+	}
+}
+
+func TestMidStreamReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+
+	n := New(Config{Seed: 5, ResetProb: 1})
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("doomed")); !IsInjected(err) {
+		t.Fatalf("write on ResetProb=1 conn: %v, want injected reset", err)
+	}
+	// Every subsequent op fails too.
+	if _, err := c.Read(make([]byte, 1)); !IsInjected(err) {
+		t.Fatalf("read after reset: %v, want injected reset", err)
+	}
+	if st := n.Stats(); st.Resets == 0 {
+		t.Fatal("no reset counted")
+	}
+}
+
+func TestTruncatedWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	n := New(Config{Seed: 9, TruncateProb: 1})
+	fc := n.Wrap(a)
+	got := make(chan int, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- len(buf)
+	}()
+	wrote, err := fc.Write(make([]byte, 1000))
+	if !IsInjected(err) {
+		t.Fatalf("truncated write error = %v, want injected", err)
+	}
+	if wrote >= 1000 {
+		t.Fatalf("wrote %d bytes, want a strict prefix", wrote)
+	}
+	if delivered := <-got; delivered != wrote {
+		t.Fatalf("peer saw %d bytes, writer reported %d", delivered, wrote)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	go func() { _, _ = io.Copy(io.Discard, b) }()
+	// 64 KBps cap: 32 KB should take ≥ ~400ms.
+	n := New(Config{Seed: 2, BandwidthKBps: 64})
+	fc := n.Wrap(a)
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 32*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 400*time.Millisecond {
+		t.Fatalf("32KB at 64KBps took %v, want ≥400ms", el)
+	}
+}
+
+func TestRoundTripperFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	n := New(Config{Seed: 11})
+	client := &http.Client{Transport: n.RoundTripper(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	n.KillHost(srv.Listener.Addr().String())
+	if _, err := client.Get(srv.URL); !IsInjected(err) {
+		t.Fatalf("request to killed host: %v, want injected", err)
+	}
+	n.RestoreHost(srv.Listener.Addr().String())
+
+	drop := New(Config{Seed: 12, DropProb: 1})
+	cl2 := &http.Client{Transport: drop.RoundTripper(nil)}
+	if _, err := cl2.Get(srv.URL); err == nil {
+		t.Fatal("DropProb=1 request succeeded")
+	}
+	if st := drop.Stats(); st.DialsDenied != 1 {
+		t.Fatalf("denied %d, want 1", st.DialsDenied)
+	}
+}
+
+func TestPartitionHealsAutomatically(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	addr := ln.Addr().String()
+
+	n := New(Config{Seed: 4})
+	n.Partition(50*time.Millisecond, addr)
+	if _, err := n.Dial("tcp", addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := n.Dial("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partition never healed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

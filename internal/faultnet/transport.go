@@ -1,0 +1,43 @@
+package faultnet
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// RoundTripper wraps base (nil = http.DefaultTransport) so that HTTP
+// requests pass through the fault layer: partitions and DropProb deny
+// requests before they are sent, and latency delays them. Denied
+// requests fail with a Temporary error, the shape tracker-announce and
+// ingest-client retry logic must absorb.
+func (n *Network) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{base: base, net: n}
+}
+
+type transport struct {
+	base http.RoundTripper
+	net  *Network
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.net.mu.Lock()
+	t.net.stats.Dials++
+	t.net.mu.Unlock()
+	if t.net.unreachable(req.URL.Host) {
+		t.net.mu.Lock()
+		t.net.stats.DialsDenied++
+		t.net.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: %s %s: %w", req.Method, req.URL, ErrPartitioned)
+	}
+	if t.net.chance(t.net.cfg.DropProb) {
+		t.net.mu.Lock()
+		t.net.stats.DialsDenied++
+		t.net.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: %s %s: %w", req.Method, req.URL, ErrReset)
+	}
+	t.net.sleep()
+	return t.base.RoundTrip(req)
+}

@@ -1,24 +1,37 @@
 package ingest
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 
 	"swarmavail/internal/trace"
 )
 
+// ErrClosed is returned by writes submitted after Close.
+var ErrClosed = errors.New("ingest: engine closed")
+
 // Engine is the sharded streaming-ingestion engine. Writes scale
 // across shards (one state-owning goroutine each); reads are served
 // from consistent per-shard snapshots merged on demand.
 //
 // Lifecycle: New → any number of concurrent Submit/Writer producers and
-// Summary/Swarm readers → Flush (barrier) → Close. Submitting after
-// Close panics.
+// Summary/Swarm readers → Flush (barrier) → Close. Close drains every
+// queued batch before returning and is idempotent; writes racing or
+// following Close return ErrClosed (never a panic), and reads keep
+// working after Close, serving the final drained state.
 type Engine struct {
 	cfg     Config
 	shards  []*shard
 	metrics *Metrics
 	wg      sync.WaitGroup
+
+	// lifecycle: producers and readers hold it shared while touching
+	// shard queues; Close holds it exclusively while closing the queues
+	// and waiting the shard goroutines out, so a queue can never be
+	// written after it is closed.
+	lifecycle sync.RWMutex
+	closed    bool
 }
 
 // New starts an engine with cfg (zero fields take defaults).
@@ -46,20 +59,44 @@ func (e *Engine) shardFor(swarmID int) *shard {
 	return e.shards[shardIndex(swarmID, len(e.shards))]
 }
 
+// enqueueLocked delivers one batch to shard i under the configured
+// overflow policy. Callers hold the lifecycle read lock.
+func (e *Engine) enqueueLocked(i int, ops []Op) {
+	msg := shardMsg{ops: ops}
+	if e.cfg.OnFull == Shed {
+		select {
+		case e.shards[i].in <- msg:
+		default:
+			e.metrics.shed.Add(uint64(len(ops)))
+			return
+		}
+	} else {
+		e.shards[i].in <- msg
+	}
+	e.metrics.records.Add(uint64(len(ops)))
+}
+
 // Submit partitions ops by owning shard and enqueues one batch per
 // shard touched. Safe for concurrent use; ops for the same swarm keep
 // their relative order within a call (and across calls from the same
-// goroutine).
-func (e *Engine) Submit(ops []Op) {
+// goroutine). Under the default Block policy a full shard queue stalls
+// the caller (backpressure); under Shed the overflowing batch is
+// dropped and counted in Metrics().Shed. After Close, Submit returns
+// ErrClosed.
+func (e *Engine) Submit(ops []Op) error {
 	if len(ops) == 0 {
-		return
+		return nil
 	}
-	e.metrics.records.Add(uint64(len(ops)))
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
 	if len(e.shards) == 1 {
 		batch := make([]Op, len(ops))
 		copy(batch, ops)
-		e.shards[0].in <- shardMsg{ops: batch}
-		return
+		e.enqueueLocked(0, batch)
+		return nil
 	}
 	parts := make([][]Op, len(e.shards))
 	for _, op := range ops {
@@ -68,26 +105,35 @@ func (e *Engine) Submit(ops []Op) {
 	}
 	for i, part := range parts {
 		if len(part) > 0 {
-			e.shards[i].in <- shardMsg{ops: part}
+			e.enqueueLocked(i, part)
 		}
 	}
+	return nil
 }
 
 // Observe ingests a single monitor record (convenience; prefer a
 // Writer on hot paths).
-func (e *Engine) Observe(rec Record) { e.Submit([]Op{EventOp(rec)}) }
+func (e *Engine) Observe(rec Record) error { return e.Submit([]Op{EventOp(rec)}) }
 
 // RegisterSwarm ingests a swarm registration.
-func (e *Engine) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) {
-	e.Submit([]Op{MetaOp(meta, horizonDays)})
+func (e *Engine) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) error {
+	return e.Submit([]Op{MetaOp(meta, horizonDays)})
 }
 
 // ObserveCensus ingests a census observation.
-func (e *Engine) ObserveCensus(snap trace.Snapshot) { e.Submit([]Op{CensusOp(snap)}) }
+func (e *Engine) ObserveCensus(snap trace.Snapshot) error {
+	return e.Submit([]Op{CensusOp(snap)})
+}
 
 // Flush blocks until every op submitted before the call has been
-// applied (a barrier through every shard queue).
+// applied (a barrier through every shard queue). After Close it is a
+// no-op: the close already drained everything.
 func (e *Engine) Flush() {
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	if e.closed {
+		return
+	}
 	ack := make(chan struct{}, len(e.shards))
 	for _, s := range e.shards {
 		s.in <- shardMsg{ack: ack}
@@ -97,9 +143,17 @@ func (e *Engine) Flush() {
 	}
 }
 
-// Close stops the shard goroutines after draining their queues. Read
-// snapshots (Summary/Swarm) must be taken before Close.
+// Close drains every shard queue, stops the shard goroutines, and
+// returns once all submitted work is applied. It is idempotent, and
+// safe to race with Submit/Flush/readers: late writes get ErrClosed,
+// late reads serve the final state.
 func (e *Engine) Close() {
+	e.lifecycle.Lock()
+	defer e.lifecycle.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
 	for _, s := range e.shards {
 		close(s.in)
 	}
@@ -108,13 +162,24 @@ func (e *Engine) Close() {
 
 // Summary requests a consistent aggregate from every shard and merges
 // them. It observes everything the caller submitted before the call
-// (readers queue behind writes, never the other way around).
+// (readers queue behind writes, never the other way around). After
+// Close it reads the shards' final state directly.
 func (e *Engine) Summary() *Summary {
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	sum := NewSummary()
+	if e.closed {
+		// Shard goroutines have exited (Close waited them out under the
+		// exclusive lock), so their state is safe to read in place.
+		for _, s := range e.shards {
+			sum.Merge(s.summarize())
+		}
+		return sum
+	}
 	ch := make(chan *Summary, len(e.shards))
 	for _, s := range e.shards {
 		s.in <- shardMsg{summary: ch}
 	}
-	sum := NewSummary()
 	for range e.shards {
 		sum.Merge(<-ch)
 	}
@@ -123,6 +188,14 @@ func (e *Engine) Summary() *Summary {
 
 // Swarm returns the current snapshot of one swarm.
 func (e *Engine) Swarm(id int) (SwarmStats, bool) {
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	if e.closed {
+		if st, ok := e.shardFor(id).swarms[id]; ok {
+			return st.stats(), true
+		}
+		return SwarmStats{}, false
+	}
 	ch := make(chan *SwarmStats, 1)
 	e.shardFor(id).in <- shardMsg{swarmID: id, swarm: ch}
 	st := <-ch
@@ -138,7 +211,7 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	for i, s := range e.shards {
 		depths[i] = len(s.in)
 	}
-	return e.metrics.snapshot(depths)
+	return e.metrics.snapshot(depths, e.cfg.OnFull)
 }
 
 // Writer is a per-producer batching front end: ops accumulate in
@@ -146,7 +219,7 @@ func (e *Engine) Metrics() MetricsSnapshot {
 // reached (or on Flush). One Writer must not be shared between
 // goroutines; open one per producer — per-swarm ordering is preserved
 // because a swarm's ops always travel through the same shard buffer in
-// append order.
+// append order. Writes after Engine.Close return ErrClosed.
 type Writer struct {
 	e    *Engine
 	bufs [][]Op
@@ -158,39 +231,51 @@ func (e *Engine) NewWriter() *Writer {
 }
 
 // Put appends one op, flushing the owning shard's buffer if full.
-func (w *Writer) Put(op Op) {
+func (w *Writer) Put(op Op) error {
 	i := shardIndex(op.SwarmID(), len(w.e.shards))
 	w.bufs[i] = append(w.bufs[i], op)
 	if len(w.bufs[i]) >= w.e.cfg.BatchSize {
-		w.flushShard(i)
+		return w.flushShard(i)
 	}
+	return nil
 }
 
 // Observe appends a monitor record.
-func (w *Writer) Observe(rec Record) { w.Put(EventOp(rec)) }
+func (w *Writer) Observe(rec Record) error { return w.Put(EventOp(rec)) }
 
 // RegisterSwarm appends a swarm registration.
-func (w *Writer) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) {
-	w.Put(MetaOp(meta, horizonDays))
+func (w *Writer) RegisterSwarm(meta trace.SwarmMeta, horizonDays float64) error {
+	return w.Put(MetaOp(meta, horizonDays))
 }
 
 // ObserveCensus appends a census observation.
-func (w *Writer) ObserveCensus(snap trace.Snapshot) { w.Put(CensusOp(snap)) }
+func (w *Writer) ObserveCensus(snap trace.Snapshot) error {
+	return w.Put(CensusOp(snap))
+}
 
-func (w *Writer) flushShard(i int) {
+func (w *Writer) flushShard(i int) error {
 	batch := w.bufs[i]
 	if len(batch) == 0 {
-		return
+		return nil
 	}
 	w.bufs[i] = nil
-	w.e.metrics.records.Add(uint64(len(batch)))
-	w.e.shards[i].in <- shardMsg{ops: batch}
+	w.e.lifecycle.RLock()
+	defer w.e.lifecycle.RUnlock()
+	if w.e.closed {
+		return ErrClosed
+	}
+	w.e.enqueueLocked(i, batch)
+	return nil
 }
 
 // Flush pushes every buffered op to its shard. It does not wait for
 // application; use Engine.Flush for a barrier.
-func (w *Writer) Flush() {
+func (w *Writer) Flush() error {
+	var first error
 	for i := range w.bufs {
-		w.flushShard(i)
+		if err := w.flushShard(i); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }

@@ -1,0 +1,190 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HTTPClientConfig parameterises an HTTPClient. The zero value (plus a
+// URL) selects sensible defaults.
+type HTTPClientConfig struct {
+	// URL is the ingest endpoint (e.g. http://127.0.0.1:8647/v1/ingest).
+	URL string
+	// Client is the underlying HTTP client (default: 30s timeout). Tests
+	// inject fault-wrapped transports here.
+	Client *http.Client
+	// MaxAttempts bounds tries per batch, first attempt included
+	// (default 6).
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the capped exponential retry backoff
+	// (defaults 100ms / 5s); each wait is jittered to [d/2, d).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed seeds the jitter stream (0 = fixed default; determinism is
+	// harmless here and useful in tests).
+	Seed int64
+	// Logf, when set, receives one line per retried attempt.
+	Logf func(format string, args ...any)
+}
+
+func (c HTTPClientConfig) withDefaults() HTTPClientConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 6
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x16e57
+	}
+	return c
+}
+
+// HTTPClient pushes monitor records to an availd /v1/ingest endpoint
+// with at-least-once delivery: each batch is retried with capped,
+// jittered exponential backoff through transient failures (transport
+// errors, 5xx, 429) and abandoned only on a fatal server verdict (other
+// 4xx) or when the context ends. A batch is acknowledged once the
+// server has accepted every record into its engine queues — which a
+// gracefully shut down availd drains before exiting, so acked records
+// survive a SIGTERM on either end of the connection.
+type HTTPClient struct {
+	cfg HTTPClientConfig
+
+	mu  sync.Mutex
+	rng *mrand.Rand
+
+	retries uint64 // attempts beyond the first, across all pushes
+}
+
+// NewHTTPClient returns a client for cfg.URL.
+func NewHTTPClient(cfg HTTPClientConfig) *HTTPClient {
+	cfg = cfg.withDefaults()
+	return &HTTPClient{cfg: cfg, rng: mrand.New(mrand.NewSource(cfg.Seed))}
+}
+
+// Retries reports attempts beyond the first across the client's
+// lifetime — the cost of the faults it rode through.
+func (c *HTTPClient) Retries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+func (c *HTTPClient) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retries++
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+func (c *HTTPClient) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Push delivers one batch of records, retrying transient failures until
+// the server acknowledges all of them or ctx ends. Returns nil exactly
+// when the batch is acknowledged.
+func (c *HTTPClient) Push(ctx context.Context, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("ingest: encoding record: %w", err)
+		}
+	}
+	payload := body.Bytes()
+
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			wait := c.backoff(attempt - 1)
+			c.logf("ingest push failed (attempt %d/%d, retrying in %v): %v",
+				attempt-1, c.cfg.MaxAttempts, wait, lastErr)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		err := c.pushOnce(ctx, payload, len(recs))
+		if err == nil {
+			if attempt > 1 {
+				c.logf("ingest push recovered after %d failed attempts", attempt-1)
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var fatal *fatalPushError
+		if errors.As(err, &fatal) {
+			return fatal.err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ingest: push failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// fatalPushError marks a server verdict that retrying cannot change.
+type fatalPushError struct{ err error }
+
+func (e *fatalPushError) Error() string { return e.err.Error() }
+func (e *fatalPushError) Unwrap() error { return e.err }
+
+func (c *HTTPClient) pushOnce(ctx context.Context, payload []byte, n int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.URL, bytes.NewReader(payload))
+	if err != nil {
+		return &fatalPushError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err // transport error: retryable
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		statusErr := fmt.Errorf("ingest: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return statusErr
+		}
+		return &fatalPushError{err: statusErr}
+	}
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return fmt.Errorf("ingest: bad ack: %w", err)
+	}
+	if ack.Accepted != n {
+		return &fatalPushError{err: fmt.Errorf("ingest: server accepted %d of %d records", ack.Accepted, n)}
+	}
+	return nil
+}

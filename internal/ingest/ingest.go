@@ -94,6 +94,16 @@ func MetaOp(meta trace.SwarmMeta, horizonDays float64) Op {
 // sight of the swarm — its bundling classification.
 func CensusOp(snap trace.Snapshot) Op { return Op{kind: opCensus, census: snap} }
 
+// EventRecord returns the monitor record carried by an event op
+// (ok=false for registrations and census ops) — what can travel over
+// the wire to a remote engine's /v1/ingest.
+func (o Op) EventRecord() (Record, bool) {
+	if o.kind != opEvent {
+		return Record{}, false
+	}
+	return o.rec, true
+}
+
 // SwarmID returns the swarm the op targets.
 func (o Op) SwarmID() int {
 	switch o.kind {
@@ -106,6 +116,27 @@ func (o Op) SwarmID() int {
 	}
 }
 
+// OverflowPolicy selects what Submit does when a shard queue is full.
+type OverflowPolicy uint8
+
+const (
+	// Block (the default) stalls the submitter until the shard drains —
+	// lossless backpressure.
+	Block OverflowPolicy = iota
+	// Shed drops the overflowing batch immediately and counts the lost
+	// ops in Metrics().Shed — bounded-latency, lossy degradation for
+	// producers that must never stall (e.g. a live monitor).
+	Shed
+)
+
+// String names the policy for metrics and logs.
+func (p OverflowPolicy) String() string {
+	if p == Shed {
+		return "shed"
+	}
+	return "block"
+}
+
 // Config parameterises the engine. The zero value selects sensible
 // defaults via New.
 type Config struct {
@@ -115,9 +146,11 @@ type Config struct {
 	// BatchSize is the Writer's flush threshold in ops (default 256).
 	BatchSize int
 	// QueueDepth is the per-shard queue capacity in batches
-	// (default 64). Submitters block when a shard's queue is full —
-	// the engine's backpressure.
+	// (default 64). What happens when a queue fills is OnFull's call.
 	QueueDepth int
+	// OnFull is the backpressure policy for a full shard queue:
+	// Block (default) or Shed.
+	OnFull OverflowPolicy
 }
 
 func (c Config) withDefaults(defaultShards int) Config {

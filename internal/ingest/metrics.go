@@ -27,6 +27,7 @@ type Metrics struct {
 	records atomic.Uint64 // ops accepted by Submit/Writer
 	applied atomic.Uint64 // ops applied by shards
 	batches atomic.Uint64
+	shed    atomic.Uint64 // ops dropped by the Shed overflow policy
 
 	mu         sync.Mutex
 	latency    *stats.QuantileSketch // log10(batch apply seconds)
@@ -61,6 +62,10 @@ type MetricsSnapshot struct {
 	Applied          uint64  `json:"applied"`
 	Batches          uint64  `json:"batches"`
 	RecordsPerSecond float64 `json:"records_per_second"`
+	// Shed counts ops dropped by the Shed overflow policy; always 0
+	// under Block. OverflowPolicy names the active policy.
+	Shed           uint64 `json:"shed"`
+	OverflowPolicy string `json:"overflow_policy"`
 	MeanBatchSize    float64 `json:"mean_batch_size"`
 	MaxBatchSize     float64 `json:"max_batch_size"`
 	// Batch apply latency quantiles in seconds (sketch-accurate to
@@ -71,14 +76,16 @@ type MetricsSnapshot struct {
 	ShardDepths []int `json:"shard_depths"`
 }
 
-func (m *Metrics) snapshot(depths []int) MetricsSnapshot {
+func (m *Metrics) snapshot(depths []int, policy OverflowPolicy) MetricsSnapshot {
 	up := time.Since(m.start).Seconds()
 	snap := MetricsSnapshot{
-		UptimeSeconds: up,
-		Records:       m.records.Load(),
-		Applied:       m.applied.Load(),
-		Batches:       m.batches.Load(),
-		ShardDepths:   depths,
+		UptimeSeconds:  up,
+		Records:        m.records.Load(),
+		Applied:        m.applied.Load(),
+		Batches:        m.batches.Load(),
+		Shed:           m.shed.Load(),
+		OverflowPolicy: policy.String(),
+		ShardDepths:    depths,
 	}
 	if up > 0 {
 		snap.RecordsPerSecond = float64(snap.Applied) / up

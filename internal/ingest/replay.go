@@ -34,10 +34,13 @@ func TraceOps(t trace.SwarmTrace) []Op {
 // preserved regardless of concurrency. The engine is flushed before
 // returning.
 func ReplayTraces(e *Engine, sc *trace.Scanner[trace.SwarmTrace], writers int) (int, error) {
-	n, err := replay(e, sc, writers, func(w *Writer, t trace.SwarmTrace) {
+	n, err := replay(e, sc, writers, func(w *Writer, t trace.SwarmTrace) error {
 		for _, op := range TraceOps(t) {
-			w.Put(op)
+			if err := w.Put(op); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
 	return n, err
 }
@@ -45,27 +48,33 @@ func ReplayTraces(e *Engine, sc *trace.Scanner[trace.SwarmTrace], writers int) (
 // ReplaySnapshots streams a census dataset through the engine with
 // `writers` concurrent producers.
 func ReplaySnapshots(e *Engine, sc *trace.Scanner[trace.Snapshot], writers int) (int, error) {
-	return replay(e, sc, writers, func(w *Writer, s trace.Snapshot) {
-		w.ObserveCensus(s)
+	return replay(e, sc, writers, func(w *Writer, s trace.Snapshot) error {
+		return w.ObserveCensus(s)
 	})
 }
 
-func replay[T any](e *Engine, sc *trace.Scanner[T], writers int, put func(*Writer, T)) (int, error) {
+func replay[T any](e *Engine, sc *trace.Scanner[T], writers int, put func(*Writer, T) error) (int, error) {
 	if writers < 1 {
 		writers = 1
 	}
 	ch := make(chan T, 4*writers)
 	var wg sync.WaitGroup
+	errs := make([]error, writers)
 	for i := 0; i < writers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			w := e.NewWriter()
 			for rec := range ch {
-				put(w, rec)
+				if errs[i] != nil {
+					continue // keep draining so the producer can't deadlock
+				}
+				errs[i] = put(w, rec)
 			}
-			w.Flush()
-		}()
+			if err := w.Flush(); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}(i)
 	}
 	n := 0
 	for sc.Scan() {
@@ -75,5 +84,13 @@ func replay[T any](e *Engine, sc *trace.Scanner[T], writers int, put func(*Write
 	close(ch)
 	wg.Wait()
 	e.Flush()
-	return n, sc.Err()
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }

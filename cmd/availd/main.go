@@ -11,8 +11,16 @@
 //	                             (?q=0.25,0.5,… to pick quantiles)
 //	GET  /v1/bundling/summary    per-category bundling counters
 //	POST /v1/ingest              JSONL monitor records (ingest.Record)
-//	GET  /metrics                operational counters (Prometheus text)
+//	GET  /metrics                registry scrape (Prometheus text)
+//	GET  /debug/vars             same series as flat JSON
 //	GET  /healthz                liveness
+//
+// With -admin the same observability surface (plus opt-in
+// net/http/pprof via -pprof) is additionally served on a separate
+// listener, so operators can firewall the API port without losing
+// scrapes:
+//
+//	availd -listen :8647 -admin 127.0.0.1:8648 -pprof
 //
 // Replay mode streams an archived availability study (and optionally a
 // census) through the full ingest path:
@@ -35,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -43,100 +52,172 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"swarmavail/internal/ingest"
 	"swarmavail/internal/measure"
+	"swarmavail/internal/obs"
 	"swarmavail/internal/stats"
 	"swarmavail/internal/trace"
 )
 
+// options carries the CLI configuration through run and serve; tests
+// construct it directly (zero value = API listener only, no admin, no
+// request logging).
+type options struct {
+	listen  string // API listen address; empty = no server
+	admin   string // optional separate observability listener
+	pprof   bool   // mount net/http/pprof on the admin listener
+	shards  int
+	batch   int
+	replay  string
+	census  string
+	push    string
+	writers int
+	verify  bool
+	logger  *slog.Logger // structured request + lifecycle log (nil = off)
+}
+
 func main() {
 	var (
-		listen  = flag.String("listen", "", "HTTP listen address (e.g. :8647); empty = no server unless nothing to replay")
-		shards  = flag.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
-		batch   = flag.Int("batch", 0, "writer batch size (0 = default)")
-		replay  = flag.String("replay", "", "availability-study JSONL to stream through the engine")
-		census  = flag.String("census", "", "census JSONL to stream through the engine")
-		writers = flag.Int("writers", 4, "concurrent replay writers")
-		verify  = flag.Bool("verify", false, "check online statistics against the offline analysis")
-		push    = flag.String("push", "", "push -replay records to a remote availd ingest URL (e.g. http://host:8647/v1/ingest) instead of the local engine")
+		opts     options
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
+	flag.StringVar(&opts.listen, "listen", "", "HTTP listen address (e.g. :8647); empty = no server unless nothing to replay")
+	flag.StringVar(&opts.admin, "admin", "", "separate admin listen address for /metrics, /debug/vars and pprof (e.g. 127.0.0.1:8648)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "enable net/http/pprof on the -admin listener")
+	flag.IntVar(&opts.shards, "shards", 0, "ingest shards (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.batch, "batch", 0, "writer batch size (0 = default)")
+	flag.StringVar(&opts.replay, "replay", "", "availability-study JSONL to stream through the engine")
+	flag.StringVar(&opts.census, "census", "", "census JSONL to stream through the engine")
+	flag.IntVar(&opts.writers, "writers", 4, "concurrent replay writers")
+	flag.BoolVar(&opts.verify, "verify", false, "check online statistics against the offline analysis")
+	flag.StringVar(&opts.push, "push", "", "push -replay records to a remote availd ingest URL (e.g. http://host:8647/v1/ingest) instead of the local engine")
 	flag.Parse()
+
+	opts.logger = obs.NewLogger(os.Stderr, "availd", obs.ParseLevel(*logLevel), *logJSON)
 
 	// SIGINT/SIGTERM end this context; both the server and the push
 	// client drain gracefully from it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *listen, *shards, *batch, *replay, *census, *writers, *verify, *push); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "availd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen string, shards, batch int, replay, census string, writers int, verify bool, push string) error {
-	if push != "" {
-		if replay == "" {
+func run(ctx context.Context, opts options) error {
+	if opts.push != "" {
+		if opts.replay == "" {
 			return fmt.Errorf("-push needs -replay (the records to send)")
 		}
-		return pushStudy(ctx, push, replay, batch)
+		return pushStudy(ctx, opts.push, opts.replay, opts.batch)
 	}
 
-	e := ingest.New(ingest.Config{Shards: shards, BatchSize: batch})
+	e := ingest.New(ingest.Config{Shards: opts.shards, BatchSize: opts.batch})
 
-	if replay != "" {
-		if err := replayStudy(e, replay, writers, verify); err != nil {
+	if opts.replay != "" {
+		if err := replayStudy(e, opts.replay, opts.writers, opts.verify); err != nil {
 			return err
 		}
 	}
-	if census != "" {
-		if err := replayCensus(e, census, writers, verify); err != nil {
+	if opts.census != "" {
+		if err := replayCensus(e, opts.census, opts.writers, opts.verify); err != nil {
 			return err
 		}
 	}
 
-	if listen == "" {
-		if replay == "" && census == "" {
+	if opts.listen == "" {
+		if opts.replay == "" && opts.census == "" {
 			return fmt.Errorf("nothing to do: pass -listen and/or -replay/-census")
 		}
 		return nil
 	}
-	return serve(ctx, e, listen, nil)
+	return serve(ctx, e, opts, nil, nil)
 }
 
-// serve runs the hardened HTTP front end until ctx ends, then shuts
-// down gracefully: stop accepting, finish in-flight requests, drain the
-// ingest engine. Every record acknowledged to a client before the
-// signal is applied before exit. If ready is non-nil it receives the
-// bound address once the listener is up (tests use ":0").
-func serve(ctx context.Context, e *ingest.Engine, listen string, ready chan<- net.Addr) error {
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return err
-	}
-	srv := &http.Server{
-		Handler: (&server{engine: e}).handler(),
-		// Slow-client protection: a peer that stalls mid-headers or
-		// mid-body cannot pin a connection goroutine forever.
+// newHTTPServer applies the shared slow-client protections: a peer that
+// stalls mid-headers or mid-body cannot pin a connection goroutine
+// forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+}
+
+// serve runs the hardened HTTP front end until ctx ends, then shuts
+// down gracefully: stop accepting, finish in-flight requests, drain the
+// ingest engine. Every record acknowledged to a client before the
+// signal is applied before exit. If opts.admin is set, the
+// observability surface (metrics, vars, opt-in pprof) is additionally
+// served on its own listener. If ready/adminReady are non-nil they
+// receive the bound addresses once the listeners are up (tests use
+// ":0").
+func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminReady chan<- net.Addr) error {
+	reg := e.Registry()
+	obs.RegisterProcessMetrics(reg)
+	registerSummaryMetrics(reg, e)
+
+	s := &server{engine: e}
+	h := obs.InstrumentHandler(reg, "api", s.handler())
+	h = obs.LogRequests(opts.logger, h)
+
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+	srv := newHTTPServer(h)
 	fmt.Printf("availd: serving on %s (%d shards)\n", ln.Addr(), e.Shards())
+	if opts.logger != nil {
+		opts.logger.Info("serving", "addr", ln.Addr().String(), "shards", e.Shards())
+	}
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var adminSrv *http.Server
+	if opts.admin != "" {
+		adminLn, err := net.Listen("tcp", opts.admin)
+		if err != nil {
+			srv.Close()
+			ln.Close()
+			return err
+		}
+		adminSrv = newHTTPServer(obs.LogRequests(opts.logger, obs.AdminHandler(reg, opts.pprof)))
+		fmt.Printf("availd: admin on %s (pprof %v)\n", adminLn.Addr(), opts.pprof)
+		if opts.logger != nil {
+			opts.logger.Info("admin listener up", "addr", adminLn.Addr().String(), "pprof", opts.pprof)
+		}
+		if adminReady != nil {
+			adminReady <- adminLn.Addr()
+		}
+		go func() { errc <- adminSrv.Serve(adminLn) }()
+	}
+
 	select {
 	case err := <-errc:
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
+		srv.Close()
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Println("availd: signal received, draining")
+	if opts.logger != nil {
+		opts.logger.Info("signal received, draining")
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -144,10 +225,48 @@ func serve(ctx context.Context, e *ingest.Engine, listen string, ready chan<- ne
 		// drains what they enqueued (late writes get ErrClosed → 503).
 		fmt.Fprintf(os.Stderr, "availd: shutdown: %v\n", err)
 	}
+	if adminSrv != nil {
+		// The admin listener stays up through the API drain so a final
+		// scrape can observe the shutdown, then closes with it.
+		if err := adminSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "availd: admin shutdown: %v\n", err)
+		}
+	}
 	e.Close()
 	m := e.Metrics()
 	fmt.Printf("availd: drained, %d records applied\n", m.Applied)
+	if opts.logger != nil {
+		opts.logger.Info("drained", "applied", m.Applied)
+	}
 	return nil
+}
+
+// registerSummaryMetrics exposes the engine's analytical state —
+// swarm/peer population and busy periods — as gauges. Summary() merges
+// every shard's state, which is too expensive to run once per gauge, so
+// one snapshot is cached across the callbacks for a second (the same
+// trick process.go uses for ReadMemStats).
+func registerSummaryMetrics(reg *obs.Registry, e *ingest.Engine) {
+	var (
+		mu   sync.Mutex
+		at   time.Time
+		last *ingest.Summary
+	)
+	get := func() *ingest.Summary {
+		mu.Lock()
+		defer mu.Unlock()
+		if last == nil || time.Since(at) > time.Second {
+			last = e.Summary()
+			at = time.Now()
+		}
+		return last
+	}
+	reg.GaugeFunc("availd_swarms", func() float64 { return float64(get().Swarms) })
+	reg.GaugeFunc("availd_study_swarms", func() float64 { return float64(get().StudySwarms) })
+	reg.GaugeFunc("availd_census_swarms", func() float64 { return float64(get().CensusSwarms) })
+	reg.GaugeFunc("availd_seeds_online", func() float64 { return float64(get().SeedsOnline) })
+	reg.GaugeFunc("availd_leechers_online", func() float64 { return float64(get().LeechersOnline) })
+	reg.GaugeFunc("availd_busy_periods", func() float64 { return float64(get().BusyPeriods) })
 }
 
 // pushStudy is replay-over-network: it streams an archived availability
@@ -408,7 +527,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/availability/cdf", s.handleCDF)
 	mux.HandleFunc("GET /v1/bundling/summary", s.handleBundling)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The observability surface rides on the API listener too, so a
+	// bare deployment (no -admin) still scrapes. Everything is served
+	// straight from the engine's registry: the ingest pipeline writes
+	// its own series there, and registerSummaryMetrics adds the
+	// analytical gauges — nothing is copied field by field here.
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.engine.Registry()))
+	mux.Handle("GET /debug/vars", obs.VarsHandler(s.engine.Registry()))
 	return mux
 }
 
@@ -564,27 +689,4 @@ func ingestUnavailable(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), code)
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.engine.Metrics()
-	sum := s.engine.Summary()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "availd_uptime_seconds %g\n", m.UptimeSeconds)
-	fmt.Fprintf(w, "availd_ingest_records_total %d\n", m.Records)
-	fmt.Fprintf(w, "availd_ingest_applied_total %d\n", m.Applied)
-	fmt.Fprintf(w, "availd_ingest_batches_total %d\n", m.Batches)
-	fmt.Fprintf(w, "availd_ingest_shed_total{policy=%q} %d\n", m.OverflowPolicy, m.Shed)
-	fmt.Fprintf(w, "availd_ingest_records_per_second %g\n", m.RecordsPerSecond)
-	fmt.Fprintf(w, "availd_ingest_batch_size_mean %g\n", m.MeanBatchSize)
-	fmt.Fprintf(w, "availd_ingest_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50)
-	fmt.Fprintf(w, "availd_ingest_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99)
-	for i, d := range m.ShardDepths {
-		fmt.Fprintf(w, "availd_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
-	}
-	fmt.Fprintf(w, "availd_swarms_total %d\n", sum.Swarms)
-	fmt.Fprintf(w, "availd_census_swarms_total %d\n", sum.CensusSwarms)
-	fmt.Fprintf(w, "availd_seeds_online %d\n", sum.SeedsOnline)
-	fmt.Fprintf(w, "availd_leechers_online %d\n", sum.LeechersOnline)
-	fmt.Fprintf(w, "availd_busy_periods_total %d\n", sum.BusyPeriods)
 }

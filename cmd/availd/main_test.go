@@ -32,7 +32,7 @@ func TestGracefulShutdownZeroLoss(t *testing.T) {
 	e := ingest.New(ingest.Config{Shards: 4, QueueDepth: 16})
 	ready := make(chan net.Addr, 1)
 	served := make(chan error, 1)
-	go func() { served <- serve(ctx, e, "127.0.0.1:0", ready) }()
+	go func() { served <- serve(ctx, e, options{listen: "127.0.0.1:0"}, ready, nil) }()
 	var addr net.Addr
 	select {
 	case addr = <-ready:
@@ -135,7 +135,7 @@ func TestPushStudyRoundTrip(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan net.Addr, 1)
 	served := make(chan error, 1)
-	go func() { served <- serve(ctx, e, "127.0.0.1:0", ready) }()
+	go func() { served <- serve(ctx, e, options{listen: "127.0.0.1:0"}, ready, nil) }()
 	addr := <-ready
 
 	url := fmt.Sprintf("http://%s/v1/ingest", addr)

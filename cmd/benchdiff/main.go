@@ -1,0 +1,223 @@
+// Command benchdiff turns `go test -bench` output into comparable JSON
+// snapshots and diffs two snapshots for performance regressions.
+//
+// Emit a snapshot (reads benchmark text from stdin or a file):
+//
+//	go test -run '^$' -bench . ./internal/obs | benchdiff -emit BENCH_obs.json
+//
+// Compare a fresh run against a committed baseline, failing (exit 1)
+// on any benchmark whose ns/op grew more than -threshold (default 20%):
+//
+//	benchdiff -base BENCH_baseline.json -new BENCH_new.json
+//
+// With -warn a regression is reported but the exit status stays 0 —
+// the mode CI smoke jobs use, where -benchtime=1x numbers are too noisy
+// to gate a merge on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result. Metrics maps unit → value
+// for every "value unit" pair on the line (ns/op, B/op, allocs/op and
+// any ReportMetric extras such as records/sec).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted file format.
+type Snapshot struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" procs suffix from benchmark
+// names so snapshots from machines with different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Lines that are not benchmark results (headers, PASS/ok,
+// arbitrary test logging) are ignored.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is "BenchmarkName  N  value unit [value unit]...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// diff compares ns/op between base and new. It returns human-readable
+// report lines and the number of regressions beyond threshold
+// (fractional, e.g. 0.2 = +20%).
+func diff(base, fresh *Snapshot, threshold float64) (lines []string, regressions int) {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, n := range fresh.Benchmarks {
+		seen[n.Name] = true
+		b, ok := baseBy[n.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("new  %s (no baseline)", n.Name))
+			continue
+		}
+		bv, nv := b.Metrics["ns/op"], n.Metrics["ns/op"]
+		if bv <= 0 || nv <= 0 {
+			lines = append(lines, fmt.Sprintf("skip %s (no ns/op)", n.Name))
+			continue
+		}
+		delta := nv/bv - 1
+		mark := "ok  "
+		if delta > threshold {
+			mark = "FAIL"
+			regressions++
+		} else if delta < -threshold {
+			mark = "good"
+		}
+		lines = append(lines, fmt.Sprintf("%s %s %.1f → %.1f ns/op (%+.1f%%)", mark, n.Name, bv, nv, 100*delta))
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			lines = append(lines, fmt.Sprintf("gone %s (in baseline, not in new run)", b.Name))
+		}
+	}
+	return lines, regressions
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (exit int) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		emit      = fs.String("emit", "", "parse benchmark text (stdin or trailing file arg) and write a JSON snapshot here")
+		base      = fs.String("base", "", "baseline snapshot to compare against")
+		fresh     = fs.String("new", "", "fresh snapshot to compare")
+		threshold = fs.Float64("threshold", 0.2, "fractional ns/op growth that counts as a regression")
+		warn      = fs.Bool("warn", false, "report regressions but exit 0 (for noisy smoke runs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *emit != "":
+		in := stdin
+		if fs.NArg() == 1 {
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			in = f
+		}
+		snap, err := parseBench(in)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 1
+		}
+		if len(snap.Benchmarks) == 0 {
+			fmt.Fprintln(stdout, "benchdiff: no benchmark results in input")
+			return 1
+		}
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*emit, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *emit)
+		return 0
+
+	case *base != "" && *fresh != "":
+		bs, err := readSnapshot(*base)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 1
+		}
+		ns, err := readSnapshot(*fresh)
+		if err != nil {
+			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
+			return 1
+		}
+		lines, regressions := diff(bs, ns, *threshold)
+		for _, l := range lines {
+			fmt.Fprintln(stdout, l)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", regressions, 100**threshold)
+			if !*warn {
+				return 1
+			}
+			fmt.Fprintln(stdout, "benchdiff: -warn set, not failing")
+		}
+		return 0
+
+	default:
+		fmt.Fprintln(stdout, "benchdiff: need either -emit OUT or -base A -new B (see -h)")
+		return 2
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}

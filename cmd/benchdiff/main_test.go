@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: swarmavail/internal/obs
+cpu: Fake CPU @ 3.00GHz
+BenchmarkCounterInc-8        	165605597	         7.245 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHistogramObserve-8  	65471112	        18.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIngest/shards=8-8   	      37	  31404549 ns/op	       365 records/sec	 97000 records/op
+some test log line that is not a benchmark
+PASS
+ok  	swarmavail/internal/obs	8.713s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	// The -8 procs suffix is stripped so snapshots compare across hosts.
+	ci, ok := byName["BenchmarkCounterInc"]
+	if !ok {
+		t.Fatalf("BenchmarkCounterInc missing (names: %v)", byName)
+	}
+	if ci.Iterations != 165605597 || ci.Metrics["ns/op"] != 7.245 || ci.Metrics["allocs/op"] != 0 {
+		t.Errorf("bad parse: %+v", ci)
+	}
+	ing := byName["BenchmarkIngest/shards=8"]
+	if ing.Metrics["records/sec"] != 365 {
+		t.Errorf("custom ReportMetric lost: %+v", ing)
+	}
+}
+
+func mkSnap(pairs map[string]float64) *Snapshot {
+	s := &Snapshot{}
+	for name, ns := range pairs {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return s
+}
+
+func TestDiff(t *testing.T) {
+	base := mkSnap(map[string]float64{"A": 100, "B": 100, "C": 100, "Gone": 50})
+	fresh := mkSnap(map[string]float64{"A": 105, "B": 150, "C": 60, "New": 10})
+	lines, regressions := diff(base, fresh, 0.2)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only B grew >20%%)\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"FAIL B", "good C", "ok   A", "new  New", "gone Gone"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRunEmitAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	newPath := filepath.Join(dir, "new.json")
+
+	var out bytes.Buffer
+	if code := run([]string{"-emit", basePath}, strings.NewReader(sampleOutput), &out); code != 0 {
+		t.Fatalf("emit exit %d: %s", code, out.String())
+	}
+	// A second emit with one benchmark 2x slower.
+	slower := strings.Replace(sampleOutput, "7.245 ns/op", "15.0 ns/op", 1)
+	if code := run([]string{"-emit", newPath}, strings.NewReader(slower), &out); code != 0 {
+		t.Fatalf("emit exit %d: %s", code, out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-base", basePath, "-new", newPath}, nil, &out); code != 1 {
+		t.Fatalf("compare exit %d, want 1 (regression):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkCounterInc") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+
+	// -warn keeps the exit status green for noisy smoke runs.
+	out.Reset()
+	if code := run([]string{"-warn", "-base", basePath, "-new", newPath}, nil, &out); code != 0 {
+		t.Fatalf("warn-mode exit %d, want 0:\n%s", code, out.String())
+	}
+
+	// Identical snapshots: clean exit, no FAIL lines.
+	out.Reset()
+	if code := run([]string{"-base", basePath, "-new", basePath}, nil, &out); code != 0 {
+		t.Fatalf("self-compare exit %d:\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Errorf("self-compare reported a regression:\n%s", out.String())
+	}
+
+	// Emit with no benchmark lines is an error, not an empty file.
+	out.Reset()
+	if code := run([]string{"-emit", filepath.Join(dir, "empty.json")}, strings.NewReader("PASS\n"), &out); code != 1 {
+		t.Fatalf("empty emit exit %d, want 1", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "empty.json")); err == nil {
+		t.Error("empty snapshot was written")
+	}
+}

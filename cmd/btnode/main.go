@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +29,7 @@ import (
 
 	"swarmavail/internal/bittorrent/metainfo"
 	"swarmavail/internal/bittorrent/peer"
+	"swarmavail/internal/obs"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 		pieceLen    = flag.Int64("piece", 256*1024, "piece length in bytes (create)")
 		listen      = flag.String("listen", "127.0.0.1:0", "peer listen address")
 		dialTimeout = flag.Duration("dial-timeout", 0, "peer dial timeout (0 = default)")
+		admin       = flag.String("admin", "", "admin listen address for /metrics, /debug/vars and pprof (e.g. 127.0.0.1:8649)")
+		pprofOn     = flag.Bool("pprof", false, "enable net/http/pprof on the -admin listener")
 	)
 	flag.Parse()
 	if *torrentPath == "" {
@@ -69,10 +74,33 @@ func main() {
 	// (temporary …)" is the tracker briefly down and being retried with
 	// backoff; "announce rejected (fatal …)" means the tracker answered
 	// and refused us (e.g. a torrent it does not serve).
+	// The peer writes its announce/dial/piece series onto this registry;
+	// -admin exposes it (plus process metrics and opt-in pprof).
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "btnode: admin listen: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			srv := &http.Server{
+				Handler:           obs.AdminHandler(reg, *pprofOn),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := srv.Serve(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "btnode: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("btnode: admin on %s (pprof %v)\n", ln.Addr(), *pprofOn)
+	}
+
 	cfg := peer.Config{
 		Torrent:     tor,
 		ListenAddr:  *listen,
 		DialTimeout: *dialTimeout,
+		Metrics:     reg,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("btnode: "+format+"\n", args...)
 		},

@@ -1,0 +1,36 @@
+package peer
+
+import "swarmavail/internal/obs"
+
+// nodeMetrics bundles a node's instruments. Every field is nil when no
+// registry was configured — obs instruments no-op on nil, so the call
+// sites never branch. Several nodes sharing one registry (a fleet in
+// one process, as the chaos experiments run) share these series; the
+// counters then read as fleet totals.
+type nodeMetrics struct {
+	announceOK    *obs.Counter // peer_announces_total{result="ok"}
+	announceTemp  *obs.Counter // ...{result="temporary"}: retried with backoff
+	announceFatal *obs.Counter // ...{result="fatal"}: tracker rejected
+	dials         *obs.Counter // peer_dials_total
+	dialFailures  *obs.Counter // peer_dial_failures_total (each starts a backoff)
+	connections   *obs.Gauge   // peer_connections currently live
+	bytesRx       *obs.Counter // peer_piece_bytes_rx_total (pre-verification)
+	bytesTx       *obs.Counter // peer_piece_bytes_tx_total
+	hashFailures  *obs.Counter // peer_piece_hash_failures_total
+	piecesDone    *obs.Counter // peer_pieces_completed_total (verified, fresh)
+}
+
+func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+	return nodeMetrics{
+		announceOK:    reg.Counter("peer_announces_total", obs.L("result", "ok")),
+		announceTemp:  reg.Counter("peer_announces_total", obs.L("result", "temporary")),
+		announceFatal: reg.Counter("peer_announces_total", obs.L("result", "fatal")),
+		dials:         reg.Counter("peer_dials_total"),
+		dialFailures:  reg.Counter("peer_dial_failures_total"),
+		connections:   reg.Gauge("peer_connections"),
+		bytesRx:       reg.Counter("peer_piece_bytes_rx_total"),
+		bytesTx:       reg.Counter("peer_piece_bytes_tx_total"),
+		hashFailures:  reg.Counter("peer_piece_hash_failures_total"),
+		piecesDone:    reg.Counter("peer_pieces_completed_total"),
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"swarmavail/internal/bittorrent/metainfo"
 	"swarmavail/internal/bittorrent/tracker"
 	"swarmavail/internal/bittorrent/wire"
+	"swarmavail/internal/obs"
 )
 
 // DefaultDialTimeout bounds outgoing peer dials when Config.DialTimeout
@@ -90,6 +91,11 @@ type Config struct {
 	// failures (temporary vs. fatal) and dial backoff decisions. Leave
 	// nil for silence.
 	Logf func(format string, args ...any)
+	// Metrics is an optional observability registry; when set the node
+	// emits peer_* series (announce results, dial failures, live
+	// connections, piece throughput). Nodes sharing a registry share
+	// the series, which then read as fleet totals.
+	Metrics *obs.Registry
 }
 
 // Node is a running peer.
@@ -127,6 +133,8 @@ type Node struct {
 	connSeq       int
 	optimistic    *conn
 	optimisticRng *mrand.Rand
+
+	m nodeMetrics
 }
 
 // conn is one peer connection.
@@ -190,6 +198,7 @@ func New(cfg Config) (*Node, error) {
 		nextDial:  make(map[string]time.Time),
 		doneCh:    make(chan struct{}),
 		stopCh:    make(chan struct{}),
+		m:         newNodeMetrics(cfg.Metrics),
 	}
 	copy(n.peerID[:], "-SA0001-")
 	if _, err := rand.Read(n.peerID[8:]); err != nil {
@@ -408,6 +417,7 @@ func (n *Node) announceLoop() {
 	for {
 		resp, err := tracker.Announce(n.cfg.HTTPClient, n.announceReq(event))
 		if err == nil {
+			n.m.announceOK.Inc()
 			if failures > 0 {
 				n.logf("announce recovered after %d failed attempts", failures)
 			}
@@ -426,10 +436,12 @@ func (n *Node) announceLoop() {
 			}
 		} else if tracker.IsTemporary(err) {
 			failures++
+			n.m.announceTemp.Inc()
 			n.logf("announce failed (temporary, attempt %d): %v", failures, err)
 		} else {
 			// The tracker answered and said no; retrying sooner won't help.
 			failures = 0
+			n.m.announceFatal.Inc()
 			n.logf("announce rejected (fatal): %v", err)
 		}
 		n.broadcastPex()
@@ -502,8 +514,10 @@ func (n *Node) dialAddrs(addrs []string) {
 		n.wg.Add(1)
 		go func(addr string) {
 			defer n.wg.Done()
+			n.m.dials.Inc()
 			c, err := n.dial(addr)
 			if err != nil {
+				n.m.dialFailures.Inc()
 				n.mu.Lock()
 				delete(n.dialed, addr) // allow a retry once the backoff passes
 				n.dialFails[addr]++
@@ -649,6 +663,7 @@ func (n *Node) runConn(netc net.Conn, initiator bool) {
 	n.conns[c] = struct{}{}
 	bf := n.have.Clone()
 	n.mu.Unlock()
+	n.m.connections.Add(1)
 
 	defer n.dropConn(c)
 	if err := c.write(&wire.Message{Type: wire.MsgBitfield, Bitfield: bf}); err != nil {
@@ -682,6 +697,7 @@ func (n *Node) runConn(netc net.Conn, initiator bool) {
 }
 
 func (n *Node) dropConn(c *conn) {
+	n.m.connections.Add(-1)
 	n.mu.Lock()
 	delete(n.conns, c)
 	c.mu.Lock()
@@ -921,6 +937,7 @@ func (n *Node) servePiece(c *conn, m *wire.Message) error {
 	c.mu.Lock()
 	c.bytesToPeer += int64(len(block))
 	c.mu.Unlock()
+	n.m.bytesTx.Add(uint64(len(block)))
 	return nil
 }
 
@@ -933,7 +950,9 @@ func (n *Node) receivePiece(c *conn, m *wire.Message) error {
 	c.mu.Lock()
 	c.bytesFromPeer += int64(len(m.Block))
 	c.mu.Unlock()
+	n.m.bytesRx.Add(uint64(len(m.Block)))
 	if !n.info.VerifyPiece(idx, m.Block) {
+		n.m.hashFailures.Inc()
 		// Hash failure: drop the in-flight claim so it can be re-fetched.
 		n.mu.Lock()
 		if n.pending[idx] == c {
@@ -973,6 +992,7 @@ func (n *Node) receivePiece(c *conn, m *wire.Message) error {
 	c.mu.Unlock()
 
 	if fresh {
+		n.m.piecesDone.Inc()
 		for _, oc := range conns {
 			_ = oc.write(&wire.Message{Type: wire.MsgHave, Index: m.Index})
 		}

@@ -1,0 +1,35 @@
+package tracker
+
+import "swarmavail/internal/obs"
+
+// Instrument registers the tracker's metrics on reg and starts
+// counting. Call once, before the handler serves traffic. A nil
+// registry is a no-op (the instruments stay nil, which updates
+// tolerate), so servers can instrument unconditionally:
+//
+//	tracker_announces_total            all announce requests
+//	tracker_announce_failures_total    announces rejected in-band
+//	tracker_scrapes_total              all scrape requests
+//	tracker_downloads_total            "completed" events seen
+//	tracker_swarms                     swarms currently tracked (gauge)
+//	tracker_peers                      peers currently registered (gauge)
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.mAnnounces = reg.Counter("tracker_announces_total")
+	s.mAnnounceFailures = reg.Counter("tracker_announce_failures_total")
+	s.mScrapes = reg.Counter("tracker_scrapes_total")
+	s.mDownloads = reg.Counter("tracker_downloads_total")
+	reg.GaugeFunc("tracker_swarms", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.swarms))
+	})
+	reg.GaugeFunc("tracker_peers", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, sw := range s.swarms {
+			n += len(sw.peers)
+		}
+		return float64(n)
+	})
+}

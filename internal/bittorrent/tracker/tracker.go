@@ -18,6 +18,7 @@ import (
 
 	"swarmavail/internal/bittorrent/bencode"
 	"swarmavail/internal/bittorrent/metainfo"
+	"swarmavail/internal/obs"
 )
 
 // DefaultInterval is the re-announce interval handed to clients.
@@ -47,6 +48,12 @@ type Server struct {
 	// PeerTTL expires peers that stopped announcing (crashed clients).
 	peerTTL time.Duration
 	now     func() time.Time
+
+	// Instruments, set by Instrument; nil (no-op) until then.
+	mAnnounces        *obs.Counter
+	mAnnounceFailures *obs.Counter
+	mScrapes          *obs.Counter
+	mDownloads        *obs.Counter
 }
 
 // NewServer returns a tracker with the default announce interval.
@@ -87,19 +94,23 @@ func parseInfoHash(q url.Values) (metainfo.InfoHash, error) {
 }
 
 func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	s.mAnnounces.Inc()
 	q := r.URL.Query()
 	ih, err := parseInfoHash(q)
 	if err != nil {
+		s.mAnnounceFailures.Inc()
 		failure(w, err.Error())
 		return
 	}
 	peerIDRaw := q.Get("peer_id")
 	if len(peerIDRaw) != 20 {
+		s.mAnnounceFailures.Inc()
 		failure(w, "peer_id must be 20 bytes")
 		return
 	}
 	port, err := strconv.Atoi(q.Get("port"))
 	if err != nil || port <= 0 || port > 65535 {
+		s.mAnnounceFailures.Inc()
 		failure(w, "invalid port")
 		return
 	}
@@ -118,6 +129,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	}
 	ip := net.ParseIP(host)
 	if ip == nil {
+		s.mAnnounceFailures.Inc()
 		failure(w, "cannot determine peer IP")
 		return
 	}
@@ -138,6 +150,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	default:
 		if event == "completed" {
 			sw.downloads++
+			s.mDownloads.Inc()
 		}
 		sw.peers[string(key[:])] = &peerEntry{
 			id:       key,
@@ -187,6 +200,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScrape(w http.ResponseWriter, r *http.Request) {
+	s.mScrapes.Inc()
 	q := r.URL.Query()
 	ih, err := parseInfoHash(q)
 	if err != nil {

@@ -13,6 +13,10 @@ import (
 	"swarmavail/internal/plot"
 )
 
+// chaos.go threads the package metrics registry (SetMetrics) into every
+// live component it runs: the tracker, the peer fleet, and the fault
+// layer's counters after the run.
+
 func init() {
 	register(Driver{
 		ID:          "chaos",
@@ -62,7 +66,9 @@ func chaosRun(scale Scale, seed int64) (*Result, faultnet.Stats, error) {
 
 	// Tracker + a K=2 bundle, the smallest configuration the paper's
 	// bundling story needs.
+	reg := metricsReg
 	srv := tracker.NewServer()
+	srv.Instrument(reg)
 	trkLn, closeTrk, err := srv.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, faultnet.Stats{}, err
@@ -95,6 +101,7 @@ func chaosRun(scale Scale, seed int64) (*Result, faultnet.Stats, error) {
 			Dial:             fnet.Dial,
 			Listen:           listen,
 			HTTPClient:       httpClient,
+			Metrics:          reg,
 		})
 	}
 
@@ -161,6 +168,10 @@ func chaosRun(scale Scale, seed int64) (*Result, faultnet.Stats, error) {
 	}
 
 	stats := fnet.Stats()
+	reg.Counter("chaos_fault_resets_total").Add(stats.Resets)
+	reg.Counter("chaos_fault_dials_denied_total").Add(stats.DialsDenied)
+	reg.Counter("chaos_fault_truncations_total").Add(stats.Truncations)
+	reg.Counter("chaos_fault_conns_wrapped_total").Add(stats.Conns)
 	res := &Result{
 		ID:          "chaos",
 		Description: "Live-swarm seedless sustainability under fault injection",

@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"swarmavail/internal/obs"
+)
 
 // TestChaosSustainability is the PR's headline robustness check: a real
 // TCP swarm, a seeded fault layer resetting connections mid-stream, and
@@ -11,6 +15,9 @@ func TestChaosSustainability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live-swarm chaos run")
 	}
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
 	res, stats, err := chaosRun(Quick, 42)
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
@@ -18,6 +25,20 @@ func TestChaosSustainability(t *testing.T) {
 	// A chaos run that injected nothing proves nothing.
 	if stats.Resets == 0 && stats.DialsDenied == 0 {
 		t.Fatalf("no faults injected (stats %+v); increase probabilities or traffic", stats)
+	}
+	// The fleet shares the registry: tracker, peers and fault counters
+	// must all have landed on it.
+	if v, _ := reg.Value("tracker_announces_total"); v == 0 {
+		t.Error("tracker announces not recorded on the shared registry")
+	}
+	if reg.Sum("peer_announces_total") == 0 {
+		t.Error("peer announces not recorded on the shared registry")
+	}
+	if v, _ := reg.Value("peer_piece_bytes_rx_total"); v == 0 {
+		t.Error("piece throughput not recorded on the shared registry")
+	}
+	if got := reg.Sum("chaos_fault_resets_total") + reg.Sum("chaos_fault_dials_denied_total"); got == 0 {
+		t.Error("fault counters not recorded on the shared registry")
 	}
 	if len(res.Notes) == 0 || len(res.Timelines) == 0 {
 		t.Fatalf("chaos result missing notes/timeline: %+v", res)

@@ -9,7 +9,9 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"swarmavail/internal/obs"
 	"swarmavail/internal/plot"
 )
 
@@ -65,6 +67,39 @@ type Driver struct {
 	Description string
 	Run         func(scale Scale, seed int64) (*Result, error)
 }
+
+// Instrumented returns a copy of d whose Run also records
+// experiment_runs_total{id}, experiment_failures_total{id} and an
+// experiment_run_seconds{id} histogram on reg. A nil registry returns d
+// unchanged. The id label is bounded by the registry of drivers.
+func (d Driver) Instrumented(reg *obs.Registry) Driver {
+	if reg == nil {
+		return d
+	}
+	inner := d.Run
+	id := obs.L("id", d.ID)
+	d.Run = func(scale Scale, seed int64) (*Result, error) {
+		start := time.Now()
+		res, err := inner(scale, seed)
+		reg.Histogram("experiment_run_seconds", obs.LatencyBuckets, id).Observe(time.Since(start).Seconds())
+		reg.Counter("experiment_runs_total", id).Inc()
+		if err != nil {
+			reg.Counter("experiment_failures_total", id).Inc()
+		}
+		return res, err
+	}
+	return d
+}
+
+// metricsReg is the optional registry testbed-backed drivers (chaos)
+// thread into their peer fleet and tracker; see SetMetrics.
+var metricsReg *obs.Registry
+
+// SetMetrics installs a registry for drivers that run live components:
+// the chaos testbed passes it to its tracker and every peer node, so
+// one scrape shows the whole fleet (tracker_*, peer_*, chaos_fault_*
+// series). Call once at startup, before running drivers; nil disables.
+func SetMetrics(reg *obs.Registry) { metricsReg = reg }
 
 // registry holds all drivers keyed by ID.
 var registry = map[string]Driver{}

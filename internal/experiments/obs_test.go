@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"swarmavail/internal/obs"
+)
+
+func TestInstrumentedDriver(t *testing.T) {
+	reg := obs.NewRegistry()
+	calls := 0
+	d := Driver{ID: "fake", Run: func(Scale, int64) (*Result, error) {
+		calls++
+		if calls > 1 {
+			return nil, errors.New("boom")
+		}
+		return &Result{ID: "fake"}, nil
+	}}
+	wrapped := d.Instrumented(reg)
+	if _, err := wrapped.Run(Quick, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.Run(Quick, 1); err == nil {
+		t.Fatal("expected error on second run")
+	}
+	if v, _ := reg.Value("experiment_runs_total", obs.L("id", "fake")); v != 2 {
+		t.Errorf("runs = %v, want 2", v)
+	}
+	if v, _ := reg.Value("experiment_failures_total", obs.L("id", "fake")); v != 1 {
+		t.Errorf("failures = %v, want 1", v)
+	}
+	h := reg.Histogram("experiment_run_seconds", obs.LatencyBuckets, obs.L("id", "fake"))
+	if h.Count() != 2 {
+		t.Errorf("duration observations = %d, want 2", h.Count())
+	}
+	// Nil registry leaves the driver untouched.
+	if un := d.Instrumented(nil); un.Run == nil {
+		t.Fatal("nil registry broke the driver")
+	}
+}

@@ -3,8 +3,10 @@ package ingest
 import (
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 
+	"swarmavail/internal/obs"
 	"swarmavail/internal/trace"
 )
 
@@ -37,10 +39,14 @@ type Engine struct {
 // New starts an engine with cfg (zero fields take defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults(runtime.GOMAXPROCS(0))
-	e := &Engine{cfg: cfg, metrics: newMetrics()}
+	e := &Engine{cfg: cfg, metrics: newMetrics(cfg.Metrics, cfg.Shards)}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = newShard(cfg.QueueDepth, e.metrics)
+		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics)
+		s := e.shards[i]
+		e.metrics.reg.GaugeFunc("ingest_shard_queue_depth",
+			func() float64 { return float64(len(s.in)) },
+			obs.L("shard", strconv.Itoa(i)))
 	}
 	e.wg.Add(cfg.Shards)
 	for _, s := range e.shards {
@@ -51,6 +57,11 @@ func New(cfg Config) *Engine {
 	}
 	return e
 }
+
+// Registry returns the registry the engine's instruments live on —
+// cfg.Metrics if one was supplied, the engine's private registry
+// otherwise.
+func (e *Engine) Registry() *obs.Registry { return e.metrics.reg }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.cfg.Shards }

@@ -38,6 +38,7 @@
 package ingest
 
 import (
+	"swarmavail/internal/obs"
 	"swarmavail/internal/trace"
 )
 
@@ -151,6 +152,12 @@ type Config struct {
 	// OnFull is the backpressure policy for a full shard queue:
 	// Block (default) or Shed.
 	OnFull OverflowPolicy
+	// Metrics is an optional observability registry the engine
+	// registers its instruments on (ingest_* series). Nil means a
+	// private registry — Engine.Metrics still works, nothing is
+	// exported. Run at most one live engine per registry: a second
+	// engine on the same registry merges its series into the first's.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults(defaultShards int) Config {

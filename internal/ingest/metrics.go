@@ -1,58 +1,70 @@
 package ingest
 
 import (
-	"math"
-	"sync"
-	"sync/atomic"
+	"strconv"
 	"time"
 
-	"swarmavail/internal/stats"
+	"swarmavail/internal/obs"
 )
 
-// latency sketch geometry: log10(seconds) from 10ns to 100s at ~2.3%
-// relative resolution.
-const (
-	latLogLo   = -8.0
-	latLogHi   = 2.0
-	latLogBins = 1000
-)
-
-// Metrics tracks the engine's operational counters: ingest volume,
-// batch sizes, per-batch apply latency (as a mergeable log-scale
-// sketch), and — via Engine.Metrics — instantaneous shard queue depths.
-// Counter updates are atomic; the latency sketch takes a short mutex
-// once per *batch*, off the per-record hot path.
+// Metrics owns the engine's operational instruments, all registered on
+// an obs.Registry: ingest volume, shed counts, per-shard applied
+// counters, batch sizes and per-batch apply latency. Counter and
+// histogram updates are single atomic operations — nothing on the
+// per-record hot path takes a lock.
+//
+// The registry is the single source of truth: MetricsSnapshot is built
+// from it in one place (snapshot), so a scrape of /metrics and a call
+// to Engine.Metrics can never disagree.
 type Metrics struct {
-	start   time.Time
-	records atomic.Uint64 // ops accepted by Submit/Writer
-	applied atomic.Uint64 // ops applied by shards
-	batches atomic.Uint64
-	shed    atomic.Uint64 // ops dropped by the Shed overflow policy
+	start time.Time
+	reg   *obs.Registry
 
-	mu         sync.Mutex
-	latency    *stats.QuantileSketch // log10(batch apply seconds)
-	batchSizes stats.Accumulator
+	records      *obs.Counter   // ops accepted by Submit/Writer
+	shed         *obs.Counter   // ops dropped by the Shed overflow policy
+	batches      *obs.Counter   // batches applied
+	applied      []*obs.Counter // ops applied, labeled shard="i"
+	batchLatency *obs.Histogram // batch apply seconds
+	batchSize    *obs.Histogram // ops per batch
+	batchSizeMax *obs.Gauge     // high-water batch size
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{
-		start:   time.Now(),
-		latency: stats.NewQuantileSketch(latLogLo, latLogHi, latLogBins),
+// newMetrics registers the engine's instruments on reg (a private
+// registry when nil, so Engine.Metrics works without one). Sharing one
+// registry between two live engines merges their series; run one
+// engine per registry.
+func newMetrics(reg *obs.Registry, shards int) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	m := &Metrics{
+		start:        time.Now(),
+		reg:          reg,
+		records:      reg.Counter("ingest_records_total"),
+		shed:         reg.Counter("ingest_shed_total"),
+		batches:      reg.Counter("ingest_batches_total"),
+		batchLatency: reg.Histogram("ingest_batch_apply_seconds", obs.LatencyBuckets),
+		batchSize:    reg.Histogram("ingest_batch_size", obs.SizeBuckets),
+		batchSizeMax: reg.Gauge("ingest_batch_size_max"),
+	}
+	m.applied = make([]*obs.Counter, shards)
+	for i := range m.applied {
+		m.applied[i] = reg.Counter("ingest_applied_total", obs.L("shard", strconv.Itoa(i)))
+	}
+	return m
 }
 
-// observeBatch records one applied batch.
-func (m *Metrics) observeBatch(n int, d time.Duration) {
-	m.applied.Add(uint64(n))
-	m.batches.Add(1)
+// observeBatch records one batch applied by shard i.
+func (m *Metrics) observeBatch(shard, n int, d time.Duration) {
+	m.applied[shard].Add(uint64(n))
+	m.batches.Inc()
 	sec := d.Seconds()
 	if sec <= 0 {
 		sec = 1e-9
 	}
-	m.mu.Lock()
-	m.latency.Add(math.Log10(sec))
-	m.batchSizes.Add(float64(n))
-	m.mu.Unlock()
+	m.batchLatency.Observe(sec)
+	m.batchSize.Observe(float64(n))
+	m.batchSizeMax.SetMax(float64(n))
 }
 
 // MetricsSnapshot is a point-in-time copy of the engine's counters.
@@ -64,39 +76,49 @@ type MetricsSnapshot struct {
 	RecordsPerSecond float64 `json:"records_per_second"`
 	// Shed counts ops dropped by the Shed overflow policy; always 0
 	// under Block. OverflowPolicy names the active policy.
-	Shed           uint64 `json:"shed"`
-	OverflowPolicy string `json:"overflow_policy"`
-	MeanBatchSize    float64 `json:"mean_batch_size"`
-	MaxBatchSize     float64 `json:"max_batch_size"`
-	// Batch apply latency quantiles in seconds (sketch-accurate to
-	// ~2.3% relative).
+	Shed           uint64  `json:"shed"`
+	OverflowPolicy string  `json:"overflow_policy"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+	MaxBatchSize   float64 `json:"max_batch_size"`
+	// Batch apply latency quantiles in seconds (histogram-accurate:
+	// exact to within one factor-2 bucket).
 	LatencyP50 float64 `json:"latency_p50_seconds"`
 	LatencyP99 float64 `json:"latency_p99_seconds"`
-	// ShardDepths are instantaneous queue depths in batches.
-	ShardDepths []int `json:"shard_depths"`
+	// ShardDepths are instantaneous queue depths in batches;
+	// ShardApplied are cumulative applied ops per shard.
+	ShardDepths  []int    `json:"shard_depths"`
+	ShardApplied []uint64 `json:"shard_applied"`
 }
 
+// snapshot is the single place a MetricsSnapshot is assembled — every
+// field is read from the registry-backed instruments here, so handlers
+// cannot skip a counter by copying fields themselves.
+// TestMetricsSnapshotComplete enforces (by reflection) that every
+// exported field is populated.
 func (m *Metrics) snapshot(depths []int, policy OverflowPolicy) MetricsSnapshot {
 	up := time.Since(m.start).Seconds()
+	perShard := make([]uint64, len(m.applied))
+	var applied uint64
+	for i, c := range m.applied {
+		perShard[i] = c.Value()
+		applied += perShard[i]
+	}
 	snap := MetricsSnapshot{
 		UptimeSeconds:  up,
-		Records:        m.records.Load(),
-		Applied:        m.applied.Load(),
-		Batches:        m.batches.Load(),
-		Shed:           m.shed.Load(),
+		Records:        m.records.Value(),
+		Applied:        applied,
+		Batches:        m.batches.Value(),
+		Shed:           m.shed.Value(),
 		OverflowPolicy: policy.String(),
+		MeanBatchSize:  m.batchSize.Mean(),
+		MaxBatchSize:   m.batchSizeMax.Value(),
+		LatencyP50:     m.batchLatency.Quantile(0.5),
+		LatencyP99:     m.batchLatency.Quantile(0.99),
 		ShardDepths:    depths,
+		ShardApplied:   perShard,
 	}
 	if up > 0 {
-		snap.RecordsPerSecond = float64(snap.Applied) / up
+		snap.RecordsPerSecond = float64(applied) / up
 	}
-	m.mu.Lock()
-	snap.MeanBatchSize = m.batchSizes.Mean()
-	snap.MaxBatchSize = m.batchSizes.Max()
-	if m.latency.N() > 0 {
-		snap.LatencyP50 = math.Pow(10, m.latency.Quantile(0.5))
-		snap.LatencyP99 = math.Pow(10, m.latency.Quantile(0.99))
-	}
-	m.mu.Unlock()
 	return snap
 }

@@ -1,0 +1,160 @@
+package ingest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"swarmavail/internal/measure"
+	"swarmavail/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// parityGolden pins the statistics both pipelines must produce for the
+// fixed generator seeds below. Regenerate with
+//
+//	go test ./internal/ingest -run TestIngestMeasureParity -update
+//
+// after an intentional change to the shared definitions.
+type parityGolden struct {
+	StudySwarms  int                               `json:"study_swarms"`
+	CensusSwarms int                               `json:"census_swarms"`
+	Headlines    measure.StudyHeadlines            `json:"headlines"`
+	FirstMonthQ  map[string]float64                `json:"first_month_quantiles"`
+	FullQ        map[string]float64                `json:"full_quantiles"`
+	SumFirst     float64                           `json:"sum_first_month_availability"`
+	SumFull      float64                           `json:"sum_full_availability"`
+	Extent       map[string]measure.BundlingExtent `json:"bundling_extent"`
+}
+
+var parityQuantiles = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+// TestIngestMeasureParity replays one generated campaign — an
+// availability study plus a census snapshot — through both analysis
+// paths and requires they agree: the streaming engine in this package
+// and the offline batch functions in internal/measure. The agreed
+// numbers are then pinned against a committed golden file, so a change
+// that shifts BOTH pipelines in lockstep (e.g. editing a shared
+// definition in measure) is still caught.
+func TestIngestMeasureParity(t *testing.T) {
+	traces := trace.GenerateStudy(trace.DefaultStudyConfig(300, 11))
+	snaps := trace.GenerateSnapshot(trace.SnapshotConfig{Seed: 13, NumSwarms: 500})
+
+	// Offline reference.
+	fm, fl := measure.Availabilities(traces)
+	head := measure.HeadlinesFromAvailabilities(fm, fl)
+	skFM, skFull := measure.AvailabilitySketches(traces)
+	ext := measure.ExtentOfBundling(snaps)
+
+	// Online path: the same records through the streaming engine.
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	w := e.NewWriter()
+	for _, tr := range traces {
+		for _, op := range TraceOps(tr) {
+			if err := w.Put(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, s := range snaps {
+		if err := w.ObserveCensus(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	sum := e.Summary()
+
+	// Per-swarm availabilities agree to 1e-9 (the arithmetic is shared
+	// and ordered identically, so in practice they agree bitwise).
+	const tol = 1e-9
+	var sumFM, sumFull float64
+	for i, tr := range traces {
+		st, ok := e.Swarm(tr.Meta.ID)
+		if !ok {
+			t.Fatalf("swarm %d missing from online state", tr.Meta.ID)
+		}
+		if d := math.Abs(st.FirstMonth - fm[i]); d > tol {
+			t.Fatalf("swarm %d first-month availability: online %v offline %v", tr.Meta.ID, st.FirstMonth, fm[i])
+		}
+		if d := math.Abs(st.Full - fl[i]); d > tol {
+			t.Fatalf("swarm %d full availability: online %v offline %v", tr.Meta.ID, st.Full, fl[i])
+		}
+		sumFM += fm[i]
+		sumFull += fl[i]
+	}
+
+	// Aggregates: headline fractions, sketch quantiles, bundling
+	// counters — all must be identical, not merely close.
+	if got := sum.Headlines(); got != head {
+		t.Errorf("headlines diverged: online %+v offline %+v", got, head)
+	}
+	fmq := make(map[string]float64, len(parityQuantiles))
+	flq := make(map[string]float64, len(parityQuantiles))
+	for _, q := range parityQuantiles {
+		key := fmt.Sprintf("%g", q)
+		fmq[key] = sum.FirstMonth.Quantile(q)
+		flq[key] = sum.Full.Quantile(q)
+		if fmq[key] != skFM.Quantile(q) || flq[key] != skFull.Quantile(q) {
+			t.Errorf("quantile q=%v diverged between online and offline sketches", q)
+		}
+	}
+	for cat, want := range ext {
+		if got := sum.Categories[cat].Extent(cat); got != want {
+			t.Errorf("%v bundling extent diverged: online %+v offline %+v", cat, got, want)
+		}
+	}
+
+	got := parityGolden{
+		StudySwarms:  sum.StudySwarms,
+		CensusSwarms: sum.CensusSwarms,
+		Headlines:    head,
+		FirstMonthQ:  fmq,
+		FullQ:        flq,
+		SumFirst:     sumFM,
+		SumFull:      sumFull,
+		Extent:       make(map[string]measure.BundlingExtent, len(ext)),
+	}
+	for cat, x := range ext {
+		got.Extent[cat.String()] = x
+	}
+
+	path := filepath.Join("testdata", "parity_golden.json")
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var want parityGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	// float64 survives a JSON round-trip exactly, so deep equality is
+	// the right comparison here.
+	if !reflect.DeepEqual(got, want) {
+		gb, _ := json.MarshalIndent(got, "", "  ")
+		t.Errorf("statistics drifted from golden file (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s", gb, raw)
+	}
+}

@@ -27,14 +27,16 @@ type shardMsg struct {
 // shard owns a partition of the swarm keyspace. Only its goroutine
 // touches the maps — no locks anywhere on the apply path.
 type shard struct {
+	idx     int
 	in      chan shardMsg
 	metrics *Metrics
 	swarms  map[int]*swarmState
 	cats    map[trace.Category]*CategoryCounters
 }
 
-func newShard(queueDepth int, m *Metrics) *shard {
+func newShard(idx, queueDepth int, m *Metrics) *shard {
 	return &shard{
+		idx:     idx,
 		in:      make(chan shardMsg, queueDepth),
 		metrics: m,
 		swarms:  make(map[int]*swarmState),
@@ -51,7 +53,7 @@ func (s *shard) run() {
 			for _, op := range msg.ops {
 				s.apply(op)
 			}
-			s.metrics.observeBatch(len(msg.ops), time.Since(start))
+			s.metrics.observeBatch(s.idx, len(msg.ops), time.Since(start))
 		case msg.ack != nil:
 			msg.ack <- struct{}{}
 		case msg.summary != nil:

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatLabels renders {k="v",...} (empty string for no labels).
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes every series in the Prometheus text
+// exposition format (version 0.0.4): # TYPE comments, cumulative
+// histogram buckets with le labels, _sum and _count series. Output is
+// sorted by name then labels, so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, m := range r.sorted() {
+		if m.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+			lastFamily = m.name
+		}
+		ls := formatLabels(m.labels)
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, ls, m.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, ls, formatValue(m.gauge.Value())); err != nil {
+				return err
+			}
+		case kindGaugeFunc:
+			fn := m.gaugeFn
+			v := 0.0
+			if fn != nil {
+				v = fn()
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, ls, formatValue(v)); err != nil {
+				return err
+			}
+		case kindHistogram:
+			h := m.hist
+			counts := h.bucketCounts()
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatValue(h.bounds[i])
+				}
+				bls := formatLabels(m.labels, Label{Key: "le", Value: le})
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, bls, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, ls, formatValue(h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, ls, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the registry as one flat JSON object mapping
+// series id ("name" or "name{k=\"v\"}") to value — the /debug/vars
+// shape. Histograms flatten to _count, _sum, _mean, _p50, _p99.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]float64)
+	for _, m := range r.sorted() {
+		id := m.name + formatLabels(m.labels)
+		switch m.kind {
+		case kindCounter:
+			out[id] = float64(m.counter.Value())
+		case kindGauge:
+			out[id] = m.gauge.Value()
+		case kindGaugeFunc:
+			if m.gaugeFn != nil {
+				out[id] = m.gaugeFn()
+			} else {
+				out[id] = 0
+			}
+		case kindHistogram:
+			ls := formatLabels(m.labels)
+			out[m.name+"_count"+ls] = float64(m.hist.Count())
+			out[m.name+"_sum"+ls] = m.hist.Sum()
+			out[m.name+"_mean"+ls] = m.hist.Mean()
+			out[m.name+"_p50"+ls] = m.hist.Quantile(0.5)
+			out[m.name+"_p99"+ls] = m.hist.Quantile(0.99)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

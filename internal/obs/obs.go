@@ -1,0 +1,492 @@
+// Package obs is the repository's observability layer: a
+// dependency-free metrics registry (atomic counters, gauges and
+// histograms with Prometheus-text and JSON encodings), log/slog-based
+// structured logging helpers, HTTP middleware for request metrics and
+// logging, and an admin handler exposing /metrics, /debug/vars and
+// (opt-in) net/http/pprof.
+//
+// # Design
+//
+// The hot path is lock-free: an instrument handle (*Counter, *Gauge,
+// *Histogram) is looked up once at construction and then updated with
+// single atomic operations — an Inc costs one uncontended atomic add,
+// nothing else. The registry itself is only locked when instruments are
+// created or a snapshot is taken.
+//
+// Every constructor and instrument method is nil-safe: a nil *Registry
+// hands out nil instruments, and updates on nil instruments are no-ops.
+// Packages can therefore accept an optional registry and instrument
+// themselves unconditionally; callers that pass nil pay (almost)
+// nothing.
+//
+// # Naming conventions
+//
+// Metric names follow the Prometheus style: snake_case, a subsystem
+// prefix (ingest_, tracker_, peer_, swarm_sim_, http_, process_), a
+// _total suffix on counters, and base units (seconds, bytes) on
+// histograms and gauges. Labels are for bounded dimensions only —
+// shard indexes, HTTP status classes, result classes — never for
+// unbounded values such as swarm or peer ids.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Keep value cardinality bounded.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the instrument types held by a registry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	labels []Label
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds a set of named instruments. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// sink: every constructor returns nil instruments and every snapshot is
+// empty.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// seriesKey builds the unique lookup key for name+labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// sortLabels returns a sorted copy so label order never splits series.
+func sortLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the series, creating it with mk on first use. It
+// panics if the name+labels are already registered as a different kind
+// — that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name string, labels []Label, k kind, mk func(*metric)) *metric {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	m, ok := r.byKey[key]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, m.kind, k))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.byKey[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, m.kind, k))
+		}
+		return m
+	}
+	m = &metric{name: name, labels: labels, kind: k}
+	mk(m)
+	r.byKey[key] = m
+	return m
+}
+
+// Counter returns (registering on first use) the counter for
+// name+labels. Calling again with the same series returns the same
+// handle. A nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter, func(m *metric) {
+		m.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, func(m *metric) {
+		m.gauge = &Gauge{}
+	}).gauge
+}
+
+// GaugeFunc registers a callback gauge evaluated at snapshot time. A
+// second registration of the same series replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	m := r.lookup(name, labels, kindGaugeFunc, func(m *metric) {})
+	r.mu.Lock()
+	m.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the histogram for
+// name+labels with the given bucket upper bounds (ascending; a +Inf
+// overflow bucket is implicit). Buckets are fixed at first registration.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindHistogram, func(m *metric) {
+		m.hist = newHistogram(buckets)
+	}).hist
+}
+
+// sorted returns the registry's series ordered by name then labels.
+func (r *Registry) sorted() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.byKey))
+	for _, m := range r.byKey {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return seriesKey("", ms[i].labels) < seriesKey("", ms[j].labels)
+	})
+	return ms
+}
+
+// Value returns the current value of a counter, gauge or gauge func
+// series (false if the series does not exist or is a histogram).
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	key := seriesKey(name, sortLabels(labels))
+	r.mu.RLock()
+	m, ok := r.byKey[key]
+	var fn func() float64
+	if ok {
+		fn = m.gaugeFn
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value()), true
+	case kindGauge:
+		return m.gauge.Value(), true
+	case kindGaugeFunc:
+		if fn == nil {
+			return 0, false
+		}
+		return fn(), true
+	}
+	return 0, false
+}
+
+// Sum adds up every series of the given name across label sets
+// (counters, gauges and gauge funcs; histograms are skipped).
+func (r *Registry) Sum(name string) float64 {
+	var total float64
+	for _, m := range r.sorted() {
+		if m.name != name {
+			continue
+		}
+		switch m.kind {
+		case kindCounter:
+			total += float64(m.counter.Value())
+		case kindGauge:
+			total += m.gauge.Value()
+		case kindGaugeFunc:
+			if m.gaugeFn != nil {
+				total += m.gaugeFn()
+			}
+		}
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+
+// Counter is a monotonically increasing uint64. All methods are safe
+// for concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Observe is a
+// binary search plus two atomic adds — no locks — so it is safe on hot
+// paths. All methods no-op on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1), // +1: overflow (+Inf)
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the average observation (0 with no data).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the target rank. The answer
+// is bucket-resolution accurate: exact to within one bucket's width.
+// Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound; report its floor.
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCounts returns a stable copy of the per-bucket counts.
+func (h *Histogram) bucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns count upper bounds growing geometrically from
+// start by factor — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count ≥ 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 10 ns to ~100 s at factor 2 — a good default
+// for batch/request latencies.
+var LatencyBuckets = ExpBuckets(1e-8, 2, 34)
+
+// SizeBuckets spans 1 to ~1M at factor 4 — a good default for batch
+// and payload sizes.
+var SizeBuckets = ExpBuckets(1, 4, 11)

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memCache caches one runtime.ReadMemStats per refresh window so a
+// scrape touching several process_* gauges pays for a single (brief
+// stop-the-world) read, and rapid scrapes don't hammer the runtime.
+type memCache struct {
+	mu     sync.Mutex
+	at     time.Time
+	stats  runtime.MemStats
+	maxAge time.Duration
+}
+
+func (c *memCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > c.maxAge {
+		runtime.ReadMemStats(&c.stats)
+		c.at = time.Now()
+	}
+	return &c.stats
+}
+
+// RegisterProcessMetrics registers runtime/process gauges on reg:
+// uptime, goroutine count, heap usage, GC cycles and pause time. Safe
+// to call on a nil registry (no-op) and idempotent on the same one.
+func RegisterProcessMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	cache := &memCache{maxAge: time.Second}
+	reg.GaugeFunc("process_uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	reg.GaugeFunc("process_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("process_heap_alloc_bytes", func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	reg.GaugeFunc("process_heap_sys_bytes", func() float64 {
+		return float64(cache.get().HeapSys)
+	})
+	reg.GaugeFunc("process_heap_objects", func() float64 {
+		return float64(cache.get().HeapObjects)
+	})
+	reg.GaugeFunc("process_gc_cycles_total", func() float64 {
+		return float64(cache.get().NumGC)
+	})
+	reg.GaugeFunc("process_gc_pause_seconds_total", func() float64 {
+		return float64(cache.get().PauseTotalNs) / 1e9
+	})
+	reg.GaugeFunc("process_cpus", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+}

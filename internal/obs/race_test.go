@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from N goroutines and checks nothing is lost — the
+// satellite race test for the registry hot paths. Run under -race.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	g := r.Gauge("level")
+	h := r.Histogram("lat", ExpBuckets(1, 2, 10))
+
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 100))
+			}
+		}()
+	}
+	wg.Wait()
+
+	const want = goroutines * perG
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := h.Sum(); got != float64(goroutines)*perG/100*4950 {
+		t.Errorf("histogram sum = %v", got)
+	}
+}
+
+// TestSnapshotDuringWrites encodes the registry continuously while
+// writers mutate it and create new series — snapshot-during-write must
+// never race, panic, or produce unparseable output.
+func TestSnapshotDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("stream_total", L("w", fmt.Sprint(i)))
+			h := r.Histogram("stream_lat", LatencyBuckets, L("w", fmt.Sprint(i)))
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(j%1000) * 1e-6)
+				if j%100 == 0 {
+					// New series appear mid-flight too.
+					r.Gauge("late_gauge", L("w", fmt.Sprint(i)), L("j", fmt.Sprint(j%5))).Set(float64(j))
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("encode during writes: %v", err)
+		}
+		var jbuf bytes.Buffer
+		if err := r.WriteJSON(&jbuf); err != nil {
+			t.Fatalf("json encode during writes: %v", err)
+		}
+		_ = r.Sum("stream_total")
+	}
+	close(stop)
+	wg.Wait()
+}

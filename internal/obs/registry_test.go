@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("widgets_total"); c2 != c {
+		t.Fatalf("same series returned a different handle")
+	}
+
+	g := r.Gauge("level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetMax(1.0)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %v, want 9", got)
+	}
+
+	r.GaugeFunc("answer", func() float64 { return 42 })
+	if v, ok := r.Value("answer"); !ok || v != 42 {
+		t.Fatalf("gauge func = %v ok=%v", v, ok)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", L("code", "2xx"))
+	b := r.Counter("reqs_total", L("code", "5xx"))
+	if a == b {
+		t.Fatal("different label values shared a handle")
+	}
+	a.Add(3)
+	b.Inc()
+	if v, _ := r.Value("reqs_total", L("code", "2xx")); v != 3 {
+		t.Fatalf("2xx = %v, want 3", v)
+	}
+	if got := r.Sum("reqs_total"); got != 4 {
+		t.Fatalf("Sum = %v, want 4", got)
+	}
+	// Label order must not split series.
+	c := r.Counter("multi", L("b", "2"), L("a", "1"))
+	d := r.Counter("multi", L("a", "1"), L("b", "2"))
+	if c != d {
+		t.Fatal("label order split one series into two")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", ExpBuckets(0.001, 2, 20))
+	// 1000 observations uniform in [0, 1).
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if mean := h.Mean(); math.Abs(mean-0.4995) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// With factor-2 buckets the quantile is accurate to within the
+	// holding bucket's width.
+	p50 := h.Quantile(0.5)
+	if p50 < 0.25 || p50 > 1.1 {
+		t.Fatalf("p50 = %v, want ≈0.5 within one bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.5 || p99 > 1.1 {
+		t.Fatalf("p99 = %v, want ≈0.99 within one bucket", p99)
+	}
+	if q0 := h.Quantile(0); q0 < 0 {
+		t.Fatalf("q0 = %v", q0)
+	}
+	// Values beyond the last bound land in the overflow bucket.
+	h2 := r.Histogram("over", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want floor of +Inf bucket (2)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total")
+	c.Inc()
+	c.Add(3)
+	g := r.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(5)
+	h := r.Histogram("h", LatencyBuckets)
+	h.Observe(0.1)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	if _, ok := r.Value("a_total"); ok {
+		t.Fatal("nil registry returned a value")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry encoded output: %q err=%v", buf.String(), err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("k", "v")).Add(7)
+	r.Gauge("b").Set(1.5)
+	r.GaugeFunc("c", func() float64 { return 3 })
+	h := r.Histogram("d_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		`a_total{k="v"} 7`,
+		"# TYPE b gauge",
+		"b 1.5",
+		"c 3",
+		"# TYPE d_seconds histogram",
+		`d_seconds_bucket{le="1"} 1`,
+		`d_seconds_bucket{le="10"} 2`,
+		`d_seconds_bucket{le="+Inf"} 3`,
+		"d_seconds_sum 55.5",
+		"d_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Output is sorted and stable.
+	var buf2 bytes.Buffer
+	_ = r.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("two encodings of the same registry differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got["a_total"] != 2 {
+		t.Errorf("a_total = %v", got["a_total"])
+	}
+	if got["lat_count"] != 2 || got["lat_sum"] != 3.5 {
+		t.Errorf("histogram flattening wrong: %v", got)
+	}
+	if _, ok := got["lat_p99"]; !ok {
+		t.Error("missing lat_p99")
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterProcessMetrics(r) // idempotent
+	for _, name := range []string{
+		"process_uptime_seconds", "process_goroutines",
+		"process_heap_alloc_bytes", "process_gc_cycles_total",
+	} {
+		if _, ok := r.Value(name); !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if v, _ := r.Value("process_goroutines"); v < 1 {
+		t.Errorf("goroutines = %v", v)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"swarmavail/internal/des"
 	"swarmavail/internal/dist"
+	"swarmavail/internal/obs"
 )
 
 // node is a participant: the publisher or a peer. Peers arrive wanting
@@ -118,10 +120,35 @@ func Run(cfg Config) (*Result, error) {
 		peerIdx:     -1,
 	}
 
+	start := time.Now()
 	e.publisherOn()
 	e.scheduleNextArrival()
 	e.sim.RunUntil(c.Horizon)
-	return e.finish(), nil
+	res := e.finish()
+	e.instrument(res, time.Since(start))
+	return res, nil
+}
+
+// instrument adds the run's outcome to the swarm_sim_* series on
+// cfg.Metrics (no-op without a registry). Each Run accumulates into the
+// same series, so over a sweep the counters read as campaign totals.
+func (e *engine) instrument(res *Result, wall time.Duration) {
+	reg := e.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("swarm_sim_runs_total").Inc()
+	reg.Counter("swarm_sim_events_total").Add(e.sim.Fired())
+	reg.Counter("swarm_sim_arrivals_total").Add(uint64(e.arrivals))
+	reg.Counter("swarm_sim_completions_total").Add(uint64(res.CompletedCount()))
+	reg.Counter("swarm_sim_abandons_total").Add(uint64(res.AbandonedCount()))
+	reg.Counter("swarm_sim_busy_periods_total").Add(uint64(len(res.AvailableIntervals)))
+	reg.Gauge("swarm_sim_delivered_kb").Add(res.DeliveredKB)
+	reg.Gauge("swarm_sim_wasted_kb").Add(res.WastedKB)
+	reg.Histogram("swarm_sim_run_seconds", obs.LatencyBuckets).Observe(wall.Seconds())
+	if s := wall.Seconds(); s > 0 {
+		reg.Gauge("swarm_sim_events_per_second").Set(float64(e.sim.Fired()) / s)
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,63 @@
+package swarm
+
+import (
+	"testing"
+
+	"swarmavail/internal/obs"
+)
+
+// TestRunEmitsMetrics checks that a run with a registry configured
+// lands the swarm_sim_* series, that counters accumulate across runs,
+// and that metrics do not perturb determinism.
+func TestRunEmitsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := oneFileConfig(7)
+	cfg.Metrics = reg
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Value("swarm_sim_runs_total"); v != 1 {
+		t.Errorf("runs = %v, want 1", v)
+	}
+	if v, _ := reg.Value("swarm_sim_events_total"); v == 0 {
+		t.Error("no events counted")
+	}
+	if v, _ := reg.Value("swarm_sim_arrivals_total"); v != float64(len(res1.Records)) {
+		t.Errorf("arrivals = %v, want %d", v, len(res1.Records))
+	}
+	if v, _ := reg.Value("swarm_sim_completions_total"); v != float64(res1.CompletedCount()) {
+		t.Errorf("completions = %v, want %d", v, res1.CompletedCount())
+	}
+	if v, _ := reg.Value("swarm_sim_busy_periods_total"); v != float64(len(res1.AvailableIntervals)) {
+		t.Errorf("busy periods = %v, want %d", v, len(res1.AvailableIntervals))
+	}
+	if v, _ := reg.Value("swarm_sim_delivered_kb"); v != res1.DeliveredKB {
+		t.Errorf("delivered = %v, want %v", v, res1.DeliveredKB)
+	}
+	if h := reg.Histogram("swarm_sim_run_seconds", obs.LatencyBuckets); h.Count() != 1 {
+		t.Errorf("run duration observations = %d, want 1", h.Count())
+	}
+	if v, _ := reg.Value("swarm_sim_events_per_second"); v <= 0 {
+		t.Errorf("events/sec = %v, want > 0", v)
+	}
+
+	// Second run accumulates.
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Value("swarm_sim_runs_total"); v != 2 {
+		t.Errorf("runs after second = %v, want 2", v)
+	}
+
+	// Same seed without a registry produces the identical result.
+	bare := oneFileConfig(7)
+	res2, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Records) != len(res1.Records) || res2.DeliveredKB != res1.DeliveredKB {
+		t.Errorf("metrics perturbed determinism: %d/%v vs %d/%v",
+			len(res2.Records), res2.DeliveredKB, len(res1.Records), res1.DeliveredKB)
+	}
+}

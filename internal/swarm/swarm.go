@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"swarmavail/internal/dist"
+	"swarmavail/internal/obs"
 )
 
 // FileSpec describes one file carried by the torrent.
@@ -129,6 +130,11 @@ type Config struct {
 	// time with this mean gives up and departs. 0 means peers are
 	// patient and wait indefinitely.
 	AbandonMeanSeconds float64
+	// Metrics is an optional observability registry; each Run adds to
+	// the swarm_sim_* series on it (runs, events, arrivals,
+	// completions, busy periods, delivered/wasted volume, wall-clock
+	// run time and event throughput). Does not affect determinism.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {

@@ -42,7 +42,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"math"
 	"net"
@@ -271,11 +270,10 @@ func registerSummaryMetrics(reg *obs.Registry, e *ingest.Engine) {
 
 // pushStudy is replay-over-network: it streams an archived availability
 // study's monitor records to a remote availd's /v1/ingest through the
-// retrying HTTP client, riding out transient outages with backoff.
+// retrying HTTP client, riding out transient outages with backoff. The
+// trace file is decoded in parallel so the sender, not JSON parsing, is
+// the bottleneck.
 func pushStudy(ctx context.Context, url, path string, batch int) error {
-	if batch <= 0 {
-		batch = 256
-	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -287,42 +285,15 @@ func pushStudy(ctx context.Context, url, path string, batch int) error {
 			fmt.Printf("availd: "+format+"\n", args...)
 		},
 	})
-	sc := trace.NewTraceScanner(f)
-	buf := make([]ingest.Record, 0, batch)
-	var sent, swarms int
+	sc := trace.NewParallelTraceScanner(f, 0)
+	defer sc.Close()
 	start := time.Now()
-	flush := func() error {
-		if err := c.Push(ctx, buf); err != nil {
-			return err
-		}
-		sent += len(buf)
-		buf = buf[:0]
-		return nil
-	}
-	for sc.Scan() {
-		t := sc.Record()
-		swarms++
-		for _, op := range ingest.TraceOps(t) {
-			rec, ok := op.EventRecord()
-			if !ok {
-				continue // registrations travel only on the local path
-			}
-			buf = append(buf, rec)
-			if len(buf) >= batch {
-				if err := flush(); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if err := flush(); err != nil {
+	st, err := c.PushTraces(ctx, sc, batch)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("pushed %d records from %d swarms to %s in %v (%d retries)\n",
-		sent, swarms, url, time.Since(start).Round(time.Millisecond), c.Retries())
+		st.Records, st.Swarms, url, time.Since(start).Round(time.Millisecond), c.Retries())
 	return nil
 }
 
@@ -343,7 +314,10 @@ func replayStudy(e *ingest.Engine, path string, writers int, verify bool) error 
 	defer f.Close()
 
 	var ref *offlineRef
-	sc := trace.NewTraceScanner(f)
+	// Parallel decode: order-preserving, so the verify path's
+	// record-by-record offline comparison still sees the file order.
+	sc := trace.NewParallelTraceScanner(f, 0)
+	defer sc.Close()
 	start := time.Now()
 	var n int
 	if !verify {
@@ -453,7 +427,9 @@ func replayCensus(e *ingest.Engine, path string, writers int, verify bool) error
 	var offline map[trace.Category]measure.BundlingExtent
 	var n int
 	if !verify {
-		n, err = ingest.ReplaySnapshots(e, trace.NewSnapshotScanner(f), writers)
+		sc := trace.NewParallelSnapshotScanner(f, 0)
+		defer sc.Close()
+		n, err = ingest.ReplaySnapshots(e, sc, writers)
 		if err != nil {
 			return err
 		}
@@ -462,7 +438,8 @@ func replayCensus(e *ingest.Engine, path string, writers int, verify bool) error
 		// the identical classifier on each record.
 		ext := map[trace.Category]measure.BundlingExtent{}
 		w := e.NewWriter()
-		sc := trace.NewSnapshotScanner(f)
+		sc := trace.NewParallelSnapshotScanner(f, 0)
+		defer sc.Close()
 		for sc.Scan() {
 			s := sc.Record()
 			w.ObserveCensus(s)
@@ -642,36 +619,45 @@ func (s *server) handleBundling(w http.ResponseWriter, r *http.Request) {
 // push clients batch far below this.
 const maxIngestBody = 32 << 20
 
+// parallelIngestBody is the body size from which /v1/ingest decodes
+// with the worker-pool scanner. Below it the pool's goroutine setup
+// costs more than it buys; above it JSON decode is the endpoint's CPU
+// bill and fans out across cores.
+const parallelIngestBody = 1 << 20
+
 // handleIngest accepts JSONL ingest.Record lines and streams them into
 // the engine through a request-scoped writer. The 200 acknowledgement
 // means every record is in the engine's queues — state a graceful
 // shutdown drains before exiting.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
-	dec := json.NewDecoder(r.Body)
+	var src trace.Source[ingest.Record]
+	if r.ContentLength >= parallelIngestBody {
+		sc := trace.NewParallelScanner[ingest.Record](r.Body, 0)
+		defer sc.Close()
+		src = sc
+	} else {
+		src = trace.NewScanner[ingest.Record](r.Body)
+	}
 	wr := s.engine.NewWriter()
 	n := 0
-	for {
-		var rec ingest.Record
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			_ = wr.Flush()
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
-					http.StatusRequestEntityTooLarge)
-				return
-			}
-			http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
-			return
-		}
-		if err := wr.Observe(rec); err != nil {
+	for src.Scan() {
+		if err := wr.Observe(src.Record()); err != nil {
 			ingestUnavailable(w, err)
 			return
 		}
 		n++
+	}
+	if err := src.Err(); err != nil {
+		_ = wr.Flush()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
+		return
 	}
 	if err := wr.Flush(); err != nil {
 		ingestUnavailable(w, err)

@@ -3,12 +3,20 @@
 //
 // Emit a snapshot (reads benchmark text from stdin or a file):
 //
-//	go test -run '^$' -bench . ./internal/obs | benchdiff -emit BENCH_obs.json
+//	go test -run '^$' -bench . -benchmem ./internal/obs | benchdiff -emit BENCH_obs.json
 //
-// Compare a fresh run against a committed baseline, failing (exit 1)
-// on any benchmark whose ns/op grew more than -threshold (default 20%):
+// Compare a fresh run against a committed baseline, failing (exit 1) on
+// any regression: ns/op or allocs/op growing, or records/sec shrinking,
+// beyond each metric's threshold. Allocation counts are near-noiseless
+// even at -benchtime=1x, which makes allocs/op the leading indicator —
+// an alloc regression shows up long before the timing noise resolves.
 //
 //	benchdiff -base BENCH_baseline.json -new BENCH_new.json
+//
+// Per-metric thresholds: -threshold for ns/op (default 20%),
+// -allocs-threshold for allocs/op (default 10%), -rate-threshold for
+// records/sec (default 20%). Set a threshold negative to ignore that
+// metric.
 //
 // With -warn a regression is reported but the exit status stays 0 —
 // the mode CI smoke jobs use, where -benchtime=1x numbers are too noisy
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -102,10 +111,31 @@ func readSnapshot(path string) (*Snapshot, error) {
 	return &s, nil
 }
 
-// diff compares ns/op between base and new. It returns human-readable
-// report lines and the number of regressions beyond threshold
-// (fractional, e.g. 0.2 = +20%).
-func diff(base, fresh *Snapshot, threshold float64) (lines []string, regressions int) {
+// metricSpec is one compared metric: its unit string as it appears in
+// benchmark output, the fractional change that counts as a regression,
+// and its direction (ns/op and allocs/op regress by growing,
+// records/sec by shrinking). A negative threshold disables the metric.
+type metricSpec struct {
+	unit        string
+	threshold   float64
+	lowerBetter bool
+}
+
+// defaultSpecs builds the standard metric set from the three threshold
+// flags.
+func defaultSpecs(nsop, allocs, rate float64) []metricSpec {
+	return []metricSpec{
+		{unit: "ns/op", threshold: nsop, lowerBetter: true},
+		{unit: "allocs/op", threshold: allocs, lowerBetter: true},
+		{unit: "records/sec", threshold: rate, lowerBetter: false},
+	}
+}
+
+// diff compares the specs' metrics between base and new. It returns
+// human-readable report lines (one per benchmark per metric present on
+// both sides) and the number of metric regressions beyond their
+// thresholds.
+func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regressions int) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -118,20 +148,44 @@ func diff(base, fresh *Snapshot, threshold float64) (lines []string, regressions
 			lines = append(lines, fmt.Sprintf("new  %s (no baseline)", n.Name))
 			continue
 		}
-		bv, nv := b.Metrics["ns/op"], n.Metrics["ns/op"]
-		if bv <= 0 || nv <= 0 {
+		if b.Metrics["ns/op"] <= 0 || n.Metrics["ns/op"] <= 0 {
 			lines = append(lines, fmt.Sprintf("skip %s (no ns/op)", n.Name))
 			continue
 		}
-		delta := nv/bv - 1
-		mark := "ok  "
-		if delta > threshold {
-			mark = "FAIL"
-			regressions++
-		} else if delta < -threshold {
-			mark = "good"
+		for _, spec := range specs {
+			if spec.threshold < 0 {
+				continue
+			}
+			bv, okB := b.Metrics[spec.unit]
+			nv, okN := n.Metrics[spec.unit]
+			if !okB || !okN {
+				continue
+			}
+			// delta is the metric's fractional change; worse is the
+			// change in the "bad" direction for this metric.
+			var delta float64
+			switch {
+			case bv == nv:
+				delta = 0
+			case bv == 0:
+				delta = math.Inf(1) // e.g. allocs/op 0 → n
+			default:
+				delta = nv/bv - 1
+			}
+			worse := delta
+			if !spec.lowerBetter {
+				worse = -delta
+			}
+			mark := "ok  "
+			if worse > spec.threshold {
+				mark = "FAIL"
+				regressions++
+			} else if worse < -spec.threshold {
+				mark = "good"
+			}
+			lines = append(lines, fmt.Sprintf("%s %s %s → %s %s (%+.1f%%)",
+				mark, n.Name, fmtMetric(bv), fmtMetric(nv), spec.unit, 100*delta))
 		}
-		lines = append(lines, fmt.Sprintf("%s %s %.1f → %.1f ns/op (%+.1f%%)", mark, n.Name, bv, nv, 100*delta))
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
@@ -141,6 +195,15 @@ func diff(base, fresh *Snapshot, threshold float64) (lines []string, regressions
 	return lines, regressions
 }
 
+// fmtMetric keeps small values readable (7.2) without drowning big ones
+// in decimals (4644068).
+func fmtMetric(v float64) string {
+	if v != 0 && math.Abs(v) < 100 {
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) (exit int) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -148,7 +211,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (exit int) {
 		emit      = fs.String("emit", "", "parse benchmark text (stdin or trailing file arg) and write a JSON snapshot here")
 		base      = fs.String("base", "", "baseline snapshot to compare against")
 		fresh     = fs.String("new", "", "fresh snapshot to compare")
-		threshold = fs.Float64("threshold", 0.2, "fractional ns/op growth that counts as a regression")
+		threshold = fs.Float64("threshold", 0.2, "fractional ns/op growth that counts as a regression (negative = ignore)")
+		allocsThr = fs.Float64("allocs-threshold", 0.1, "fractional allocs/op growth that counts as a regression (negative = ignore)")
+		rateThr   = fs.Float64("rate-threshold", 0.2, "fractional records/sec shrinkage that counts as a regression (negative = ignore)")
 		warn      = fs.Bool("warn", false, "report regressions but exit 0 (for noisy smoke runs)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -199,12 +264,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (exit int) {
 			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
 			return 1
 		}
-		lines, regressions := diff(bs, ns, *threshold)
+		lines, regressions := diff(bs, ns, defaultSpecs(*threshold, *allocsThr, *rateThr))
 		for _, l := range lines {
 			fmt.Fprintln(stdout, l)
 		}
 		if regressions > 0 {
-			fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", regressions, 100**threshold)
+			fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed beyond threshold\n", regressions)
 			if !*warn {
 				return 1
 			}

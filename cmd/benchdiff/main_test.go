@@ -59,7 +59,7 @@ func mkSnap(pairs map[string]float64) *Snapshot {
 func TestDiff(t *testing.T) {
 	base := mkSnap(map[string]float64{"A": 100, "B": 100, "C": 100, "Gone": 50})
 	fresh := mkSnap(map[string]float64{"A": 105, "B": 150, "C": 60, "New": 10})
-	lines, regressions := diff(base, fresh, 0.2)
+	lines, regressions := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (only B grew >20%%)\n%s", regressions, strings.Join(lines, "\n"))
 	}
@@ -68,6 +68,49 @@ func TestDiff(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)
 		}
+	}
+}
+
+// mkBench builds a snapshot whose benchmarks carry arbitrary metric
+// sets, for the multi-metric comparisons.
+func mkBench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffMultiMetric(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		mkBench("Ingest", map[string]float64{"ns/op": 100, "allocs/op": 50, "records/sec": 1000}),
+		mkBench("Decode", map[string]float64{"ns/op": 100, "allocs/op": 0, "records/sec": 1000}),
+	}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{
+		// ns/op fine (+5%), allocs up 20% (> 10% threshold),
+		// records/sec down 30% (> 20% threshold): two regressions.
+		mkBench("Ingest", map[string]float64{"ns/op": 105, "allocs/op": 60, "records/sec": 700}),
+		// allocs 0 → 3 is a regression from a zero baseline; throughput
+		// up 50% is an improvement, not a regression.
+		mkBench("Decode", map[string]float64{"ns/op": 100, "allocs/op": 3, "records/sec": 1500}),
+	}}
+	lines, regressions := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
+	joined := strings.Join(lines, "\n")
+	if regressions != 3 {
+		t.Fatalf("regressions = %d, want 3:\n%s", regressions, joined)
+	}
+	for _, want := range []string{
+		"ok   Ingest 100 → 105 ns/op",
+		"FAIL Ingest 50.0 → 60.0 allocs/op (+20.0%)",
+		"FAIL Ingest 1000 → 700 records/sec (-30.0%)",
+		"FAIL Decode 0 → 3.0 allocs/op",
+		"good Decode 1000 → 1500 records/sec (+50.0%)",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Per-metric opt-out: a negative threshold silences that metric.
+	_, regressions = diff(base, fresh, defaultSpecs(0.2, -1, -1))
+	if regressions != 0 {
+		t.Fatalf("with allocs+rate ignored: regressions = %d, want 0", regressions)
 	}
 }
 

@@ -52,14 +52,16 @@ func run(swarms, census int, seed int64, dir string) error {
 	fmt.Printf("  wrote %s\n", tracePath)
 
 	// Re-read to prove the archival round trip, then analyse. The
-	// scanner streams one record at a time: only the per-swarm
+	// scanner streams one record at a time — only the per-swarm
 	// availability pairs are retained, so the analysis pass works at
-	// census scale without materialising the dataset.
+	// census scale without materialising the dataset — and decodes in
+	// parallel, which is where this pass spends its CPU.
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
 	}
-	sc := trace.NewTraceScanner(f)
+	sc := trace.NewParallelTraceScanner(f, 0)
+	defer sc.Close()
 	var fm, fl []float64
 	for sc.Scan() {
 		a, b := measure.Availability(sc.Record())

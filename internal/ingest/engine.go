@@ -2,9 +2,11 @@ package ingest
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"swarmavail/internal/obs"
 	"swarmavail/internal/trace"
@@ -12,6 +14,48 @@ import (
 
 // ErrClosed is returned by writes submitted after Close.
 var ErrClosed = errors.New("ingest: engine closed")
+
+// ClosedError is the error returned when a Writer's buffered batch is
+// dropped because the engine closed underneath it. It wraps ErrClosed
+// (errors.Is(err, ErrClosed) is true) and carries the number of ops
+// lost, so callers can account for the data loss instead of guessing.
+// The same count is added to the ingest_writer_dropped_total counter.
+type ClosedError struct {
+	// Dropped is the number of buffered ops that were discarded.
+	Dropped int
+}
+
+func (e *ClosedError) Error() string {
+	return fmt.Sprintf("ingest: engine closed (%d buffered ops dropped)", e.Dropped)
+}
+
+// Unwrap makes errors.Is(err, ErrClosed) hold.
+func (e *ClosedError) Unwrap() error { return ErrClosed }
+
+// batchPool recycles the []Op batch buffers that travel through the
+// shard queues. A buffer's life cycle is: Writer/Submit fills it →
+// ownership transfers through the queue (no copy) → the shard applies
+// it and puts it back. Elements are cleared before pooling so a parked
+// buffer cannot pin registration payloads for the GC.
+type batchPool struct {
+	pool sync.Pool
+}
+
+func (p *batchPool) get(capHint int) []Op {
+	if v := p.pool.Get(); v != nil {
+		return (*(v.(*[]Op)))[:0]
+	}
+	return make([]Op, 0, capHint)
+}
+
+func (p *batchPool) put(b []Op) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b) // drop aux pointers before parking
+	b = b[:0]
+	p.pool.Put(&b)
+}
 
 // Engine is the sharded streaming-ingestion engine. Writes scale
 // across shards (one state-owning goroutine each); reads are served
@@ -22,27 +66,49 @@ var ErrClosed = errors.New("ingest: engine closed")
 // queued batch before returning and is idempotent; writes racing or
 // following Close return ErrClosed (never a panic), and reads keep
 // working after Close, serving the final drained state.
+//
+// The lifecycle fast path is lock-free: producers and readers pay one
+// atomic increment, one atomic flag load, and one atomic decrement per
+// queue interaction — no RWMutex, so there is no reader-count cache
+// line being bounced between cores per Submit. Close is the only slow
+// path: it flips the closed flag, waits the in-flight queue users out,
+// closes the queues, and joins the shard goroutines.
 type Engine struct {
 	cfg     Config
 	shards  []*shard
 	metrics *Metrics
+	pool    batchPool
+	parts   sync.Pool // *[][]Op partition scratch for multi-shard Submit
 	wg      sync.WaitGroup
 
-	// lifecycle: producers and readers hold it shared while touching
-	// shard queues; Close holds it exclusively while closing the queues
-	// and waiting the shard goroutines out, so a queue can never be
-	// written after it is closed.
-	lifecycle sync.RWMutex
-	closed    bool
+	// closed is the lifecycle fast-path flag: once set, no new queue
+	// user may enter. inflight counts producers and readers currently
+	// touching the shard queues; Close waits for it to reach zero
+	// before closing the queues, so a queue can never be written after
+	// it is closed.
+	closed   atomic.Bool
+	inflight atomic.Int64
+
+	// closeMu serialises Close (slow path only — never touched by
+	// writes or reads). stopped (under closeMu) records a completed
+	// drain; done is closed when the drain completes, and post-close
+	// readers block on it before touching shard state directly.
+	closeMu sync.Mutex
+	stopped bool
+	done    chan struct{}
 }
 
 // New starts an engine with cfg (zero fields take defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults(runtime.GOMAXPROCS(0))
-	e := &Engine{cfg: cfg, metrics: newMetrics(cfg.Metrics, cfg.Shards)}
+	e := &Engine{
+		cfg:     cfg,
+		metrics: newMetrics(cfg.Metrics, cfg.Shards),
+		done:    make(chan struct{}),
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics)
+		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics, &e.pool)
 		s := e.shards[i]
 		e.metrics.reg.GaugeFunc("ingest_shard_queue_depth",
 			func() float64 { return float64(len(s.in)) },
@@ -70,21 +136,43 @@ func (e *Engine) shardFor(swarmID int) *shard {
 	return e.shards[shardIndex(swarmID, len(e.shards))]
 }
 
-// enqueueLocked delivers one batch to shard i under the configured
-// overflow policy. Callers hold the lifecycle read lock.
-func (e *Engine) enqueueLocked(i int, ops []Op) {
-	msg := shardMsg{ops: ops}
+// enter registers the caller as an in-flight queue user. It returns
+// false when the engine is closed. The memory-order argument for why a
+// queue send after a successful enter can never hit a closed channel:
+// the increment of inflight and the load of closed are sequentially
+// consistent, so if enter loaded closed == false, Close's flag store
+// had not happened yet, and Close's subsequent wait observes this
+// caller's increment and stalls until the matching exit.
+func (e *Engine) enter() bool {
+	e.inflight.Add(1)
+	if e.closed.Load() {
+		e.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exit releases the in-flight registration taken by enter.
+func (e *Engine) exit() { e.inflight.Add(-1) }
+
+// enqueue delivers one pool-owned batch to shard i under the configured
+// overflow policy. The caller must hold an enter() registration and
+// must not touch the batch afterwards: ownership transfers to the shard
+// (or back to the pool on shed).
+func (e *Engine) enqueue(i int, batch []Op) {
+	msg := shardMsg{ops: batch}
 	if e.cfg.OnFull == Shed {
 		select {
 		case e.shards[i].in <- msg:
 		default:
-			e.metrics.shed.Add(uint64(len(ops)))
+			e.metrics.shed.Add(uint64(len(batch)))
+			e.pool.put(batch)
 			return
 		}
 	} else {
 		e.shards[i].in <- msg
 	}
-	e.metrics.records.Add(uint64(len(ops)))
+	e.metrics.records.Add(uint64(len(batch)))
 }
 
 // Submit partitions ops by owning shard and enqueues one batch per
@@ -93,32 +181,44 @@ func (e *Engine) enqueueLocked(i int, ops []Op) {
 // goroutine). Under the default Block policy a full shard queue stalls
 // the caller (backpressure); under Shed the overflowing batch is
 // dropped and counted in Metrics().Shed. After Close, Submit returns
-// ErrClosed.
+// ErrClosed. The caller keeps ownership of ops: its contents are copied
+// into pool-recycled batch buffers.
 func (e *Engine) Submit(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	e.lifecycle.RLock()
-	defer e.lifecycle.RUnlock()
-	if e.closed {
+	if !e.enter() {
 		return ErrClosed
 	}
+	defer e.exit()
 	if len(e.shards) == 1 {
-		batch := make([]Op, len(ops))
-		copy(batch, ops)
-		e.enqueueLocked(0, batch)
+		batch := e.pool.get(len(ops))
+		batch = append(batch, ops...)
+		e.enqueue(0, batch)
 		return nil
 	}
-	parts := make([][]Op, len(e.shards))
+	// Partition into pooled per-shard buffers. The [][]Op scratch is
+	// itself recycled, so a steady-state Submit allocates nothing.
+	var parts [][]Op
+	if v := e.parts.Get(); v != nil {
+		parts = *(v.(*[][]Op))
+	} else {
+		parts = make([][]Op, len(e.shards))
+	}
 	for _, op := range ops {
 		i := shardIndex(op.SwarmID(), len(e.shards))
+		if parts[i] == nil {
+			parts[i] = e.pool.get(e.cfg.BatchSize)
+		}
 		parts[i] = append(parts[i], op)
 	}
 	for i, part := range parts {
 		if len(part) > 0 {
-			e.enqueueLocked(i, part)
+			e.enqueue(i, part)
 		}
+		parts[i] = nil
 	}
+	e.parts.Put(&parts)
 	return nil
 }
 
@@ -137,14 +237,14 @@ func (e *Engine) ObserveCensus(snap trace.Snapshot) error {
 }
 
 // Flush blocks until every op submitted before the call has been
-// applied (a barrier through every shard queue). After Close it is a
-// no-op: the close already drained everything.
+// applied (a barrier through every shard queue). After Close it waits
+// for the drain to finish (the close applies everything) and returns.
 func (e *Engine) Flush() {
-	e.lifecycle.RLock()
-	defer e.lifecycle.RUnlock()
-	if e.closed {
+	if !e.enter() {
+		<-e.done
 		return
 	}
+	defer e.exit()
 	ack := make(chan struct{}, len(e.shards))
 	for _, s := range e.shards {
 		s.in <- shardMsg{ack: ack}
@@ -157,18 +257,28 @@ func (e *Engine) Flush() {
 // Close drains every shard queue, stops the shard goroutines, and
 // returns once all submitted work is applied. It is idempotent, and
 // safe to race with Submit/Flush/readers: late writes get ErrClosed,
-// late reads serve the final state.
+// late reads serve the final state. A write that was acknowledged (its
+// Submit or flush returned nil) before or during Close is always
+// applied before Close returns.
 func (e *Engine) Close() {
-	e.lifecycle.Lock()
-	defer e.lifecycle.Unlock()
-	if e.closed {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.stopped {
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
+	// Wait the in-flight queue users out. New entrants bounce off the
+	// closed flag; the ones already inside finish their sends against
+	// still-open queues and live shard goroutines.
+	for e.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
 	for _, s := range e.shards {
 		close(s.in)
 	}
 	e.wg.Wait()
+	e.stopped = true
+	close(e.done)
 }
 
 // Summary requests a consistent aggregate from every shard and merges
@@ -176,17 +286,17 @@ func (e *Engine) Close() {
 // (readers queue behind writes, never the other way around). After
 // Close it reads the shards' final state directly.
 func (e *Engine) Summary() *Summary {
-	e.lifecycle.RLock()
-	defer e.lifecycle.RUnlock()
 	sum := NewSummary()
-	if e.closed {
-		// Shard goroutines have exited (Close waited them out under the
-		// exclusive lock), so their state is safe to read in place.
+	if !e.enter() {
+		// Shard goroutines have exited once done closes, so their
+		// state is safe to read in place.
+		<-e.done
 		for _, s := range e.shards {
 			sum.Merge(s.summarize())
 		}
 		return sum
 	}
+	defer e.exit()
 	ch := make(chan *Summary, len(e.shards))
 	for _, s := range e.shards {
 		s.in <- shardMsg{summary: ch}
@@ -199,14 +309,14 @@ func (e *Engine) Summary() *Summary {
 
 // Swarm returns the current snapshot of one swarm.
 func (e *Engine) Swarm(id int) (SwarmStats, bool) {
-	e.lifecycle.RLock()
-	defer e.lifecycle.RUnlock()
-	if e.closed {
+	if !e.enter() {
+		<-e.done
 		if st, ok := e.shardFor(id).swarms[id]; ok {
 			return st.stats(), true
 		}
 		return SwarmStats{}, false
 	}
+	defer e.exit()
 	ch := make(chan *SwarmStats, 1)
 	e.shardFor(id).in <- shardMsg{swarmID: id, swarm: ch}
 	st := <-ch
@@ -230,7 +340,13 @@ func (e *Engine) Metrics() MetricsSnapshot {
 // reached (or on Flush). One Writer must not be shared between
 // goroutines; open one per producer — per-swarm ordering is preserved
 // because a swarm's ops always travel through the same shard buffer in
-// append order. Writes after Engine.Close return ErrClosed.
+// append order. Writes after Engine.Close return a *ClosedError
+// reporting how many buffered ops were dropped.
+//
+// Buffers come from the engine's batch pool and are handed to the
+// shard whole — the shard applies the batch and recycles the buffer —
+// so a steady-state Put/flush cycle performs no allocation and no
+// batch copy.
 type Writer struct {
 	e    *Engine
 	bufs [][]Op
@@ -244,8 +360,13 @@ func (e *Engine) NewWriter() *Writer {
 // Put appends one op, flushing the owning shard's buffer if full.
 func (w *Writer) Put(op Op) error {
 	i := shardIndex(op.SwarmID(), len(w.e.shards))
-	w.bufs[i] = append(w.bufs[i], op)
-	if len(w.bufs[i]) >= w.e.cfg.BatchSize {
+	buf := w.bufs[i]
+	if buf == nil {
+		buf = w.e.pool.get(w.e.cfg.BatchSize)
+	}
+	buf = append(buf, op)
+	w.bufs[i] = buf
+	if len(buf) >= w.e.cfg.BatchSize {
 		return w.flushShard(i)
 	}
 	return nil
@@ -264,29 +385,48 @@ func (w *Writer) ObserveCensus(snap trace.Snapshot) error {
 	return w.Put(CensusOp(snap))
 }
 
+// flushShard hands shard i's buffer to its queue. If the engine closed
+// underneath the writer the batch cannot be delivered: the loss is
+// counted in ingest_writer_dropped_total and reported through the
+// returned *ClosedError instead of being discarded silently.
 func (w *Writer) flushShard(i int) error {
 	batch := w.bufs[i]
 	if len(batch) == 0 {
 		return nil
 	}
 	w.bufs[i] = nil
-	w.e.lifecycle.RLock()
-	defer w.e.lifecycle.RUnlock()
-	if w.e.closed {
-		return ErrClosed
+	if !w.e.enter() {
+		n := len(batch)
+		w.e.metrics.writerDropped.Add(uint64(n))
+		w.e.pool.put(batch)
+		return &ClosedError{Dropped: n}
 	}
-	w.e.enqueueLocked(i, batch)
+	defer w.e.exit()
+	w.e.enqueue(i, batch)
 	return nil
 }
 
 // Flush pushes every buffered op to its shard. It does not wait for
-// application; use Engine.Flush for a barrier.
+// application; use Engine.Flush for a barrier. If the engine closed,
+// the returned *ClosedError totals the dropped ops across all shard
+// buffers.
 func (w *Writer) Flush() error {
+	var dropped int
 	var first error
 	for i := range w.bufs {
-		if err := w.flushShard(i); err != nil && first == nil {
+		err := w.flushShard(i)
+		if err == nil {
+			continue
+		}
+		var ce *ClosedError
+		if errors.As(err, &ce) {
+			dropped += ce.Dropped
+		} else if first == nil {
 			first = err
 		}
+	}
+	if dropped > 0 {
+		return &ClosedError{Dropped: dropped}
 	}
 	return first
 }

@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"swarmavail/internal/trace"
 )
 
 // HTTPClientConfig parameterises an HTTPClient. The zero value (plus a
@@ -147,6 +149,57 @@ func (c *HTTPClient) Push(ctx context.Context, recs []Record) error {
 		lastErr = err
 	}
 	return fmt.Errorf("ingest: push failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// PushStats summarises one PushTraces run.
+type PushStats struct {
+	// Records is the number of monitor records acknowledged by the
+	// server; Swarms the number of study traces they came from.
+	Records int
+	Swarms  int
+}
+
+// PushTraces streams an archived availability study's monitor records
+// to the server in acknowledged batches of `batch` records (default
+// 256): replay-over-network. src is any trace source — pair it with
+// trace.NewParallelTraceScanner so decode keeps up with the network.
+// Registrations carry no event record and travel only on the local
+// path; see TraceOps. On error, the returned stats count what was
+// acknowledged before the failure.
+func (c *HTTPClient) PushTraces(ctx context.Context, src trace.Source[trace.SwarmTrace], batch int) (PushStats, error) {
+	if batch <= 0 {
+		batch = 256
+	}
+	var st PushStats
+	buf := make([]Record, 0, batch)
+	flush := func() error {
+		if err := c.Push(ctx, buf); err != nil {
+			return err
+		}
+		st.Records += len(buf)
+		buf = buf[:0]
+		return nil
+	}
+	for src.Scan() {
+		t := src.Record()
+		st.Swarms++
+		for _, op := range TraceOps(t) {
+			rec, ok := op.EventRecord()
+			if !ok {
+				continue
+			}
+			buf = append(buf, rec)
+			if len(buf) >= batch {
+				if err := flush(); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		return st, err
+	}
+	return st, flush()
 }
 
 // fatalPushError marks a server verdict that retrying cannot change.

@@ -20,13 +20,14 @@ type Metrics struct {
 	start time.Time
 	reg   *obs.Registry
 
-	records      *obs.Counter   // ops accepted by Submit/Writer
-	shed         *obs.Counter   // ops dropped by the Shed overflow policy
-	batches      *obs.Counter   // batches applied
-	applied      []*obs.Counter // ops applied, labeled shard="i"
-	batchLatency *obs.Histogram // batch apply seconds
-	batchSize    *obs.Histogram // ops per batch
-	batchSizeMax *obs.Gauge     // high-water batch size
+	records       *obs.Counter   // ops accepted by Submit/Writer
+	shed          *obs.Counter   // ops dropped by the Shed overflow policy
+	writerDropped *obs.Counter   // buffered Writer ops lost to Close (see ClosedError)
+	batches       *obs.Counter   // batches applied
+	applied       []*obs.Counter // ops applied, labeled shard="i"
+	batchLatency  *obs.Histogram // batch apply seconds
+	batchSize     *obs.Histogram // ops per batch
+	batchSizeMax  *obs.Gauge     // high-water batch size
 }
 
 // newMetrics registers the engine's instruments on reg (a private
@@ -38,14 +39,15 @@ func newMetrics(reg *obs.Registry, shards int) *Metrics {
 		reg = obs.NewRegistry()
 	}
 	m := &Metrics{
-		start:        time.Now(),
-		reg:          reg,
-		records:      reg.Counter("ingest_records_total"),
-		shed:         reg.Counter("ingest_shed_total"),
-		batches:      reg.Counter("ingest_batches_total"),
-		batchLatency: reg.Histogram("ingest_batch_apply_seconds", obs.LatencyBuckets),
-		batchSize:    reg.Histogram("ingest_batch_size", obs.SizeBuckets),
-		batchSizeMax: reg.Gauge("ingest_batch_size_max"),
+		start:         time.Now(),
+		reg:           reg,
+		records:       reg.Counter("ingest_records_total"),
+		shed:          reg.Counter("ingest_shed_total"),
+		writerDropped: reg.Counter("ingest_writer_dropped_total"),
+		batches:       reg.Counter("ingest_batches_total"),
+		batchLatency:  reg.Histogram("ingest_batch_apply_seconds", obs.LatencyBuckets),
+		batchSize:     reg.Histogram("ingest_batch_size", obs.SizeBuckets),
+		batchSizeMax:  reg.Gauge("ingest_batch_size_max"),
 	}
 	m.applied = make([]*obs.Counter, shards)
 	for i := range m.applied {

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -156,5 +157,64 @@ func TestIngestMeasureParity(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		gb, _ := json.MarshalIndent(got, "", "  ")
 		t.Errorf("statistics drifted from golden file (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s", gb, raw)
+	}
+}
+
+// summaryFingerprint marshals everything a Summary knows — including
+// the sketch quantiles and category counters that json.Marshal skips —
+// so two summaries can be compared byte for byte.
+func summaryFingerprint(t *testing.T, sum *Summary) []byte {
+	t.Helper()
+	quant := make(map[string][2]float64, len(parityQuantiles))
+	for _, q := range parityQuantiles {
+		quant[fmt.Sprintf("%g", q)] = [2]float64{sum.FirstMonth.Quantile(q), sum.Full.Quantile(q)}
+	}
+	cats := make(map[string]CategoryCounters, len(sum.Categories))
+	for cat, cc := range sum.Categories {
+		cats[cat.String()] = cc
+	}
+	b, err := json.Marshal(struct {
+		*Summary
+		Quantiles  map[string][2]float64
+		Categories map[string]CategoryCounters
+	}{sum, quant, cats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelDecodeSummaryParity replays the same archived campaign
+// through the engine twice — once decoded by the sequential
+// trace.Scanner, once by the parallel worker-pool decoder — and
+// requires byte-identical Summary JSON. This is the end-to-end guarantee
+// that switching availd/study replay onto parallel decode cannot change
+// a single published statistic.
+func TestParallelDecodeSummaryParity(t *testing.T) {
+	traces := trace.GenerateStudy(trace.DefaultStudyConfig(300, 11))
+	var data bytes.Buffer
+	if err := trace.WriteTraces(&data, traces); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(src trace.Source[trace.SwarmTrace]) []byte {
+		e := New(Config{Shards: 4})
+		defer e.Close()
+		n, err := ReplayTraces(e, src, 4)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if n != len(traces) {
+			t.Fatalf("replayed %d swarms, want %d", n, len(traces))
+		}
+		return summaryFingerprint(t, e.Summary())
+	}
+
+	seq := run(trace.NewTraceScanner(bytes.NewReader(data.Bytes())))
+	psc := trace.NewParallelTraceScanner(bytes.NewReader(data.Bytes()), 4)
+	defer psc.Close()
+	par := run(psc)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("summary diverged between decoders:\nscanner:  %s\nparallel: %s", seq, par)
 	}
 }

@@ -33,7 +33,7 @@ func TraceOps(t trace.SwarmTrace) []Op {
 // per-swarm ordering (and with it offline/online exactness) is
 // preserved regardless of concurrency. The engine is flushed before
 // returning.
-func ReplayTraces(e *Engine, sc *trace.Scanner[trace.SwarmTrace], writers int) (int, error) {
+func ReplayTraces(e *Engine, sc trace.Source[trace.SwarmTrace], writers int) (int, error) {
 	n, err := replay(e, sc, writers, func(w *Writer, t trace.SwarmTrace) error {
 		for _, op := range TraceOps(t) {
 			if err := w.Put(op); err != nil {
@@ -47,13 +47,13 @@ func ReplayTraces(e *Engine, sc *trace.Scanner[trace.SwarmTrace], writers int) (
 
 // ReplaySnapshots streams a census dataset through the engine with
 // `writers` concurrent producers.
-func ReplaySnapshots(e *Engine, sc *trace.Scanner[trace.Snapshot], writers int) (int, error) {
+func ReplaySnapshots(e *Engine, sc trace.Source[trace.Snapshot], writers int) (int, error) {
 	return replay(e, sc, writers, func(w *Writer, s trace.Snapshot) error {
 		return w.ObserveCensus(s)
 	})
 }
 
-func replay[T any](e *Engine, sc *trace.Scanner[T], writers int, put func(*Writer, T) error) (int, error) {
+func replay[T any](e *Engine, sc trace.Source[T], writers int, put func(*Writer, T) error) (int, error) {
 	if writers < 1 {
 		writers = 1
 	}

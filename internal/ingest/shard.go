@@ -30,15 +30,17 @@ type shard struct {
 	idx     int
 	in      chan shardMsg
 	metrics *Metrics
+	pool    *batchPool
 	swarms  map[int]*swarmState
 	cats    map[trace.Category]*CategoryCounters
 }
 
-func newShard(idx, queueDepth int, m *Metrics) *shard {
+func newShard(idx, queueDepth int, m *Metrics, pool *batchPool) *shard {
 	return &shard{
 		idx:     idx,
 		in:      make(chan shardMsg, queueDepth),
 		metrics: m,
+		pool:    pool,
 		swarms:  make(map[int]*swarmState),
 		cats:    make(map[trace.Category]*CategoryCounters),
 	}
@@ -54,6 +56,9 @@ func (s *shard) run() {
 				s.apply(op)
 			}
 			s.metrics.observeBatch(s.idx, len(msg.ops), time.Since(start))
+			// The batch buffer's ownership ends here: recycle it for
+			// the next Submit/Writer fill.
+			s.pool.put(msg.ops)
 		case msg.ack != nil:
 			msg.ack <- struct{}{}
 		case msg.summary != nil:
@@ -83,28 +88,29 @@ func (s *shard) apply(op Op) {
 	case opEvent:
 		s.state(op.rec.SwarmID).apply(op.rec)
 	case opMeta:
-		st := s.state(op.meta.ID)
-		st.meta = op.meta
-		st.horizon = op.horizon
+		st := s.state(op.aux.meta.ID)
+		st.meta = op.aux.meta
+		st.horizon = op.aux.horizon
 		st.hasMeta = true
 	case opCensus:
-		st := s.state(op.census.Meta.ID)
+		census := &op.aux.census
+		st := s.state(census.Meta.ID)
 		first := !st.hasCensus
 		if !st.hasMeta {
-			st.meta = op.census.Meta
+			st.meta = census.Meta
 		}
-		st.censusSeeds = op.census.Seeds
-		st.censusLeechers = op.census.Leechers
-		st.downloads = op.census.Downloads
+		st.censusSeeds = census.Seeds
+		st.censusLeechers = census.Leechers
+		st.downloads = census.Downloads
 		st.hasCensus = true
 		if first {
-			cat := op.census.Meta.Category
+			cat := census.Meta.Category
 			cc, ok := s.cats[cat]
 			if !ok {
 				cc = &CategoryCounters{}
 				s.cats[cat] = cc
 			}
-			cc.observe(op.census)
+			cc.observe(*census)
 		}
 	}
 }

@@ -274,8 +274,14 @@ func (r *Registry) Sum(name string) float64 {
 
 // Counter is a monotonically increasing uint64. All methods are safe
 // for concurrent use and no-ops on a nil receiver.
+//
+// The value is padded out to its own cache line: hot counters (e.g.
+// ingest's per-shard applied counters) are allocated back-to-back, and
+// without the padding two cores incrementing adjacent counters would
+// bounce the shared line between them (false sharing).
 type Counter struct {
 	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes so adjacent counters don't share a line
 }
 
 // Inc adds one.

@@ -21,6 +21,22 @@ func WriteTraces(w io.Writer, traces []SwarmTrace) error {
 	return bw.Flush()
 }
 
+// Source is the streaming-read interface shared by Scanner (sequential
+// json.Decoder) and ParallelScanner (order-preserving worker-pool
+// decode). Consumers written against Source — the replay helpers,
+// ingest.HTTPClient.PushTraces, cmd/availd, cmd/study — work with
+// either and can pick per workload: Scanner for small inputs or
+// single-core machines, ParallelScanner when decode is the bottleneck.
+type Source[T any] interface {
+	// Scan advances to the next record; false at end of input or on the
+	// first decode error (Err distinguishes).
+	Scan() bool
+	// Record returns the record read by the last successful Scan.
+	Record() T
+	// Err returns the first decode error, or nil on clean end of input.
+	Err() error
+}
+
 // Scanner streams a JSON-lines dataset one record at a time, so replay
 // and analysis tools can process campaigns far larger than memory.
 // Instantiated as Scanner[SwarmTrace] (NewTraceScanner) or
@@ -48,6 +64,10 @@ func NewTraceScanner(r io.Reader) *Scanner[SwarmTrace] { return newScanner[Swarm
 // NewSnapshotScanner returns a streaming reader over a census snapshot
 // file.
 func NewSnapshotScanner(r io.Reader) *Scanner[Snapshot] { return newScanner[Snapshot](r) }
+
+// NewScanner returns a sequential streaming reader over a JSONL stream
+// of any record type (availd uses it for ingest records).
+func NewScanner[T any](r io.Reader) *Scanner[T] { return newScanner[T](r) }
 
 func newScanner[T any](r io.Reader) *Scanner[T] {
 	// json.Decoder reads in small chunks; the bufio layer keeps the

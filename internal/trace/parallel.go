@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// parallelBlockSize is the splitter's read granularity. Blocks are cut
+// at the last newline, so one block carries many JSONL records and the
+// per-block coordination (two channel hops) amortises to noise, while
+// the block still fits in cache for the worker that decodes it.
+const parallelBlockSize = 256 << 10
+
+// ParallelScanner decodes a JSON-lines dataset with a pool of
+// json.Unmarshal workers while preserving input order, satisfying the
+// same Source contract as Scanner. encoding/json is CPU-bound and
+// single-threaded inside one Decode call, which hard-caps Scanner at
+// one core; splitting the byte stream into newline-aligned blocks and
+// unmarshalling blocks concurrently scales decode across cores.
+//
+//	splitter (1 goroutine): read ~256 KiB, cut at the last '\n',
+//	    publish {block, result chan} to jobs AND to order
+//	workers (N goroutines): for each job, split lines, unmarshal,
+//	    deliver []T (or a positioned error) on the job's result chan
+//	consumer (Scan caller): receive jobs from order, then their
+//	    results — input order restored without any sorting
+//
+// Semantics intentionally match Scanner on valid JSONL input (one JSON
+// value per '\n'-separated line; final newline optional): the same
+// records in the same order, errors positioned by record index, records
+// preceding an error still delivered, and a truncated final record
+// surfacing as a wrapped io.ErrUnexpectedEOF. Unlike Scanner's
+// json.Decoder, a record must not span lines — fine for this package's
+// archives, which are written line-per-record by WriteTraces /
+// WriteSnapshots. Blank lines are skipped.
+//
+// Not safe for concurrent use by multiple goroutines (like
+// bufio.Scanner). Call Close when abandoning a scan early to release
+// the decode goroutines; a scan driven until Scan returns false
+// releases them itself.
+type ParallelScanner[T any] struct {
+	order chan *parallelChunk[T] // jobs in input order
+	stop  chan struct{}          // closed by Close: splitter/workers abort
+	once  sync.Once
+
+	cur     []T // decoded records of the chunk being drained
+	nexti   int // next index into cur
+	n       int // records returned so far
+	pending error
+	err     error
+	done    bool
+}
+
+// parallelChunk is one newline-aligned block travelling from the
+// splitter to a worker and, via res, on to the consumer. res has
+// capacity 1 so a worker never blocks delivering a result.
+type parallelChunk[T any] struct {
+	buf   []byte // raw bytes: whole lines, plus a final fragment at EOF
+	first int    // record index of the block's first line
+	res   chan parallelResult[T]
+}
+
+type parallelResult[T any] struct {
+	recs []T
+	err  error
+}
+
+// NewParallelTraceScanner returns an order-preserving parallel reader
+// over an availability-study trace file. workers <= 0 selects
+// GOMAXPROCS.
+func NewParallelTraceScanner(r io.Reader, workers int) *ParallelScanner[SwarmTrace] {
+	return NewParallelScanner[SwarmTrace](r, workers)
+}
+
+// NewParallelSnapshotScanner returns an order-preserving parallel
+// reader over a census snapshot file. workers <= 0 selects GOMAXPROCS.
+func NewParallelSnapshotScanner(r io.Reader, workers int) *ParallelScanner[Snapshot] {
+	return NewParallelScanner[Snapshot](r, workers)
+}
+
+// NewParallelScanner returns an order-preserving parallel reader over a
+// JSONL stream of any record type (availd uses it for ingest records).
+// workers <= 0 selects GOMAXPROCS.
+func NewParallelScanner[T any](r io.Reader, workers int) *ParallelScanner[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &ParallelScanner[T]{
+		// Depth ~2× workers keeps every worker fed while bounding
+		// read-ahead to a few MiB.
+		order: make(chan *parallelChunk[T], 2*workers),
+		stop:  make(chan struct{}),
+	}
+	jobs := make(chan *parallelChunk[T], 2*workers)
+	slabs := &sync.Pool{} // *[]byte block buffers, recycled after decode
+	go splitBlocks(r, jobs, s.order, s.stop, slabs)
+	for range workers {
+		go decodeChunks(jobs, slabs)
+	}
+	return s
+}
+
+func getSlab(slabs *sync.Pool) []byte {
+	if v := slabs.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= parallelBlockSize {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, parallelBlockSize+4096)
+}
+
+// send publishes c to jobs (if non-nil) and order, bailing out if the
+// consumer closed stop. Returns false when the scan was abandoned.
+func send[T any](c *parallelChunk[T], jobs chan<- *parallelChunk[T], order chan<- *parallelChunk[T], stop <-chan struct{}) bool {
+	if jobs != nil {
+		select {
+		case jobs <- c:
+		case <-stop:
+			return false
+		}
+	}
+	select {
+	case order <- c:
+	case <-stop:
+		return false
+	}
+	return true
+}
+
+// splitBlocks reads r into newline-aligned blocks and publishes each to
+// jobs (for a worker) and order (for the consumer). A read error is
+// published as a pre-resolved chunk so it surfaces at the right
+// position in the record sequence, after every record read before it.
+func splitBlocks[T any](r io.Reader, jobs chan<- *parallelChunk[T], order chan<- *parallelChunk[T], stop <-chan struct{}, slabs *sync.Pool) {
+	defer close(jobs)
+	defer close(order)
+	var carry []byte // partial final line of the previous block
+	record := 0
+	for {
+		buf := append(getSlab(slabs), carry...)
+		carry = carry[:0]
+		n, rerr := io.ReadAtLeast(r, buf[len(buf):parallelBlockSize], parallelBlockSize-len(buf))
+		buf = buf[:len(buf)+n]
+		// A single line longer than the block: grow until its newline
+		// (or the end of input) arrives.
+		for rerr == nil && bytes.IndexByte(buf, '\n') < 0 {
+			var tmp [4096]byte
+			var m int
+			m, rerr = r.Read(tmp[:])
+			buf = append(buf, tmp[:m]...)
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			// Clean end of input (ReadAtLeast reports a short final
+			// block as ErrUnexpectedEOF; a final Read can return data
+			// with io.EOF). buf may end with an unterminated final
+			// record — the decode worker accepts it if it parses,
+			// matching json.Decoder, and reports io.ErrUnexpectedEOF
+			// (input cut mid-record) if it does not.
+			rerr = nil
+			if len(buf) > 0 {
+				c := &parallelChunk[T]{buf: buf, first: record, res: make(chan parallelResult[T], 1)}
+				send(c, jobs, order, stop)
+			}
+			return
+		}
+		// Keep whole lines; carry the partial last line into the next
+		// block. On a read error, still decode the whole lines that
+		// arrived before it (Scanner delivers those too).
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			carry = append(carry, buf[i+1:]...)
+			buf = buf[:i+1]
+		} else {
+			carry, buf = append(carry, buf...), buf[:0]
+		}
+		if len(buf) > 0 {
+			c := &parallelChunk[T]{buf: buf, first: record, res: make(chan parallelResult[T], 1)}
+			record += countLines(buf)
+			if !send(c, jobs, order, stop) {
+				return
+			}
+		}
+		if rerr != nil {
+			// carry (a record cut off by the failed read) is not
+			// counted: like Scanner, the error is positioned at the
+			// index of the first record that could not be delivered.
+			c := &parallelChunk[T]{first: record, res: make(chan parallelResult[T], 1)}
+			c.res <- parallelResult[T]{err: fmt.Errorf("trace: reading record %d: %w", record, rerr)}
+			send(c, nil, order, stop)
+			return
+		}
+	}
+}
+
+// countLines counts the records in a block: non-blank newline-separated
+// lines, including a final unterminated fragment.
+func countLines(b []byte) int {
+	n := 0
+	for len(b) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(b, '\n'); i >= 0 {
+			line, b = b[:i], b[i+1:]
+		} else {
+			line, b = b, nil
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// decodeChunks is the worker loop: unmarshal each line of each block.
+func decodeChunks[T any](jobs <-chan *parallelChunk[T], slabs *sync.Pool) {
+	for c := range jobs {
+		var res parallelResult[T]
+		buf, record := c.buf, c.first
+		for len(buf) > 0 {
+			var line []byte
+			terminated := true
+			if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+				line, buf = buf[:i], buf[i+1:]
+			} else {
+				line, buf = buf, nil
+				terminated = false
+			}
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec T
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if !terminated {
+					// Unterminated final fragment that fails to parse:
+					// the input was truncated mid-record. Scanner's
+					// json.Decoder reports io.ErrUnexpectedEOF here.
+					err = io.ErrUnexpectedEOF
+				}
+				res.err = fmt.Errorf("trace: decoding record %d: %w", record, err)
+				break
+			}
+			res.recs = append(res.recs, rec)
+			record++
+		}
+		if slab := c.buf; cap(slab) > 0 {
+			c.buf = nil
+			slabs.Put(&slab)
+		}
+		c.res <- res
+	}
+}
+
+// Scan advances to the next record. It returns false at end of input or
+// on the first decode error; Err distinguishes the two.
+func (s *ParallelScanner[T]) Scan() bool {
+	for {
+		if s.err != nil || s.done {
+			return false
+		}
+		if s.nexti < len(s.cur) {
+			s.nexti++
+			s.n++
+			return true
+		}
+		if s.pending != nil {
+			s.err = s.pending
+			s.Close()
+			return false
+		}
+		c, ok := <-s.order
+		if !ok {
+			s.done = true
+			return false
+		}
+		res := <-c.res
+		// A chunk can carry both records and an error (the error struck
+		// mid-block): deliver the records first, then surface the error
+		// — exactly Scanner's behaviour.
+		s.cur, s.nexti, s.pending = res.recs, 0, res.err
+	}
+}
+
+// Record returns the record read by the last successful Scan.
+func (s *ParallelScanner[T]) Record() T { return s.cur[s.nexti-1] }
+
+// Count returns the number of records successfully read so far.
+func (s *ParallelScanner[T]) Count() int { return s.n }
+
+// Err returns the first decode error, or nil if the stream ended
+// cleanly. A truncated final record surfaces as io.ErrUnexpectedEOF
+// (wrapped), not as a clean end.
+func (s *ParallelScanner[T]) Err() error { return s.err }
+
+// Close releases the splitter and worker goroutines without draining
+// the input. It is idempotent, called automatically when Scan hits an
+// error, and unnecessary after Scan has returned false at end of input.
+// The scanner must not be used after Close.
+func (s *ParallelScanner[T]) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		// Drain order so a splitter blocked on a full channel observes
+		// stop and exits; results sitting in chunk res channels (cap 1,
+		// already delivered) are simply dropped.
+		go func() {
+			for range s.order {
+			}
+		}()
+	})
+}

@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// studyJSONL renders a deterministic synthetic study as the archival
+// JSONL bytes the decoders consume.
+func studyJSONL(t testing.TB, swarms int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, GenerateStudy(DefaultStudyConfig(swarms, seed))); err != nil {
+		t.Fatalf("writing study: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelScannerMatchesScanner is the core parity property: on a
+// real campaign file the parallel decoder yields exactly the records,
+// order and count of the sequential Scanner, for any worker count.
+func TestParallelScannerMatchesScanner(t *testing.T) {
+	data := studyJSONL(t, 500, 7)
+
+	sc := NewTraceScanner(bytes.NewReader(data))
+	var want []SwarmTrace
+	for sc.Scan() {
+		want = append(want, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanner: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		ps := NewParallelTraceScanner(bytes.NewReader(data), workers)
+		var got []SwarmTrace
+		for ps.Scan() {
+			got = append(got, ps.Record())
+		}
+		if err := ps.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ps.Count() != len(want) {
+			t.Fatalf("workers=%d: Count = %d, want %d", workers, ps.Count(), len(want))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel decode diverged from Scanner", workers)
+		}
+	}
+}
+
+// TestParallelScannerOrder checks order preservation across many blocks
+// with records small enough that a block carries thousands of them.
+func TestParallelScannerOrder(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 200_000 // ~4 MiB: forces many blocks in flight at once
+	for i := range n {
+		fmt.Fprintf(&buf, `{"meta":{"id":%d}}`+"\n", i)
+	}
+	ps := NewParallelSnapshotScanner(bytes.NewReader(buf.Bytes()), 4)
+	next := 0
+	for ps.Scan() {
+		if got := ps.Record().Meta.ID; got != next {
+			t.Fatalf("record %d arrived with id %d", next, got)
+		}
+		next++
+	}
+	if err := ps.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if next != n {
+		t.Fatalf("decoded %d records, want %d", next, n)
+	}
+}
+
+// TestParallelScannerTruncation mirrors TestScannerTruncation: records
+// before the cut are delivered, the cut surfaces as io.ErrUnexpectedEOF,
+// and the scanner stays stopped.
+func TestParallelScannerTruncation(t *testing.T) {
+	data := []byte(validTraceLine + validTraceLine[:30])
+	ps := NewParallelTraceScanner(bytes.NewReader(data), 2)
+	if !ps.Scan() {
+		t.Fatalf("first record must scan (err %v)", ps.Err())
+	}
+	if ps.Record().Meta.ID != 7 {
+		t.Fatalf("unexpected record %+v", ps.Record())
+	}
+	if ps.Scan() {
+		t.Fatal("truncated record must not scan")
+	}
+	if err := ps.Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation must report io.ErrUnexpectedEOF, got %v", err)
+	}
+	if ps.Scan() {
+		t.Fatal("scanner must stay stopped after an error")
+	}
+
+	clean := NewParallelTraceScanner(bytes.NewReader([]byte(validTraceLine)), 2)
+	for clean.Scan() {
+	}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean EOF must not error: %v", err)
+	}
+	if clean.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", clean.Count())
+	}
+}
+
+// TestParallelScannerMidStreamError pins decode-error semantics on a
+// non-final record: everything before the bad line is delivered, the
+// error is positioned at the bad line's record index, and nothing after
+// it leaks out.
+func TestParallelScannerMidStreamError(t *testing.T) {
+	data := []byte(validTraceLine + "[]\n" + validTraceLine)
+	for _, workers := range []int{1, 4} {
+		ps := NewParallelTraceScanner(bytes.NewReader(data), workers)
+		n := 0
+		for ps.Scan() {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("workers=%d: delivered %d records before the error, want 1", workers, n)
+		}
+		err := ps.Err()
+		if err == nil {
+			t.Fatalf("workers=%d: bad record must error", workers)
+		}
+		if !strings.Contains(err.Error(), "record 1") {
+			t.Fatalf("workers=%d: error not positioned at record 1: %v", workers, err)
+		}
+	}
+}
+
+// errAfterReader yields its payload and then a non-EOF read error.
+type errAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+// TestParallelScannerReadError: a failing reader surfaces after every
+// record that arrived intact, wrapped so callers can errors.Is it.
+func TestParallelScannerReadError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	r := &errAfterReader{r: strings.NewReader(validTraceLine + validTraceLine), err: boom}
+	ps := NewParallelTraceScanner(r, 2)
+	n := 0
+	for ps.Scan() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d records before the read error, want 2", n)
+	}
+	if err := ps.Err(); !errors.Is(err, boom) {
+		t.Fatalf("read error must surface wrapped, got %v", err)
+	}
+}
+
+// TestParallelScannerLongLine exercises the grow path: a single record
+// larger than the splitter's block size.
+func TestParallelScannerLongLine(t *testing.T) {
+	big := SwarmTrace{Meta: SwarmMeta{ID: 1, Title: strings.Repeat("x", parallelBlockSize+8192)}}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, []SwarmTrace{big, {Meta: SwarmMeta{ID: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	ps := NewParallelTraceScanner(bytes.NewReader(buf.Bytes()), 2)
+	var ids []int
+	for ps.Scan() {
+		ids = append(ids, ps.Record().Meta.ID)
+	}
+	if err := ps.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 2}) {
+		t.Fatalf("ids = %v, want [1 2]", ids)
+	}
+}
+
+// TestParallelScannerClose: abandoning a scan mid-stream must not
+// deadlock the splitter or workers, and Close is idempotent.
+func TestParallelScannerClose(t *testing.T) {
+	data := studyJSONL(t, 2000, 3)
+	ps := NewParallelTraceScanner(bytes.NewReader(data), 4)
+	if !ps.Scan() {
+		t.Fatalf("first record must scan (err %v)", ps.Err())
+	}
+	ps.Close()
+	ps.Close() // idempotent
+	// A second scanner over the same bytes still works — the abandoned
+	// one's goroutines aren't holding anything shared.
+	ps2 := NewParallelTraceScanner(bytes.NewReader(data), 4)
+	n := 0
+	for ps2.Scan() {
+		n++
+	}
+	if err := ps2.Err(); err != nil || n == 0 {
+		t.Fatalf("fresh scan after Close: n=%d err=%v", n, err)
+	}
+}
+
+// shortReader dribbles out its payload in tiny uneven reads, forcing
+// the splitter through its refill and carry paths.
+type shortReader struct {
+	data []byte
+	step int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := s.step%7 + 1
+	s.step++
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}
+
+// FuzzSplitBlocks drives the parallel decoder's line splitter with
+// arbitrary bytes and checks its two invariants directly: the
+// concatenation of the published blocks is exactly the input (no byte
+// lost, duplicated or reordered, whatever the read sizes), and the
+// blocks' record indices agree with countLines. When the input also
+// happens to be a valid study file (checked by re-encoding whatever
+// Scanner accepts into canonical JSONL), the full parallel decode must
+// match Scanner record-for-record.
+func FuzzSplitBlocks(f *testing.F) {
+	f.Add([]byte(""), false)
+	f.Add([]byte("\n\n\n"), true)
+	f.Add([]byte(validTraceLine+validTraceLine), false)
+	f.Add([]byte(validTraceLine[:40]), true)
+	f.Add([]byte("a\nbb\nccc"), false)
+	f.Add(bytes.Repeat([]byte("x"), 3000), true)
+	f.Fuzz(func(t *testing.T, data []byte, slow bool) {
+		var r io.Reader = bytes.NewReader(data)
+		if slow {
+			r = &shortReader{data: data}
+		}
+		jobs := make(chan *parallelChunk[json.RawMessage], 64)
+		order := make(chan *parallelChunk[json.RawMessage], 64)
+		done := make(chan struct{})
+		var got []byte
+		go func() {
+			defer close(done)
+			next := 0
+			for c := range jobs {
+				if c.first != next {
+					t.Errorf("block first = %d, want %d", c.first, next)
+				}
+				next += countLines(c.buf)
+				got = append(got, c.buf...)
+			}
+		}()
+		go func() {
+			for range order {
+			}
+		}()
+		splitBlocks(r, jobs, order, make(chan struct{}), &sync.Pool{})
+		<-done
+		if !bytes.Equal(got, data) {
+			t.Fatalf("splitter dropped or reordered bytes: got %d bytes, want %d", len(got), len(data))
+		}
+
+		// Cross-decoder parity on the canonical re-encoding.
+		sc := NewTraceScanner(bytes.NewReader(data))
+		var accepted []SwarmTrace
+		for sc.Scan() {
+			accepted = append(accepted, sc.Record())
+		}
+		if sc.Err() != nil || len(accepted) == 0 {
+			return
+		}
+		var canon bytes.Buffer
+		if err := WriteTraces(&canon, accepted); err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		ps := NewParallelTraceScanner(bytes.NewReader(canon.Bytes()), 3)
+		var par []SwarmTrace
+		for ps.Scan() {
+			par = append(par, ps.Record())
+		}
+		if err := ps.Err(); err != nil {
+			t.Fatalf("parallel decode of canonical form: %v", err)
+		}
+		if !reflect.DeepEqual(par, accepted) {
+			t.Fatalf("parallel decode diverged on canonical form: %d vs %d records", len(par), len(accepted))
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"swarmavail/internal/queue"
 	"swarmavail/internal/swarm"
 	"swarmavail/internal/trace"
+	"swarmavail/internal/wal"
 )
 
 // benchDriver runs one experiment driver per iteration and reports a
@@ -454,6 +455,33 @@ func BenchmarkTraceDecode(b *testing.B) {
 			return trace.NewParallelTraceScanner(bytes.NewReader(data), 0)
 		})
 	})
+}
+
+// BenchmarkWALAppend measures the durable-ingest journal's append path
+// — frame framing, CRC, buffered write and segment rotation — with
+// fsync off, so the number tracks the code, not the CI runner's disk.
+// Sub-benchmark "sync" appends through a real fsync per append (the
+// default acked⇒durable policy); its absolute value is storage-bound
+// and noisy, but a large allocs/op jump still names itself.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	rand.New(rand.NewSource(9)).Read(payload)
+	run := func(b *testing.B, policy wal.SyncPolicy) {
+		log, _, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if _, err := log.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nosync", func(b *testing.B) { run(b, wal.SyncNone) })
+	b.Run("sync", func(b *testing.B) { run(b, wal.SyncEachAppend) })
 }
 
 func BenchmarkStudyGeneration(b *testing.B) {

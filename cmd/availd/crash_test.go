@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"swarmavail/internal/ingest"
+)
+
+// TestCrashRecoveryChild is the re-exec target of
+// TestCrashRecoverySIGKILL: a real availd serve loop on a durable
+// engine, run in a separate process so the parent can SIGKILL it — no
+// deferred cleanup, no graceful drain, exactly the failure the WAL
+// exists for. It is skipped unless the harness environment is set.
+func TestCrashRecoveryChild(t *testing.T) {
+	dir := os.Getenv("AVAILD_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash-recovery child; run via TestCrashRecoverySIGKILL")
+	}
+	e, _, err := ingest.OpenDurable(
+		ingest.Config{Shards: 3, BatchSize: 64},
+		ingest.DurabilityConfig{Dir: dir}, // default fsync: acked ⇒ durable
+	)
+	if err != nil {
+		t.Fatalf("child recover: %v", err)
+	}
+	ready := make(chan net.Addr, 1)
+	relay := make(chan net.Addr, 1)
+	go func() {
+		addr := <-relay
+		// The parent reads this line to find the ephemeral port.
+		fmt.Printf("CHILD_ADDR %s\n", addr)
+		ready <- addr
+	}()
+	// A short checkpoint cadence so SIGKILL regularly lands on or near
+	// an in-progress checkpoint — the rename-atomicity path gets
+	// exercised, not just the bare WAL.
+	err = serve(context.Background(), e, options{
+		listen:          "127.0.0.1:0",
+		dataDir:         dir,
+		checkpointEvery: 75 * time.Millisecond,
+	}, relay, nil)
+	t.Fatalf("child serve returned before SIGKILL: %v", err)
+	_ = ready
+}
+
+// pushBatch sends records as JSONL to /v1/ingest and returns nil only
+// if the server acknowledged the whole batch.
+func pushBatch(url string, recs []ingest.Record) error {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	resp, err := http.Post(url, "application/jsonl", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// engineFingerprint renders everything observable about the engine's
+// analytical state for the given swarms: the merged summary, selected
+// CDF quantiles, and every per-swarm snapshot.
+func engineFingerprint(t *testing.T, e *ingest.Engine, ids []int) string {
+	t.Helper()
+	sum := e.Summary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "swarms=%d study=%d seeds=%d leechers=%d busy=%d events=%d fullFM=%d mostlyUn=%d\n",
+		sum.Swarms, sum.StudySwarms, sum.SeedsOnline, sum.LeechersOnline,
+		sum.BusyPeriods, sum.Events, sum.FullyAvailableFirstMonth, sum.MostlyUnavailable)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		fmt.Fprintf(&b, "q%g=%v/%v\n", q, sum.FirstMonth.Quantile(q), sum.Full.Quantile(q))
+	}
+	for _, id := range ids {
+		st, ok := e.Swarm(id)
+		if !ok {
+			fmt.Fprintf(&b, "swarm %d MISSING\n", id)
+			continue
+		}
+		raw, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "swarm %d %s\n", id, raw)
+	}
+	return b.String()
+}
+
+// TestCrashRecoverySIGKILL is the tentpole acceptance test: a child
+// availd process is SIGKILLed — three times, each booting from the
+// previous crash's debris — while a client pushes acknowledged batches.
+// The recovered engine must contain exactly the acknowledged ledger:
+// zero acked records lost, none double-applied, per-swarm availability
+// byte-identical to an engine that never crashed.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash harness")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	var ledger []ingest.Record
+	mkBatch := func(round, seq int) []ingest.Record {
+		recs := make([]ingest.Record, 40)
+		for i := range recs {
+			swarm := (seq*len(recs) + i) % 97 // revisit swarms across batches
+			recs[i] = ingest.Record{
+				SwarmID: swarm,
+				PeerID:  uint64(round + 1),
+				Seed:    i%3 != 2,
+				Online:  (seq+i)%2 == 0,
+				Time:    float64(round*1000+seq*10+i) / 100,
+			}
+		}
+		return recs
+	}
+
+	for round := 0; round < 3; round++ {
+		cmd := exec.Command(exe, "-test.run=^TestCrashRecoveryChild$", "-test.v")
+		cmd.Env = append(os.Environ(), "AVAILD_CRASH_DIR="+dir)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				if addr, ok := strings.CutPrefix(sc.Text(), "CHILD_ADDR "); ok {
+					addrCh <- addr
+					break
+				}
+			}
+			// Keep draining so the child never blocks on a full pipe.
+			io.Copy(io.Discard, stdout)
+		}()
+		var addr string
+		select {
+		case addr = <-addrCh:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("round %d: child never reported its address", round)
+		}
+		url := fmt.Sprintf("http://%s/v1/ingest", addr)
+
+		// Sequential acknowledged pushes: after each ack the records are
+		// the server's responsibility. The kill lands between acks, so
+		// the ledger is exactly what the server owes us.
+		for seq := 0; seq < 8; seq++ {
+			recs := mkBatch(round, seq)
+			if err := pushBatch(url, recs); err != nil {
+				t.Fatalf("round %d push %d: %v", round, seq, err)
+			}
+			ledger = append(ledger, recs...)
+		}
+
+		// Dwell past a few checkpoint ticks so later rounds boot from a
+		// checkpoint plus a WAL tail, not the journal alone.
+		time.Sleep(200 * time.Millisecond)
+
+		// SIGKILL: no drain, no checkpoint, no WAL close.
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		cmd.Wait()
+	}
+
+	// Recover in-process and compare against an engine that saw the
+	// acked ledger with no crash in between.
+	e, rs, err := ingest.OpenDurable(ingest.Config{Shards: 3}, ingest.DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("final recovery: %v", err)
+	}
+	defer e.Close()
+	if rs.CheckpointSeq == 0 && rs.ReplayedFrames == 0 {
+		t.Fatalf("recovery found nothing: %+v", rs)
+	}
+	t.Logf("recovery: %+v", rs)
+
+	ref := ingest.New(ingest.Config{Shards: 3})
+	defer ref.Close()
+	for i := 0; i < len(ledger); i += 40 {
+		ops := make([]ingest.Op, 40)
+		for k, rec := range ledger[i : i+40] {
+			ops[k] = ingest.EventOp(rec)
+		}
+		if err := ref.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Flush()
+
+	ids := make([]int, 0, 97)
+	seen := map[int]bool{}
+	for _, rec := range ledger {
+		if !seen[rec.SwarmID] {
+			seen[rec.SwarmID] = true
+			ids = append(ids, rec.SwarmID)
+		}
+	}
+	sort.Ints(ids)
+
+	got := engineFingerprint(t, e, ids)
+	want := engineFingerprint(t, ref, ids)
+	if got != want {
+		t.Fatalf("recovered state diverged from acked ledger after 3 SIGKILLs\n--- recovered ---\n%s--- reference ---\n%s", got, want)
+	}
+	if e.Summary().Events != uint64(len(ledger)) {
+		t.Fatalf("recovered %d events, acked %d", e.Summary().Events, len(ledger))
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"swarmavail/internal/ingest"
+)
+
+// TestIngestOversizedBodyRejected pins the /v1/ingest body cap: a
+// request over maxIngestBody gets 413 (the handler recognises the
+// *http.MaxBytesError behind the scanner's wrapped error), and —
+// because the handler parses the whole body before touching the engine
+// — the failed request leaves engine state exactly as it was.
+func TestIngestOversizedBodyRejected(t *testing.T) {
+	e := ingest.New(ingest.Config{Shards: 2})
+	defer e.Close()
+	h := (&server{engine: e}).handler()
+
+	// Seed some accepted state so "unchanged" is a real claim.
+	var seed strings.Builder
+	const seeded = 25
+	for i := 0; i < seeded; i++ {
+		fmt.Fprintf(&seed, `{"swarm_id":%d,"peer_id":1,"seed":true,"online":true,"t":0}`+"\n", i)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(seed.String())))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("seed request: %d %s", rec.Code, rec.Body)
+	}
+	e.Flush()
+	before := e.Summary().Events
+	if before != seeded {
+		t.Fatalf("seeded %d events, engine holds %d", seeded, before)
+	}
+
+	// One valid line, repeated past the cap: every byte the server
+	// manages to read parses cleanly, so the only possible rejection is
+	// the size limit itself.
+	line := []byte(`{"swarm_id":999,"peer_id":2,"seed":true,"online":true,"t":1.5}` + "\n")
+	big := bytes.Repeat(line, maxIngestBody/len(line)+2)
+	if len(big) <= maxIngestBody {
+		t.Fatalf("test bug: body %d bytes does not exceed cap %d", len(big), maxIngestBody)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d %s, want 413", rec.Code, rec.Body)
+	}
+
+	e.Flush()
+	if after := e.Summary().Events; after != before {
+		t.Fatalf("413 request changed engine state: %d events before, %d after", before, after)
+	}
+	if _, ok := e.Swarm(999); ok {
+		t.Fatalf("swarm from the rejected request leaked into the engine")
+	}
+}
+
+// TestIngestMalformedBodyLeavesStateUnchanged covers the 400 arm of the
+// same transactional guarantee: valid lines before a malformed one are
+// not applied.
+func TestIngestMalformedBodyLeavesStateUnchanged(t *testing.T) {
+	e := ingest.New(ingest.Config{Shards: 2})
+	defer e.Close()
+	h := (&server{engine: e}).handler()
+
+	body := `{"swarm_id":1,"peer_id":1,"seed":true,"online":true,"t":0}` + "\n" +
+		`{"swarm_id":2,"peer_id":` + "\n"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d %s, want 400", rec.Code, rec.Body)
+	}
+	e.Flush()
+	if got := e.Summary().Events; got != 0 {
+		t.Fatalf("rejected request applied %d events; want 0", got)
+	}
+}

@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	GET  /v1/swarm/{id}          one swarm's online stats
+//	GET  /v1/summary             engine-wide aggregate + headline stats
 //	GET  /v1/availability/cdf    availability quantiles + headline stats
 //	                             (?q=0.25,0.5,… to pick quantiles)
 //	GET  /v1/bundling/summary    per-category bundling counters
@@ -60,6 +61,7 @@ import (
 	"swarmavail/internal/obs"
 	"swarmavail/internal/stats"
 	"swarmavail/internal/trace"
+	"swarmavail/internal/wal"
 )
 
 // options carries the CLI configuration through run and serve; tests
@@ -77,6 +79,13 @@ type options struct {
 	writers int
 	verify  bool
 	logger  *slog.Logger // structured request + lifecycle log (nil = off)
+
+	// Durability: with dataDir set the engine journals every accepted
+	// batch to a WAL and recovers checkpoint + tail on boot.
+	dataDir         string
+	fsync           string        // WAL sync policy: batch, interval or off
+	fsyncInterval   time.Duration // cadence under -fsync interval
+	checkpointEvery time.Duration // periodic checkpoint cadence (0 = shutdown only)
 }
 
 func main() {
@@ -95,6 +104,10 @@ func main() {
 	flag.IntVar(&opts.writers, "writers", 4, "concurrent replay writers")
 	flag.BoolVar(&opts.verify, "verify", false, "check online statistics against the offline analysis")
 	flag.StringVar(&opts.push, "push", "", "push -replay records to a remote availd ingest URL (e.g. http://host:8647/v1/ingest) instead of the local engine")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durability directory for the WAL and checkpoints; empty = in-memory only")
+	flag.StringVar(&opts.fsync, "fsync", "batch", "WAL fsync policy: batch (acked = durable), interval, or off")
+	flag.DurationVar(&opts.fsyncInterval, "fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
+	flag.DurationVar(&opts.checkpointEvery, "checkpoint-every", 5*time.Minute, "periodic checkpoint cadence (0 = checkpoint only on shutdown)")
 	flag.Parse()
 
 	opts.logger = obs.NewLogger(os.Stderr, "availd", obs.ParseLevel(*logLevel), *logJSON)
@@ -118,7 +131,10 @@ func run(ctx context.Context, opts options) error {
 		return pushStudy(ctx, opts.push, opts.replay, opts.batch)
 	}
 
-	e := ingest.New(ingest.Config{Shards: opts.shards, BatchSize: opts.batch})
+	e, err := newEngineFromOpts(opts)
+	if err != nil {
+		return err
+	}
 
 	if opts.replay != "" {
 		if err := replayStudy(e, opts.replay, opts.writers, opts.verify); err != nil {
@@ -135,9 +151,83 @@ func run(ctx context.Context, opts options) error {
 		if opts.replay == "" && opts.census == "" {
 			return fmt.Errorf("nothing to do: pass -listen and/or -replay/-census")
 		}
+		// Replay-only run: fold the ingested state into a checkpoint so
+		// the next boot loads it instead of replaying the whole journal.
+		if opts.dataDir != "" {
+			e.Close()
+			return finalCheckpoint(e, opts)
+		}
 		return nil
 	}
 	return serve(ctx, e, opts, nil, nil)
+}
+
+// newEngineFromOpts builds the engine: plain in-memory by default, or —
+// with -data-dir — a durable one recovered from its checkpoint and WAL.
+func newEngineFromOpts(opts options) (*ingest.Engine, error) {
+	cfg := ingest.Config{Shards: opts.shards, BatchSize: opts.batch}
+	if opts.dataDir == "" {
+		return ingest.New(cfg), nil
+	}
+	policy, err := wal.ParseSyncPolicy(opts.fsync)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e, rs, err := ingest.OpenDurable(cfg, ingest.DurabilityConfig{
+		Dir:       opts.dataDir,
+		Fsync:     policy,
+		SyncEvery: opts.fsyncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recover %s: %w", opts.dataDir, err)
+	}
+	fmt.Printf("availd: recovered %s in %v (checkpoint seq %d, %d swarms; replayed %d ops from %d frames)\n",
+		opts.dataDir, time.Since(start).Round(time.Millisecond),
+		rs.CheckpointSeq, rs.CheckpointSwarms, rs.ReplayedOps, rs.ReplayedFrames)
+	if opts.logger != nil {
+		opts.logger.Info("recovered",
+			"dir", opts.dataDir,
+			"fsync", policy.String(),
+			"checkpoint_seq", rs.CheckpointSeq,
+			"checkpoint_swarms", rs.CheckpointSwarms,
+			"replayed_frames", rs.ReplayedFrames,
+			"replayed_ops", rs.ReplayedOps,
+			"truncated_bytes", rs.TruncatedBytes,
+			"dropped_segments", rs.DroppedSegments,
+			"bad_frame_seq", rs.BadFrameSeq,
+			"elapsed", time.Since(start))
+		if rs.TruncatedBytes > 0 || rs.DroppedSegments > 0 || rs.BadFrameSeq != 0 {
+			opts.logger.Warn("journal repaired on open",
+				"truncated_bytes", rs.TruncatedBytes,
+				"dropped_segments", rs.DroppedSegments,
+				"bad_frame_seq", rs.BadFrameSeq)
+		}
+	}
+	return e, nil
+}
+
+// finalCheckpoint captures the (already drained) engine's state on the
+// way out. Failure is reported but not fatal: the WAL alone recovers
+// the same state, just more slowly.
+func finalCheckpoint(e *ingest.Engine, opts options) error {
+	cs, err := e.Checkpoint()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "availd: final checkpoint: %v (journal remains authoritative)\n", err)
+		if opts.logger != nil {
+			opts.logger.Error("final checkpoint failed", "err", err)
+		}
+		return nil
+	}
+	if !cs.Skipped {
+		fmt.Printf("availd: checkpoint seq %d written (%d swarms, %d bytes, %v)\n",
+			cs.Seq, cs.Swarms, cs.Bytes, cs.Duration.Round(time.Millisecond))
+	}
+	if opts.logger != nil {
+		opts.logger.Info("final checkpoint", "seq", cs.Seq, "swarms", cs.Swarms,
+			"bytes", cs.Bytes, "skipped", cs.Skipped, "duration", cs.Duration)
+	}
+	return nil
 }
 
 // newHTTPServer applies the shared slow-client protections: a peer that
@@ -204,6 +294,36 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 		go func() { errc <- adminSrv.Serve(adminLn) }()
 	}
 
+	// Periodic checkpoints bound recovery time: boot cost is one
+	// checkpoint load plus at most checkpointEvery worth of WAL replay.
+	var ckptWG sync.WaitGroup
+	if opts.dataDir != "" && opts.checkpointEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			t := time.NewTicker(opts.checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					cs, err := e.Checkpoint()
+					switch {
+					case err != nil:
+						fmt.Fprintf(os.Stderr, "availd: checkpoint: %v\n", err)
+						if opts.logger != nil {
+							opts.logger.Error("checkpoint failed", "err", err)
+						}
+					case !cs.Skipped && opts.logger != nil:
+						opts.logger.Info("checkpoint", "seq", cs.Seq, "swarms", cs.Swarms,
+							"bytes", cs.Bytes, "duration", cs.Duration)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		if adminSrv != nil {
@@ -231,11 +351,18 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 			fmt.Fprintf(os.Stderr, "availd: admin shutdown: %v\n", err)
 		}
 	}
+	ckptWG.Wait() // no checkpoint racing the drain
 	e.Close()
 	m := e.Metrics()
 	fmt.Printf("availd: drained, %d records applied\n", m.Applied)
 	if opts.logger != nil {
 		opts.logger.Info("drained", "applied", m.Applied)
+	}
+	if opts.dataDir != "" {
+		// The drained final state — every record acknowledged before the
+		// signal — is folded into a shutdown checkpoint, so the next
+		// boot loads it without replaying the journal.
+		return finalCheckpoint(e, opts)
 	}
 	return nil
 }
@@ -501,6 +628,7 @@ func (s *server) handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/swarm/{id}", s.handleSwarm)
+	mux.HandleFunc("GET /v1/summary", s.handleSummary)
 	mux.HandleFunc("GET /v1/availability/cdf", s.handleCDF)
 	mux.HandleFunc("GET /v1/bundling/summary", s.handleBundling)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
@@ -533,6 +661,16 @@ func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, st)
+}
+
+// handleSummary serves the merged engine-wide aggregate: population
+// gauges, headline §2 statistics, and event counters.
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum := s.engine.Summary()
+	writeJSON(w, struct {
+		*ingest.Summary
+		Headlines measure.StudyHeadlines `json:"headlines"`
+	}{sum, sum.Headlines()})
 }
 
 type cdfResponse struct {
@@ -625,10 +763,14 @@ const maxIngestBody = 32 << 20
 // bill and fans out across cores.
 const parallelIngestBody = 1 << 20
 
-// handleIngest accepts JSONL ingest.Record lines and streams them into
-// the engine through a request-scoped writer. The 200 acknowledgement
-// means every record is in the engine's queues — state a graceful
-// shutdown drains before exiting.
+// handleIngest accepts JSONL ingest.Record lines. The whole body is
+// parsed before anything touches the engine, so a request that fails —
+// oversized (413), malformed (400), or racing shutdown (503) — leaves
+// the engine's state exactly as it was: no partial batch is ever
+// applied for a request the client was told failed. The 200
+// acknowledgement means every record is in the engine's queues (and,
+// under -data-dir with the default fsync policy, on stable storage) —
+// state a graceful shutdown drains before exiting.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
 	var src trace.Source[ingest.Record]
@@ -639,31 +781,25 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		src = trace.NewScanner[ingest.Record](r.Body)
 	}
-	wr := s.engine.NewWriter()
-	n := 0
+	var ops []ingest.Op
 	for src.Scan() {
-		if err := wr.Observe(src.Record()); err != nil {
-			ingestUnavailable(w, err)
-			return
-		}
-		n++
+		ops = append(ops, ingest.EventOp(src.Record()))
 	}
 	if err := src.Err(); err != nil {
-		_ = wr.Flush()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
 				http.StatusRequestEntityTooLarge)
 			return
 		}
-		http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("bad record %d: %v", len(ops), err), http.StatusBadRequest)
 		return
 	}
-	if err := wr.Flush(); err != nil {
+	if err := s.engine.Submit(ops); err != nil {
 		ingestUnavailable(w, err)
 		return
 	}
-	writeJSON(w, map[string]int{"accepted": n})
+	writeJSON(w, map[string]int{"accepted": len(ops)})
 }
 
 // ingestUnavailable reports a write the draining engine refused; the

@@ -18,9 +18,14 @@
 // records/sec (default 20%). Set a threshold negative to ignore that
 // metric.
 //
-// With -warn a regression is reported but the exit status stays 0 —
-// the mode CI smoke jobs use, where -benchtime=1x numbers are too noisy
-// to gate a merge on.
+// A benchmark the baseline carries but the new run cannot vouch for —
+// missing from the run, or reporting a zero/absent ns/op — is a named
+// warning and fails the compare the same way a regression does: silent
+// coverage shrinkage is how baselines rot.
+//
+// With -warn regressions and warnings are reported but the exit status
+// stays 0 — the mode CI smoke jobs use, where -benchtime=1x numbers are
+// too noisy to gate a merge on.
 package main
 
 import (
@@ -133,9 +138,12 @@ func defaultSpecs(nsop, allocs, rate float64) []metricSpec {
 
 // diff compares the specs' metrics between base and new. It returns
 // human-readable report lines (one per benchmark per metric present on
-// both sides) and the number of metric regressions beyond their
-// thresholds.
-func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regressions int) {
+// both sides), the number of metric regressions beyond their
+// thresholds, and the number of warnings: baselined benchmarks the new
+// run cannot vouch for because they are missing or report no usable
+// ns/op. A warning is not a measured regression, but it means baseline
+// coverage silently shrank — CI treats it like one unless -warn.
+func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regressions, warnings int) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -148,8 +156,19 @@ func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regression
 			lines = append(lines, fmt.Sprintf("new  %s (no baseline)", n.Name))
 			continue
 		}
-		if b.Metrics["ns/op"] <= 0 || n.Metrics["ns/op"] <= 0 {
-			lines = append(lines, fmt.Sprintf("skip %s (no ns/op)", n.Name))
+		// A benchmark both sides know about but either side cannot
+		// time is a named warning: the baseline entry exists precisely
+		// so this benchmark stays covered.
+		if b.Metrics["ns/op"] <= 0 {
+			lines = append(lines, fmt.Sprintf("warn %s: baseline has no usable ns/op (%v); re-emit the baseline",
+				n.Name, b.Metrics["ns/op"]))
+			warnings++
+			continue
+		}
+		if n.Metrics["ns/op"] <= 0 {
+			lines = append(lines, fmt.Sprintf("warn %s: baseline expects %s ns/op but the new run reports %v — benchmark broken or skipped?",
+				n.Name, fmtMetric(b.Metrics["ns/op"]), n.Metrics["ns/op"]))
+			warnings++
 			continue
 		}
 		for _, spec := range specs {
@@ -162,13 +181,17 @@ func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regression
 				continue
 			}
 			// delta is the metric's fractional change; worse is the
-			// change in the "bad" direction for this metric.
+			// change in the "bad" direction for this metric. A zero
+			// baseline (e.g. allocs/op 0 → n) has no finite percentage:
+			// it regresses if the metric grew in the bad direction, and
+			// the report shows the raw values instead of an "+Inf%".
 			var delta float64
+			fromZero := bv == 0 && nv != 0
 			switch {
 			case bv == nv:
 				delta = 0
-			case bv == 0:
-				delta = math.Inf(1) // e.g. allocs/op 0 → n
+			case fromZero:
+				delta = math.Inf(1)
 			default:
 				delta = nv/bv - 1
 			}
@@ -183,16 +206,21 @@ func diff(base, fresh *Snapshot, specs []metricSpec) (lines []string, regression
 			} else if worse < -spec.threshold {
 				mark = "good"
 			}
-			lines = append(lines, fmt.Sprintf("%s %s %s → %s %s (%+.1f%%)",
-				mark, n.Name, fmtMetric(bv), fmtMetric(nv), spec.unit, 100*delta))
+			change := fmt.Sprintf("%+.1f%%", 100*delta)
+			if fromZero {
+				change = "from zero baseline"
+			}
+			lines = append(lines, fmt.Sprintf("%s %s %s → %s %s (%s)",
+				mark, n.Name, fmtMetric(bv), fmtMetric(nv), spec.unit, change))
 		}
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			lines = append(lines, fmt.Sprintf("gone %s (in baseline, not in new run)", b.Name))
+			lines = append(lines, fmt.Sprintf("warn %s: in baseline, missing from new run — benchmark renamed or not selected?", b.Name))
+			warnings++
 		}
 	}
-	return lines, regressions
+	return lines, regressions, warnings
 }
 
 // fmtMetric keeps small values readable (7.2) without drowning big ones
@@ -264,12 +292,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (exit int) {
 			fmt.Fprintf(stdout, "benchdiff: %v\n", err)
 			return 1
 		}
-		lines, regressions := diff(bs, ns, defaultSpecs(*threshold, *allocsThr, *rateThr))
+		lines, regressions, warnings := diff(bs, ns, defaultSpecs(*threshold, *allocsThr, *rateThr))
 		for _, l := range lines {
 			fmt.Fprintln(stdout, l)
 		}
+		bad := false
 		if regressions > 0 {
 			fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed beyond threshold\n", regressions)
+			bad = true
+		}
+		if warnings > 0 {
+			fmt.Fprintf(stdout, "benchdiff: %d baselined benchmark(s) not vouched for by the new run\n", warnings)
+			bad = true
+		}
+		if bad {
 			if !*warn {
 				return 1
 			}

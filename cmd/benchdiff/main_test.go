@@ -59,15 +59,60 @@ func mkSnap(pairs map[string]float64) *Snapshot {
 func TestDiff(t *testing.T) {
 	base := mkSnap(map[string]float64{"A": 100, "B": 100, "C": 100, "Gone": 50})
 	fresh := mkSnap(map[string]float64{"A": 105, "B": 150, "C": 60, "New": 10})
-	lines, regressions := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
+	lines, regressions, warnings := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (only B grew >20%%)\n%s", regressions, strings.Join(lines, "\n"))
 	}
+	if warnings != 1 {
+		t.Fatalf("warnings = %d, want 1 (Gone vanished)\n%s", warnings, strings.Join(lines, "\n"))
+	}
 	joined := strings.Join(lines, "\n")
-	for _, want := range []string{"FAIL B", "good C", "ok   A", "new  New", "gone Gone"} {
+	for _, want := range []string{"FAIL B", "good C", "ok   A", "new  New", "warn Gone: in baseline, missing from new run"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)
 		}
+	}
+}
+
+// TestDiffWarnsOnUnvouchedBaseline pins the warning contract: a
+// benchmark the baseline carries but the new run cannot time is a named
+// warning, never a silent skip — and a zero baseline metric never
+// renders as an infinite percentage.
+func TestDiffWarnsOnUnvouchedBaseline(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		mkBench("Broken", map[string]float64{"ns/op": 100}),
+		mkBench("Stale", map[string]float64{"ns/op": 0}),
+		mkBench("Vanished", map[string]float64{"ns/op": 100}),
+		mkBench("ZeroAllocs", map[string]float64{"ns/op": 100, "allocs/op": 0}),
+	}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{
+		mkBench("Broken", map[string]float64{"ns/op": 0}), // ran, but timed nothing
+		mkBench("Stale", map[string]float64{"ns/op": 100}),
+		mkBench("ZeroAllocs", map[string]float64{"ns/op": 100, "allocs/op": 4}),
+	}}
+	lines, regressions, warnings := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
+	joined := strings.Join(lines, "\n")
+	if warnings != 3 {
+		t.Fatalf("warnings = %d, want 3:\n%s", warnings, joined)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (allocs from zero):\n%s", regressions, joined)
+	}
+	for _, want := range []string{
+		"warn Broken: baseline expects 100 ns/op but the new run reports 0",
+		"warn Stale: baseline has no usable ns/op",
+		"warn Vanished: in baseline, missing from new run",
+		"FAIL ZeroAllocs 0 → 4.0 allocs/op (from zero baseline)",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "Inf") {
+		t.Errorf("report leaks an infinite percentage:\n%s", joined)
+	}
+	if strings.Contains(joined, "skip ") {
+		t.Errorf("silent skip survived:\n%s", joined)
 	}
 }
 
@@ -90,16 +135,19 @@ func TestDiffMultiMetric(t *testing.T) {
 		// up 50% is an improvement, not a regression.
 		mkBench("Decode", map[string]float64{"ns/op": 100, "allocs/op": 3, "records/sec": 1500}),
 	}}
-	lines, regressions := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
+	lines, regressions, warnings := diff(base, fresh, defaultSpecs(0.2, 0.1, 0.2))
 	joined := strings.Join(lines, "\n")
 	if regressions != 3 {
 		t.Fatalf("regressions = %d, want 3:\n%s", regressions, joined)
+	}
+	if warnings != 0 {
+		t.Fatalf("warnings = %d, want 0:\n%s", warnings, joined)
 	}
 	for _, want := range []string{
 		"ok   Ingest 100 → 105 ns/op",
 		"FAIL Ingest 50.0 → 60.0 allocs/op (+20.0%)",
 		"FAIL Ingest 1000 → 700 records/sec (-30.0%)",
-		"FAIL Decode 0 → 3.0 allocs/op",
+		"FAIL Decode 0 → 3.0 allocs/op (from zero baseline)",
 		"good Decode 1000 → 1500 records/sec (+50.0%)",
 	} {
 		if !strings.Contains(joined, want) {
@@ -108,7 +156,7 @@ func TestDiffMultiMetric(t *testing.T) {
 	}
 
 	// Per-metric opt-out: a negative threshold silences that metric.
-	_, regressions = diff(base, fresh, defaultSpecs(0.2, -1, -1))
+	_, regressions, _ = diff(base, fresh, defaultSpecs(0.2, -1, -1))
 	if regressions != 0 {
 		t.Fatalf("with allocs+rate ignored: regressions = %d, want 0", regressions)
 	}

@@ -81,6 +81,12 @@ type Engine struct {
 	parts   sync.Pool // *[][]Op partition scratch for multi-shard Submit
 	wg      sync.WaitGroup
 
+	// journal, when non-nil, makes every accepted batch durable before
+	// (Block) or immediately after (Shed) it reaches a shard queue. Set
+	// only by OpenDurable, after recovery replay and before any
+	// producer exists, so the unsynchronised reads in enqueue are safe.
+	journal *journal
+
 	// closed is the lifecycle fast-path flag: once set, no new queue
 	// user may enter. inflight counts producers and readers currently
 	// touching the shard queues; Close waits for it to reach zero
@@ -98,8 +104,18 @@ type Engine struct {
 	done    chan struct{}
 }
 
-// New starts an engine with cfg (zero fields take defaults).
+// New starts an engine with cfg (zero fields take defaults). For an
+// engine that survives restarts, see OpenDurable.
 func New(cfg Config) *Engine {
+	e := newEngine(cfg)
+	e.start()
+	return e
+}
+
+// newEngine constructs an engine without starting its shard goroutines,
+// so OpenDurable can install checkpointed state into the shard maps
+// while they are still single-threaded.
+func newEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults(runtime.GOMAXPROCS(0))
 	e := &Engine{
 		cfg:     cfg,
@@ -114,14 +130,18 @@ func New(cfg Config) *Engine {
 			func() float64 { return float64(len(s.in)) },
 			obs.L("shard", strconv.Itoa(i)))
 	}
-	e.wg.Add(cfg.Shards)
+	return e
+}
+
+// start launches the shard goroutines.
+func (e *Engine) start() {
+	e.wg.Add(len(e.shards))
 	for _, s := range e.shards {
 		go func(s *shard) {
 			defer e.wg.Done()
 			s.run()
 		}(s)
 	}
-	return e
 }
 
 // Registry returns the registry the engine's instruments live on —
@@ -158,21 +178,64 @@ func (e *Engine) exit() { e.inflight.Add(-1) }
 // enqueue delivers one pool-owned batch to shard i under the configured
 // overflow policy. The caller must hold an enter() registration and
 // must not touch the batch afterwards: ownership transfers to the shard
-// (or back to the pool on shed).
-func (e *Engine) enqueue(i int, batch []Op) {
+// (or back to the pool on shed/error) in every path.
+//
+// With a journal attached, the batch is encoded before any send (the
+// shard may recycle the buffer the moment it is delivered), and the
+// journal append and queue send happen under one shared acquisition of
+// the journal gate. Under Block the frame is durable before the send,
+// so a batch whose Submit returned nil survives a crash; under Shed the
+// send is attempted first and only delivered batches are journaled —
+// journal-first would resurrect shed batches at recovery.
+func (e *Engine) enqueue(i int, batch []Op) error {
 	msg := shardMsg{ops: batch}
+	if e.journal == nil {
+		if e.cfg.OnFull == Shed {
+			select {
+			case e.shards[i].in <- msg:
+			default:
+				e.metrics.shed.Add(uint64(len(batch)))
+				e.pool.put(batch)
+				return nil
+			}
+		} else {
+			e.shards[i].in <- msg
+		}
+		e.metrics.records.Add(uint64(len(batch)))
+		return nil
+	}
+
+	n := len(batch)
+	frame, err := e.journal.encode(batch)
+	if err != nil {
+		e.pool.put(batch)
+		return err
+	}
+	e.journal.gate.RLock()
+	defer e.journal.gate.RUnlock()
 	if e.cfg.OnFull == Shed {
 		select {
 		case e.shards[i].in <- msg:
 		default:
-			e.metrics.shed.Add(uint64(len(batch)))
+			e.metrics.shed.Add(uint64(n))
 			e.pool.put(batch)
-			return
+			e.journal.release(frame)
+			return nil
+		}
+		if err := e.journal.append(frame, n); err != nil {
+			// The batch is already with the shard (applied in memory but
+			// not durable): surface the journal failure to the producer.
+			return err
 		}
 	} else {
+		if err := e.journal.append(frame, n); err != nil {
+			e.pool.put(batch)
+			return err
+		}
 		e.shards[i].in <- msg
 	}
-	e.metrics.records.Add(uint64(len(batch)))
+	e.metrics.records.Add(uint64(n))
+	return nil
 }
 
 // Submit partitions ops by owning shard and enqueues one batch per
@@ -194,8 +257,7 @@ func (e *Engine) Submit(ops []Op) error {
 	if len(e.shards) == 1 {
 		batch := e.pool.get(len(ops))
 		batch = append(batch, ops...)
-		e.enqueue(0, batch)
-		return nil
+		return e.enqueue(0, batch)
 	}
 	// Partition into pooled per-shard buffers. The [][]Op scratch is
 	// itself recycled, so a steady-state Submit allocates nothing.
@@ -212,14 +274,22 @@ func (e *Engine) Submit(ops []Op) error {
 		}
 		parts[i] = append(parts[i], op)
 	}
+	var firstErr error
 	for i, part := range parts {
 		if len(part) > 0 {
-			e.enqueue(i, part)
+			if firstErr != nil {
+				// A journal failure already poisoned this call: don't
+				// deliver the rest of a batch whose durability promise
+				// broke mid-way. enqueue consumed the earlier buffers.
+				e.pool.put(part)
+			} else if err := e.enqueue(i, part); err != nil {
+				firstErr = err
+			}
 		}
 		parts[i] = nil
 	}
 	e.parts.Put(&parts)
-	return nil
+	return firstErr
 }
 
 // Observe ingests a single monitor record (convenience; prefer a
@@ -277,6 +347,12 @@ func (e *Engine) Close() {
 		close(s.in)
 	}
 	e.wg.Wait()
+	if e.journal != nil {
+		// Every accepted batch is both journaled and applied by now;
+		// closing the log fsyncs its tail. Call Checkpoint *before*
+		// Close to also fold that state into a checkpoint file.
+		_ = e.journal.log.Close()
+	}
 	e.stopped = true
 	close(e.done)
 }
@@ -402,8 +478,7 @@ func (w *Writer) flushShard(i int) error {
 		return &ClosedError{Dropped: n}
 	}
 	defer w.e.exit()
-	w.e.enqueue(i, batch)
-	return nil
+	return w.e.enqueue(i, batch)
 }
 
 // Flush pushes every buffered op to its shard. It does not wait for

@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPClientConcurrentPushes drives one shared HTTPClient from two
+// goroutines whose pushes all fail once before succeeding, so both hit
+// the jittered-backoff path concurrently. Run under -race (CI does)
+// this is the regression test for the data race on the client's rng:
+// backoff() must serialise jitter draws and the retry counter behind
+// the client mutex.
+func TestHTTPClientConcurrentPushes(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fail every other request: each Push's first attempt bounces
+		// with a retryable 503, forcing a backoff draw per push.
+		if hits.Add(1)%2 == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"accepted":1}`))
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(HTTPClientConfig{
+		URL:         srv.URL,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	})
+
+	const pushers, pushes = 2, 32
+	var wg sync.WaitGroup
+	errs := make([]error, pushers)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < pushes; i++ {
+				recs := []Record{{SwarmID: p*1000 + i, PeerID: 1, Seed: true, Online: true}}
+				if err := c.Push(context.Background(), recs); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("pusher %d: %v", p, err)
+		}
+	}
+	if got := c.Retries(); got == 0 {
+		t.Fatalf("no retries recorded; the backoff path was never exercised")
+	} else {
+		t.Logf("retries across %d concurrent pushes: %d", pushers*pushes, got)
+	}
+}

@@ -1,0 +1,195 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"swarmavail/internal/obs"
+	"swarmavail/internal/trace"
+	"swarmavail/internal/wal"
+)
+
+// opsCodecVersion versions the WAL frame payload: a batch of Ops. Bump
+// it on any layout change; decodeOps rejects unknown versions so an old
+// binary never misreads a new journal.
+const opsCodecVersion = 1
+
+// Event ops use a fixed-width binary layout (the hot path: one frame
+// per flushed batch, almost all events); registration and census ops
+// carry their bulky payloads as length-prefixed JSON, reusing the
+// types' existing tags.
+const (
+	eventWireBytes = 1 + 8 + 8 + 1 + 8 // kind + swarm + peer + flags + time
+	auxWireMin     = 1 + 4             // kind + payload length
+)
+
+// metaWire is the JSON form of a registration op.
+type metaWire struct {
+	Meta        trace.SwarmMeta `json:"meta"`
+	HorizonDays float64         `json:"horizon_days"`
+}
+
+// encodeOps appends the wire form of ops to dst: a version byte, an op
+// count, then each op.
+func encodeOps(dst []byte, ops []Op) ([]byte, error) {
+	dst = append(dst, opsCodecVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ops)))
+	for _, op := range ops {
+		switch op.kind {
+		case opEvent:
+			dst = append(dst, byte(opEvent))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(op.rec.SwarmID))
+			dst = binary.LittleEndian.AppendUint64(dst, op.rec.PeerID)
+			var flags byte
+			if op.rec.Seed {
+				flags |= 1
+			}
+			if op.rec.Online {
+				flags |= 2
+			}
+			dst = append(dst, flags)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(op.rec.Time))
+		case opMeta:
+			payload, err := json.Marshal(metaWire{Meta: op.aux.meta, HorizonDays: op.aux.horizon})
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, byte(opMeta))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+			dst = append(dst, payload...)
+		case opCensus:
+			payload, err := json.Marshal(op.aux.census)
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, byte(opCensus))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+			dst = append(dst, payload...)
+		default:
+			return nil, fmt.Errorf("ingest: cannot encode op kind %d", op.kind)
+		}
+	}
+	return dst, nil
+}
+
+// decodeOps parses one WAL frame back into ops. It is total: any input
+// — truncated, oversized counts, unknown kinds, bad JSON — returns an
+// error, never a panic or an over-allocation, because recovery feeds it
+// frames whose envelope checksum passed but whose payload may still be
+// foreign (a frame written by a different build, say).
+func decodeOps(data []byte) ([]Op, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("ingest: journal frame too short (%d bytes)", len(data))
+	}
+	if v := data[0]; v != opsCodecVersion {
+		return nil, fmt.Errorf("ingest: unknown journal codec version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(data[1:5])
+	data = data[5:]
+	// Every op occupies at least auxWireMin bytes, so a count claiming
+	// more ops than the payload could hold is corruption, not a reason
+	// to allocate.
+	if uint64(count)*auxWireMin > uint64(len(data)) {
+		return nil, fmt.Errorf("ingest: journal frame claims %d ops in %d bytes", count, len(data))
+	}
+	ops := make([]Op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("ingest: journal frame truncated at op %d/%d", i, count)
+		}
+		kind := opKind(data[0])
+		switch kind {
+		case opEvent:
+			if len(data) < eventWireBytes {
+				return nil, fmt.Errorf("ingest: truncated event op at %d/%d", i, count)
+			}
+			rec := Record{
+				SwarmID: int(int64(binary.LittleEndian.Uint64(data[1:9]))),
+				PeerID:  binary.LittleEndian.Uint64(data[9:17]),
+				Seed:    data[17]&1 != 0,
+				Online:  data[17]&2 != 0,
+				Time:    math.Float64frombits(binary.LittleEndian.Uint64(data[18:26])),
+			}
+			ops = append(ops, EventOp(rec))
+			data = data[eventWireBytes:]
+		case opMeta, opCensus:
+			if len(data) < auxWireMin {
+				return nil, fmt.Errorf("ingest: truncated op header at %d/%d", i, count)
+			}
+			n := binary.LittleEndian.Uint32(data[1:5])
+			if uint64(n) > uint64(len(data)-auxWireMin) {
+				return nil, fmt.Errorf("ingest: op payload length %d exceeds frame at %d/%d", n, i, count)
+			}
+			payload := data[auxWireMin : auxWireMin+int(n)]
+			if kind == opMeta {
+				var w metaWire
+				if err := json.Unmarshal(payload, &w); err != nil {
+					return nil, fmt.Errorf("ingest: registration op: %w", err)
+				}
+				ops = append(ops, MetaOp(w.Meta, w.HorizonDays))
+			} else {
+				var snap trace.Snapshot
+				if err := json.Unmarshal(payload, &snap); err != nil {
+					return nil, fmt.Errorf("ingest: census op: %w", err)
+				}
+				ops = append(ops, CensusOp(snap))
+			}
+			data = data[auxWireMin+int(n):]
+		default:
+			return nil, fmt.Errorf("ingest: unknown op kind %d at %d/%d", kind, i, count)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("ingest: %d trailing bytes after %d ops", len(data), count)
+	}
+	return ops, nil
+}
+
+// journal couples the engine's write path to a wal.Log. Its gate is the
+// checkpoint/append ordering lock: enqueue holds it shared across the
+// journal-append *and* the queue send, so when Checkpoint acquires it
+// exclusively, every journaled batch is also in its shard queue (Block)
+// or every delivered batch is journaled (Shed) — and a persist message
+// queued afterwards therefore observes everything the journal covers.
+type journal struct {
+	gate sync.RWMutex
+	log  *wal.Log
+
+	// lastCkpt (under gate, exclusive) is the sequence of the newest
+	// checkpoint, letting Checkpoint skip when nothing was appended
+	// since.
+	lastCkpt uint64
+
+	appended *obs.Counter // wal_appended_total: ops made durable
+	bufs     sync.Pool    // *[]byte frame-encoding scratch
+}
+
+func newJournal(log *wal.Log, reg *obs.Registry) *journal {
+	return &journal{log: log, appended: reg.Counter("wal_appended_total")}
+}
+
+// encode renders ops into a pooled scratch buffer. The caller must hand
+// the buffer back via j.release after the append.
+func (j *journal) encode(ops []Op) ([]byte, error) {
+	var buf []byte
+	if v := j.bufs.Get(); v != nil {
+		buf = (*(v.(*[]byte)))[:0]
+	}
+	return encodeOps(buf, ops)
+}
+
+// append journals one pre-encoded frame and releases the buffer.
+func (j *journal) append(frame []byte, nOps int) error {
+	_, err := j.log.Append(frame)
+	j.bufs.Put(&frame)
+	if err == nil {
+		j.appended.Add(uint64(nOps))
+	}
+	return err
+}
+
+// release returns an encode buffer without appending it (shed path).
+func (j *journal) release(frame []byte) { j.bufs.Put(&frame) }

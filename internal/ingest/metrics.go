@@ -28,6 +28,11 @@ type Metrics struct {
 	batchLatency  *obs.Histogram // batch apply seconds
 	batchSize     *obs.Histogram // ops per batch
 	batchSizeMax  *obs.Gauge     // high-water batch size
+
+	// checkpointSeconds times Engine.Checkpoint end to end. Registered
+	// unconditionally (zero-valued on non-durable engines) so the
+	// series set is stable across configurations.
+	checkpointSeconds *obs.Histogram
 }
 
 // newMetrics registers the engine's instruments on reg (a private
@@ -48,6 +53,8 @@ func newMetrics(reg *obs.Registry, shards int) *Metrics {
 		batchLatency:  reg.Histogram("ingest_batch_apply_seconds", obs.LatencyBuckets),
 		batchSize:     reg.Histogram("ingest_batch_size", obs.SizeBuckets),
 		batchSizeMax:  reg.Gauge("ingest_batch_size_max"),
+
+		checkpointSeconds: reg.Histogram("checkpoint_duration_seconds", obs.LatencyBuckets),
 	}
 	m.applied = make([]*obs.Counter, shards)
 	for i := range m.applied {

@@ -22,6 +22,8 @@ type shardMsg struct {
 
 	swarmID int
 	swarm   chan<- *SwarmStats // per-swarm snapshot request (nil reply = unknown)
+
+	persist chan<- *shardSnapshot // checkpoint state capture request
 }
 
 // shard owns a partition of the swarm keyspace. Only its goroutine
@@ -70,6 +72,8 @@ func (s *shard) run() {
 			} else {
 				msg.swarm <- nil
 			}
+		case msg.persist != nil:
+			msg.persist <- s.snapshot()
 		}
 	}
 }
@@ -112,6 +116,44 @@ func (s *shard) apply(op Op) {
 			}
 			cc.observe(*census)
 		}
+	}
+}
+
+// shardSnapshot is one shard's complete state in checkpoint wire form.
+// It is built by the shard goroutine (consistent by construction) and
+// serialized by the checkpointer off the apply path.
+type shardSnapshot struct {
+	Idx    int              `json:"idx"`
+	Swarms []swarmRecord    `json:"swarms"`
+	Cats   []categoryRecord `json:"cats,omitempty"`
+}
+
+// snapshot captures the shard's state for a checkpoint.
+func (s *shard) snapshot() *shardSnapshot {
+	snap := &shardSnapshot{Idx: s.idx, Swarms: make([]swarmRecord, 0, len(s.swarms))}
+	for id, st := range s.swarms {
+		snap.Swarms = append(snap.Swarms, st.record(id))
+	}
+	for cat, cc := range s.cats {
+		snap.Cats = append(snap.Cats, newCategoryRecord(cat, *cc))
+	}
+	return snap
+}
+
+// install merges a checkpointed shard snapshot into this shard's maps.
+// Only safe before the shard goroutine starts (recovery) — swarm ids
+// must already be routed to this shard by the current hash.
+func (s *shard) install(snap *shardSnapshot) {
+	for _, r := range snap.Swarms {
+		s.swarms[r.ID] = r.state()
+	}
+	for _, cr := range snap.Cats {
+		cc, ok := s.cats[cr.Category]
+		if !ok {
+			cc = &CategoryCounters{}
+			s.cats[cr.Category] = cc
+		}
+		cc.merge(cr.counters())
 	}
 }
 

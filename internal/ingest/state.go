@@ -127,6 +127,110 @@ func fraction(covered, window float64) float64 {
 	return f
 }
 
+// swarmRecord is the checkpoint wire form of one swarm's state: every
+// swarmState field, verbatim, so a load followed by the same op stream
+// produces bitwise-identical availabilities to an uninterrupted run.
+type swarmRecord struct {
+	ID             int             `json:"id"`
+	Meta           trace.SwarmMeta `json:"meta"`
+	Horizon        float64         `json:"horizon,omitempty"`
+	HasMeta        bool            `json:"has_meta,omitempty"`
+	SeedsOnline    int             `json:"seeds_online,omitempty"`
+	LeechersOnline int             `json:"leechers_online,omitempty"`
+	UpSince        float64         `json:"up_since,omitempty"`
+	CoveredFM      float64         `json:"covered_fm,omitempty"`
+	CoveredFull    float64         `json:"covered_full,omitempty"`
+	BusyPeriods    int             `json:"busy_periods,omitempty"`
+	Events         uint64          `json:"events,omitempty"`
+	LastEvent      float64         `json:"last_event,omitempty"`
+	CensusSeeds    int             `json:"census_seeds,omitempty"`
+	CensusLeechers int             `json:"census_leechers,omitempty"`
+	Downloads      int             `json:"downloads,omitempty"`
+	HasCensus      bool            `json:"has_census,omitempty"`
+}
+
+// record converts the state to its wire form.
+func (s *swarmState) record(id int) swarmRecord {
+	return swarmRecord{
+		ID:             id,
+		Meta:           s.meta,
+		Horizon:        s.horizon,
+		HasMeta:        s.hasMeta,
+		SeedsOnline:    s.seedsOnline,
+		LeechersOnline: s.leechersOnline,
+		UpSince:        s.upSince,
+		CoveredFM:      s.coveredFM,
+		CoveredFull:    s.coveredFull,
+		BusyPeriods:    s.busyPeriods,
+		Events:         s.events,
+		LastEvent:      s.lastEvent,
+		CensusSeeds:    s.censusSeeds,
+		CensusLeechers: s.censusLeechers,
+		Downloads:      s.downloads,
+		HasCensus:      s.hasCensus,
+	}
+}
+
+// state converts the wire form back to live state.
+func (r swarmRecord) state() *swarmState {
+	return &swarmState{
+		meta:           r.Meta,
+		horizon:        r.Horizon,
+		hasMeta:        r.HasMeta,
+		seedsOnline:    r.SeedsOnline,
+		leechersOnline: r.LeechersOnline,
+		upSince:        r.UpSince,
+		coveredFM:      r.CoveredFM,
+		coveredFull:    r.CoveredFull,
+		busyPeriods:    r.BusyPeriods,
+		events:         r.Events,
+		lastEvent:      r.LastEvent,
+		censusSeeds:    r.CensusSeeds,
+		censusLeechers: r.CensusLeechers,
+		downloads:      r.Downloads,
+		hasCensus:      r.HasCensus,
+	}
+}
+
+// categoryRecord is the checkpoint wire form of CategoryCounters; the
+// live type hides its accumulators from JSON (`json:"-"`), so the wire
+// form spells every field out, including the exact Welford state.
+type categoryRecord struct {
+	Category        trace.Category    `json:"category"`
+	Swarms          int               `json:"swarms"`
+	Bundles         int               `json:"bundles,omitempty"`
+	Collections     int               `json:"collections,omitempty"`
+	Seedless        int               `json:"seedless,omitempty"`
+	SeedlessBundles int               `json:"seedless_bundles,omitempty"`
+	Downloads       stats.Accumulator `json:"downloads"`
+	BundleDownloads stats.Accumulator `json:"bundle_downloads"`
+}
+
+func newCategoryRecord(cat trace.Category, c CategoryCounters) categoryRecord {
+	return categoryRecord{
+		Category:        cat,
+		Swarms:          c.Swarms,
+		Bundles:         c.Bundles,
+		Collections:     c.Collections,
+		Seedless:        c.Seedless,
+		SeedlessBundles: c.SeedlessBundles,
+		Downloads:       c.Downloads,
+		BundleDownloads: c.BundleDownloads,
+	}
+}
+
+func (r categoryRecord) counters() CategoryCounters {
+	return CategoryCounters{
+		Swarms:          r.Swarms,
+		Bundles:         r.Bundles,
+		Collections:     r.Collections,
+		Seedless:        r.Seedless,
+		SeedlessBundles: r.SeedlessBundles,
+		Downloads:       r.Downloads,
+		BundleDownloads: r.BundleDownloads,
+	}
+}
+
 // stats snapshots the swarm into its exported form.
 func (s *swarmState) stats() SwarmStats {
 	fm, full := s.availability()

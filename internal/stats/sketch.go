@@ -26,10 +26,17 @@ type QuantileSketch struct {
 const DefaultSketchBins = 4096
 
 // NewQuantileSketch creates an empty sketch over [lo, hi] with the given
-// number of bins. It panics on invalid geometry.
+// number of bins. It panics on invalid geometry: non-positive bins, a
+// degenerate or inverted range (lo >= hi, which would make Resolution
+// zero-or-negative and bin() divide by zero), or non-finite bounds
+// (NaN/±Inf lo or hi, or a finite pair whose width overflows), under
+// which bin() would convert NaN/Inf to int — undefined in Go.
 func NewQuantileSketch(lo, hi float64, bins int) *QuantileSketch {
 	if bins <= 0 || !(hi > lo) {
 		panic("stats: quantile sketch needs hi > lo and positive bins")
+	}
+	if width := hi - lo; math.IsNaN(width) || math.IsInf(width, 0) {
+		panic("stats: quantile sketch needs finite bounds")
 	}
 	return &QuantileSketch{Lo: lo, Hi: hi, counts: make([]uint64, bins)}
 }

@@ -118,3 +118,69 @@ func TestQuantileSketchEdges(t *testing.T) {
 	}()
 	one.Merge(NewQuantileSketch(0, 2, 16))
 }
+
+// TestQuantileSketchGeometryValidation pins the constructor's contract:
+// every degenerate geometry panics at construction instead of surfacing
+// later as a divide-by-zero bin index or an undefined float→int
+// conversion inside Add.
+func TestQuantileSketchGeometryValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		lo, hi  float64
+		bins    int
+	}{
+		{"zero bins", 0, 1, 0},
+		{"negative bins", 0, 1, -4},
+		{"lo equals hi", 0.5, 0.5, 16},
+		{"inverted range", 1, 0, 16},
+		{"NaN lo", math.NaN(), 1, 16},
+		{"NaN hi", 0, math.NaN(), 16},
+		{"-Inf lo", math.Inf(-1), 1, 16},
+		{"+Inf hi", 0, math.Inf(1), 16},
+		{"finite pair with overflowing width", -math.MaxFloat64, math.MaxFloat64, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewQuantileSketch(%v, %v, %d) must panic", tc.lo, tc.hi, tc.bins)
+				}
+			}()
+			NewQuantileSketch(tc.lo, tc.hi, tc.bins)
+		})
+	}
+}
+
+// TestQuantileSketchAddHiEdgeBin pins the upper-edge binning rule:
+// x == Hi maps exactly onto the bin boundary past the last bin and must
+// clamp into the last bin — not panic, not vanish.
+func TestQuantileSketchAddHiEdgeBin(t *testing.T) {
+	s := NewQuantileSketch(0, 1, 8)
+	s.Add(1.0)
+	if got := s.counts[len(s.counts)-1]; got != 1 {
+		t.Fatalf("Add(Hi) landed %d observations in the last bin, want 1", got)
+	}
+	for i, c := range s.counts[:len(s.counts)-1] {
+		if c != 0 {
+			t.Fatalf("Add(Hi) leaked into bin %d", i)
+		}
+	}
+	if s.N() != 1 || s.Min() != 1 || s.Max() != 1 {
+		t.Fatalf("N/Min/Max = %d/%v/%v after Add(Hi)", s.N(), s.Min(), s.Max())
+	}
+	if q := s.Quantile(0.5); q != 1 {
+		t.Fatalf("Quantile(0.5) = %v after Add(Hi), want 1", q)
+	}
+	if f := s.At(1); f != 1 {
+		t.Fatalf("At(Hi) = %v, want 1", f)
+	}
+
+	// Lo lands in the first bin; the two edges stay distinguishable.
+	s.Add(0)
+	if s.counts[0] != 1 {
+		t.Fatalf("Add(Lo) must land in the first bin")
+	}
+	if q := s.Quantile(0.25); q < 0 || q > s.Resolution() {
+		t.Fatalf("Quantile(0.25) = %v, want within one bin of 0", q)
+	}
+}

@@ -1,0 +1,733 @@
+// Package wal is a segmented append-only write-ahead log of opaque
+// binary frames, the durability substrate under internal/ingest's
+// streaming engine. It stores what the paper's monitoring pipeline
+// cannot afford to lose: seven months of continuously accumulated
+// observations, which a process restart would otherwise erase.
+//
+// # Format
+//
+// A log is a directory of segment files named wal-<firstseq>.seg,
+// where <firstseq> is the sequence number of the segment's first
+// frame. Each frame is
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC32-C (Castagnoli) of the payload
+//	payload bytes
+//
+// Sequence numbers start at 1 and are implicit: frame i of a segment
+// with base b has sequence b+i. There is no in-frame seq field to
+// corrupt or skew — the name plus the position is the number.
+//
+// # Crash safety
+//
+// Appends go to the active (last) segment; rotation seals it and opens
+// a new one. A crash can leave a torn frame at the tail of the active
+// segment; Open scans every segment front to back and truncates the
+// log at the first invalid frame (bad length, short payload, CRC
+// mismatch), deleting any later segments — the recovered log is always
+// a clean prefix of what was appended. Under SyncEachAppend a frame is
+// fsynced before Append returns, so an acknowledged append survives
+// SIGKILL; the softer policies trade that guarantee for throughput and
+// bound the loss to the sync interval (or the OS flush horizon).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"swarmavail/internal/obs"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt marks an invalid frame encountered where the clean-prefix
+// invariant promised a valid one (Open repairs these; Replay should
+// never see one).
+var ErrCorrupt = errors.New("wal: corrupt frame")
+
+// frameHeaderSize is the per-frame overhead: length + CRC.
+const frameHeaderSize = 8
+
+// MaxFrameBytes bounds a single frame's payload; a length field larger
+// than this is treated as corruption rather than an allocation request.
+const MaxFrameBytes = 64 << 20
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended frames are fsynced to stable
+// storage.
+type SyncPolicy uint8
+
+const (
+	// SyncEachAppend fsyncs before Append returns: an acknowledged
+	// append survives power loss. The default, and the policy the
+	// zero-acked-loss crash tests assume.
+	SyncEachAppend SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// a crash loses at most the last interval of acknowledged appends.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes when it pleases.
+	SyncNone
+)
+
+// String names the policy for flags and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "off"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy converts a -fsync flag value ("batch", "interval",
+// "off") to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "batch", "always", "each":
+		return SyncEachAppend, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none", "never":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want batch, interval or off)", s)
+}
+
+// Options parameterises Open. The zero value selects per-append fsync
+// and 64 MiB segments.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that finds the
+	// active segment at or past it seals the segment first
+	// (default 64 MiB).
+	SegmentBytes int64
+	// Policy selects the fsync policy (default SyncEachAppend).
+	Policy SyncPolicy
+	// SyncEvery is the background fsync cadence under SyncInterval
+	// (default 100ms).
+	SyncEvery time.Duration
+	// FsyncSeconds, when set, observes the duration of every fsync
+	// (wal_fsync_seconds). Nil-safe, like all obs instruments.
+	FsyncSeconds *obs.Histogram
+	// SegmentBytesGauge, when set, tracks the active segment's size
+	// (wal_segment_bytes).
+	SegmentBytesGauge *obs.Gauge
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	base   uint64 // sequence number of the first frame
+	frames uint64 // valid frames in the file
+	size   int64  // bytes of valid frames
+	path   string
+}
+
+func (s segment) lastSeq() uint64 { return s.base + s.frames - 1 }
+
+// OpenStats reports what Open found and repaired.
+type OpenStats struct {
+	// Segments is the number of segment files kept.
+	Segments int
+	// Frames is the number of valid frames across them.
+	Frames uint64
+	// TruncatedBytes counts bytes cut from a torn or corrupt tail.
+	TruncatedBytes int64
+	// DroppedSegments counts whole segments discarded because an
+	// earlier segment's corruption invalidated everything after it.
+	DroppedSegments int
+}
+
+// Log is an open write-ahead log. Append/Sync/TruncateThrough are safe
+// for concurrent use; Replay must not run concurrently with Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	active  segment
+	sealed  []segment
+	nextSeq uint64
+	buf     []byte // frame assembly scratch
+	closed  bool
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir, repairing any torn
+// tail left by a crash: the log is truncated at the first invalid
+// frame and later segments are deleted, so what remains is a clean
+// prefix of the appended frames.
+func Open(dir string, opts Options) (*Log, OpenStats, error) {
+	opts = opts.withDefaults()
+	var st OpenStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, st, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, st, err
+	}
+
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	valid := true
+	// The first segment anchors the sequence space: a checkpoint may
+	// have dropped every earlier segment (TruncateThrough), so the log
+	// legitimately starts at any base. Continuity is enforced from that
+	// anchor on.
+	expectBase := uint64(0)
+	for _, seg := range segs {
+		if !valid || (expectBase != 0 && seg.base != expectBase) {
+			// Everything after a repaired (or missing) segment is
+			// unreachable log space: drop it.
+			if err := os.Remove(seg.path); err != nil {
+				return nil, st, err
+			}
+			st.DroppedSegments++
+			valid = false
+			continue
+		}
+		frames, size, total, err := scanSegment(seg.path)
+		if err != nil {
+			return nil, st, err
+		}
+		if size < total {
+			if err := os.Truncate(seg.path, size); err != nil {
+				return nil, st, err
+			}
+			st.TruncatedBytes += total - size
+			valid = false // later segments are beyond the repair point
+		}
+		seg.frames, seg.size = frames, size
+		if frames == 0 {
+			// A fully-torn (or empty) segment: remove the husk.
+			if err := os.Remove(seg.path); err != nil {
+				return nil, st, err
+			}
+			continue
+		}
+		l.sealed = append(l.sealed, seg)
+		expectBase = seg.lastSeq() + 1
+	}
+	for _, seg := range l.sealed {
+		st.Frames += seg.frames
+	}
+	if n := len(l.sealed); n > 0 {
+		l.nextSeq = l.sealed[n-1].lastSeq() + 1
+		// Reopen the newest segment for appending.
+		l.active = l.sealed[n-1]
+		l.sealed = l.sealed[:n-1]
+		f, err := os.OpenFile(l.active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, st, err
+		}
+		l.f = f
+	}
+	st.Segments = len(l.sealed)
+	if l.f != nil {
+		st.Segments++
+	}
+	opts.SegmentBytesGauge.Set(float64(l.active.size))
+
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, st, nil
+}
+
+// listSegments returns dir's segment files sorted by base sequence.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+		if err != nil || base == 0 {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segment{base: base, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// scanSegment walks path frame by frame and returns the count and byte
+// length of the valid prefix, plus the file's total size.
+func scanSegment(path string) (frames uint64, validSize, totalSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	totalSize = info.Size()
+	r := &frameReader{r: f}
+	for {
+		payload, err := r.next()
+		if err != nil {
+			// io.EOF, a torn tail, or corruption: the valid prefix ends
+			// here either way; the caller truncates to validSize.
+			return frames, validSize, totalSize, nil
+		}
+		frames++
+		validSize += int64(frameHeaderSize + len(payload))
+	}
+}
+
+// frameReader decodes frames from a byte stream.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// next returns the next frame's payload. io.EOF marks a clean end;
+// ErrCorrupt (wrapped) marks a torn or invalid frame.
+func (fr *frameReader) next() ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: torn frame header: %v", ErrCorrupt, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	payload := fr.buf[:length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn frame payload: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// segmentPath names the segment whose first frame has sequence base.
+func (l *Log) segmentPath(base uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%016d.seg", base))
+}
+
+// Append writes one frame and returns its sequence number. Under
+// SyncEachAppend the frame is on stable storage when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 || len(payload) > MaxFrameBytes {
+		return 0, fmt.Errorf("wal: payload size %d out of range (1..%d)", len(payload), MaxFrameBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.f != nil && l.active.size >= l.opts.SegmentBytes {
+		if err := l.sealLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.f == nil {
+		if err := l.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.buf = AppendFrame(l.buf[:0], payload)
+	if _, err := l.f.Write(l.buf); err != nil {
+		// The tail may now be torn; the next Open repairs it. Poison
+		// nothing — the caller decides whether to retry or fail.
+		return 0, err
+	}
+	l.active.size += int64(len(l.buf))
+	l.active.frames++
+	seq := l.nextSeq
+	l.nextSeq++
+	l.opts.SegmentBytesGauge.Set(float64(l.active.size))
+	if l.opts.Policy == SyncEachAppend {
+		if err := l.fsyncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// fsyncLocked syncs the active segment, timing the call.
+func (l *Log) fsyncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	l.opts.FsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// Sync forces the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.fsyncLocked()
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				_ = l.fsyncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// sealLocked syncs and closes the active segment, moving it to the
+// sealed list.
+func (l *Log) sealLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f = nil
+	if l.active.frames > 0 {
+		l.sealed = append(l.sealed, l.active)
+	} else if err := os.Remove(l.active.path); err != nil {
+		return err
+	}
+	l.active = segment{}
+	return nil
+}
+
+// openSegmentLocked starts a fresh active segment at nextSeq.
+func (l *Log) openSegmentLocked() error {
+	path := l.segmentPath(l.nextSeq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.active = segment{base: l.nextSeq, path: path}
+	l.opts.SegmentBytesGauge.Set(0)
+	return syncDir(l.dir)
+}
+
+// Dir returns the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// LastSeq returns the sequence number of the newest appended frame
+// (0 when the log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Segments returns the number of on-disk segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.sealed)
+	if l.f != nil {
+		n++
+	}
+	return n
+}
+
+// Replay streams every frame with sequence ≥ fromSeq, in order, to fn.
+// A non-nil error from fn aborts the replay and is returned. Replay
+// must not run concurrently with Append.
+func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := make([]segment, 0, len(l.sealed)+1)
+	segs = append(segs, l.sealed...)
+	if l.f != nil {
+		segs = append(segs, l.active)
+	}
+	l.mu.Unlock()
+
+	for _, seg := range segs {
+		if seg.frames == 0 || seg.lastSeq() < fromSeq {
+			continue
+		}
+		if err := replaySegment(seg, fromSeq, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(seg segment, fromSeq uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := &frameReader{r: io.LimitReader(f, seg.size)}
+	for i := uint64(0); i < seg.frames; i++ {
+		payload, err := r.next()
+		if err != nil {
+			return fmt.Errorf("wal: segment %s frame %d: %w", filepath.Base(seg.path), i, err)
+		}
+		if seq := seg.base + i; seq >= fromSeq {
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TruncateThrough drops every whole segment whose frames all have
+// sequence ≤ seq — the checkpointer's "journal up to seq is now
+// redundant" call. The active segment is sealed first if it qualifies,
+// so a checkpoint of the full log empties it.
+func (l *Log) TruncateThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f != nil && l.active.frames > 0 && l.active.lastSeq() <= seq {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+	}
+	kept := l.sealed[:0]
+	removed := false
+	for _, s := range l.sealed {
+		if s.lastSeq() <= seq {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// AdvanceTo raises the log's next sequence number to at least seq+1,
+// dropping any segments made redundant on the way (everything ≤ seq).
+// Recovery uses it after loading a checkpoint at seq: even if the
+// journal tail was lost or repaired away, future appends must never
+// reuse a sequence number the checkpoint already covers, or a later
+// recovery would skip them as replayed history.
+func (l *Log) AdvanceTo(seq uint64) error {
+	if err := l.TruncateThrough(seq); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.nextSeq > seq {
+		return nil
+	}
+	// nextSeq ≤ seq means every surviving frame had sequence ≤ seq, so
+	// TruncateThrough removed every sealed segment; only an empty active
+	// segment can remain. Retire it so the next append opens a segment
+	// whose name matches the advanced sequence.
+	if l.f != nil {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+	}
+	l.nextSeq = seq + 1
+	return nil
+}
+
+// TruncateFrom discards every frame with sequence ≥ seq — the recovery
+// path's response to a frame whose envelope is valid but whose payload
+// fails to decode: cut the log there so later boots see the same clean
+// prefix this one replayed.
+func (l *Log) TruncateFrom(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq >= l.nextSeq {
+		return nil
+	}
+	// Seal the active segment so every segment is handled uniformly.
+	if l.f != nil {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+	}
+	kept := l.sealed[:0]
+	for _, s := range l.sealed {
+		switch {
+		case s.lastSeq() < seq:
+			kept = append(kept, s)
+		case s.base >= seq:
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		default:
+			// The cut lands inside this segment: truncate it at the
+			// boundary frame.
+			keep := seq - s.base // frames to keep
+			size, err := frameOffset(s, keep)
+			if err != nil {
+				return err
+			}
+			if err := os.Truncate(s.path, size); err != nil {
+				return err
+			}
+			s.frames, s.size = keep, size
+			if s.frames == 0 {
+				if err := os.Remove(s.path); err != nil {
+					return err
+				}
+			} else {
+				kept = append(kept, s)
+			}
+		}
+	}
+	l.sealed = kept
+	l.nextSeq = seq
+	return syncDir(l.dir)
+}
+
+// frameOffset returns the byte offset of frame index n in seg.
+func frameOffset(seg segment, n uint64) (int64, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var off int64
+	var hdr [frameHeaderSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return 0, err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if _, err := f.Seek(length, io.SeekCurrent); err != nil {
+			return 0, err
+		}
+		off += frameHeaderSize + length
+	}
+	return off, nil
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.f != nil {
+		err = l.fsyncLocked()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	return err
+}
+
+// AppendFrame appends payload to dst in the log's frame encoding
+// (length + CRC32-C + payload). Exported so sibling on-disk formats —
+// internal/ingest's checkpoint files — share the framing and its
+// corruption detection.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// FrameReader decodes a stream of frames written by AppendFrame.
+type FrameReader struct {
+	fr frameReader
+}
+
+// NewFrameReader reads frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{fr: frameReader{r: r}}
+}
+
+// Next returns the next frame's payload, valid until the following
+// call. io.EOF marks a clean end of stream; a torn or invalid frame
+// returns an error wrapping ErrCorrupt.
+func (r *FrameReader) Next() ([]byte, error) { return r.fr.next() }
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best effort: some platforms/filesystems reject it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmavail/internal/cluster"
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/obs"
+)
+
+// runFollower is availd's warm-standby mode (-follow): it ships the
+// leader's WAL into -data-dir and serves a minimal control surface —
+//
+//	GET  /v1/healthz          503 {"state":"following"} until promoted
+//	GET  /v1/follower/status  shipping watermark and leader
+//	POST /v1/promote          recover shipped state, become a leader
+//
+// until a promotion (normally the cluster gateway's failure detector)
+// swaps in the full availd API over the recovered engine. Promotion is
+// a crash recovery of state the dead leader acknowledged: newest
+// shipped checkpoint plus the shipped WAL tail, via ingest.OpenDurable.
+func runFollower(ctx context.Context, opts options, ready chan<- net.Addr) error {
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	f, err := cluster.NewFollower(cluster.FollowerConfig{
+		LeaderURL: opts.follow,
+		Dir:       opts.dataDir,
+		PollEvery: opts.followPoll,
+		Metrics:   reg,
+		Logf: func(format string, args ...any) {
+			if opts.logger != nil {
+				opts.logger.Info(fmt.Sprintf(format, args...))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	go f.Run(ctx)
+
+	fs := &followerServer{opts: opts, follower: f, reg: reg}
+	fs.handler.Store(handlerBox{obs.LogRequests(opts.logger, fs.standbyHandler())})
+
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	srv := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fs.handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	}))
+	fmt.Printf("availd: following %s on %s (data %s)\n", opts.follow, ln.Addr(), opts.dataDir)
+	if opts.logger != nil {
+		opts.logger.Info("following", "leader", opts.follow, "addr", ln.Addr().String(), "dir", opts.dataDir)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		fs.shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("availd: signal received, stopping follower")
+	if fs.promotedServer() != nil {
+		fs.promotedServer().draining.Store(true)
+		if opts.drainGrace > 0 {
+			time.Sleep(opts.drainGrace)
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "availd: follower shutdown: %v\n", err)
+	}
+	return fs.shutdown()
+}
+
+// handlerBox gives atomic.Value a single concrete type to hold, no
+// matter what the wrapped handler's dynamic type is.
+type handlerBox struct{ h http.Handler }
+
+// followerServer owns the standby's swap-on-promote handler state.
+type followerServer struct {
+	opts     options
+	follower *cluster.Follower
+	reg      *obs.Registry
+
+	handler atomic.Value // handlerBox, swapped on promotion
+
+	mu       sync.Mutex
+	promoted bool
+	engine   *ingest.Engine
+	server   *server
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+}
+
+func (fs *followerServer) promotedServer() *server {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.server
+}
+
+// standbyHandler is the pre-promotion API.
+func (fs *followerServer) standbyHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"state":"following"}`)
+	})
+	mux.HandleFunc("GET /v1/follower/status", func(w http.ResponseWriter, r *http.Request) {
+		ingest.WriteJSON(w, map[string]any{
+			"leader":     fs.opts.follow,
+			"shipped":    fs.follower.Shipped(),
+			"bootstraps": fs.follower.Bootstraps(),
+		})
+	})
+	mux.HandleFunc("POST /v1/promote", fs.handlePromote)
+	mux.Handle("GET /metrics", obs.MetricsHandler(fs.reg))
+	mux.Handle("GET /debug/vars", obs.VarsHandler(fs.reg))
+	// Everything else is the API this node will serve once promoted;
+	// answer 503 so retrying clients keep trying rather than erroring.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "following; not promoted yet", http.StatusServiceUnavailable)
+	})
+	return mux
+}
+
+// handlePromote performs the failover: stop shipping, recover the
+// shipped state, swap the full availd API in. 200 means the node is
+// serving — the caller can route traffic the moment this returns.
+func (fs *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.promoted {
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+		return
+	}
+	start := time.Now()
+	cfg := ingest.Config{Shards: fs.opts.shards, BatchSize: fs.opts.batch}
+	e, rs, err := fs.follower.Promote(cfg)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("promote: %v", err), http.StatusInternalServerError)
+		return
+	}
+	reg := e.Registry()
+	obs.RegisterProcessMetrics(reg)
+	registerSummaryMetrics(reg, e)
+	s := &server{engine: e, dataDir: fs.opts.dataDir}
+	h := obs.InstrumentHandler(reg, "api", s.handler())
+	fs.handler.Store(handlerBox{obs.LogRequests(fs.opts.logger, h)})
+	fs.promoted, fs.engine, fs.server = true, e, s
+
+	// The promoted node checkpoints on the leader's cadence.
+	if fs.opts.dataDir != "" && fs.opts.checkpointEvery > 0 {
+		fs.ckptStop, fs.ckptDone = make(chan struct{}), make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(fs.opts.checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if _, err := e.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "availd: checkpoint: %v\n", err)
+					}
+				}
+			}
+		}(fs.ckptStop, fs.ckptDone)
+	}
+
+	fmt.Printf("availd: promoted in %v (checkpoint seq %d, %d swarms; replayed %d ops from %d frames)\n",
+		time.Since(start).Round(time.Millisecond),
+		rs.CheckpointSeq, rs.CheckpointSwarms, rs.ReplayedOps, rs.ReplayedFrames)
+	if fs.opts.logger != nil {
+		fs.opts.logger.Info("promoted",
+			"checkpoint_seq", rs.CheckpointSeq,
+			"checkpoint_swarms", rs.CheckpointSwarms,
+			"replayed_frames", rs.ReplayedFrames,
+			"replayed_ops", rs.ReplayedOps,
+			"elapsed", time.Since(start))
+	}
+	ingest.WriteJSON(w, map[string]string{"state": "serving"})
+}
+
+// shutdown tears down whichever mode the process ended in: the shipping
+// loop pre-promotion, or the engine (drained, final checkpoint)
+// post-promotion.
+func (fs *followerServer) shutdown() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.promoted {
+		return fs.follower.Close()
+	}
+	if fs.ckptStop != nil {
+		close(fs.ckptStop)
+		<-fs.ckptDone
+	}
+	fs.engine.Close()
+	return finalCheckpoint(fs.engine, fs.opts)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"swarmavail/internal/ingest"
+)
+
+// getHealth fetches /v1/healthz and returns (status code, "state" field).
+func getHealth(t *testing.T, base string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	return resp.StatusCode, payload.State
+}
+
+// TestHealthzDrainTransition: a serving node answers 200 "serving";
+// once shutdown starts it must answer 503 "draining" while the
+// listener is still up (the window health-checking gateways use to
+// stop routing here), and only then close.
+func TestHealthzDrainTransition(t *testing.T) {
+	e := ingest.New(ingest.Config{Shards: 2, BatchSize: 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan net.Addr, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serve(ctx, e, options{listen: "127.0.0.1:0", drainGrace: 500 * time.Millisecond}, ready, nil)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = fmt.Sprintf("http://%s", addr)
+	case err := <-served:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	if code, state := getHealth(t, base); code != http.StatusOK || state != "serving" {
+		t.Fatalf("ready node: got %d %q, want 200 serving", code, state)
+	}
+
+	// Begin shutdown. During the drain grace the listener stays up and
+	// readiness must flip to 503 draining.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	sawDraining := false
+	for time.Now().Before(deadline) {
+		code, state := getHealth(t, base)
+		if code == http.StatusServiceUnavailable && state == "draining" {
+			sawDraining = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("never observed 503 draining between shutdown signal and listener close")
+	}
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain grace")
+	}
+	e.Close()
+}

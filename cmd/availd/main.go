@@ -39,7 +39,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,11 +50,12 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"swarmavail/internal/cluster"
 	"swarmavail/internal/ingest"
 	"swarmavail/internal/measure"
 	"swarmavail/internal/obs"
@@ -86,6 +86,13 @@ type options struct {
 	fsync           string        // WAL sync policy: batch, interval or off
 	fsyncInterval   time.Duration // cadence under -fsync interval
 	checkpointEvery time.Duration // periodic checkpoint cadence (0 = shutdown only)
+
+	// Clustering: with follow set this process is a warm standby that
+	// ships the leader's WAL into dataDir and serves only /v1/healthz,
+	// /v1/follower/status and POST /v1/promote until promoted.
+	follow     string        // leader base URL to follow
+	followPoll time.Duration // WAL-shipping poll cadence
+	drainGrace time.Duration // how long /v1/healthz advertises draining before shutdown
 }
 
 func main() {
@@ -108,6 +115,9 @@ func main() {
 	flag.StringVar(&opts.fsync, "fsync", "batch", "WAL fsync policy: batch (acked = durable), interval, or off")
 	flag.DurationVar(&opts.fsyncInterval, "fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
 	flag.DurationVar(&opts.checkpointEvery, "checkpoint-every", 5*time.Minute, "periodic checkpoint cadence (0 = checkpoint only on shutdown)")
+	flag.StringVar(&opts.follow, "follow", "", "run as a warm standby shipping this leader's WAL (e.g. http://host:8647); requires -listen and -data-dir")
+	flag.DurationVar(&opts.followPoll, "follow-poll", 250*time.Millisecond, "WAL-shipping poll cadence under -follow")
+	flag.DurationVar(&opts.drainGrace, "drain-grace", 0, "keep answering /v1/healthz as draining this long before shutdown, so load balancers drain first")
 	flag.Parse()
 
 	opts.logger = obs.NewLogger(os.Stderr, "availd", obs.ParseLevel(*logLevel), *logJSON)
@@ -129,6 +139,12 @@ func run(ctx context.Context, opts options) error {
 			return fmt.Errorf("-push needs -replay (the records to send)")
 		}
 		return pushStudy(ctx, opts.push, opts.replay, opts.batch)
+	}
+	if opts.follow != "" {
+		if opts.listen == "" || opts.dataDir == "" {
+			return fmt.Errorf("-follow needs -listen and -data-dir")
+		}
+		return runFollower(ctx, opts, nil)
 	}
 
 	e, err := newEngineFromOpts(opts)
@@ -256,7 +272,7 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 	obs.RegisterProcessMetrics(reg)
 	registerSummaryMetrics(reg, e)
 
-	s := &server{engine: e}
+	s := &server{engine: e, dataDir: opts.dataDir}
 	h := obs.InstrumentHandler(reg, "api", s.handler())
 	h = obs.LogRequests(opts.logger, h)
 
@@ -336,6 +352,14 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 	fmt.Println("availd: signal received, draining")
 	if opts.logger != nil {
 		opts.logger.Info("signal received, draining")
+	}
+	// Flip readiness before closing anything: /v1/healthz answers 503
+	// draining while the listener is still up, and the grace period
+	// gives health-checking gateways time to observe the transition and
+	// stop routing here before connections start failing.
+	s.draining.Store(true)
+	if opts.drainGrace > 0 {
+		time.Sleep(opts.drainGrace)
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
@@ -620,6 +644,13 @@ func fmtSeconds(s float64) string {
 // server wires the engine into the HTTP API.
 type server struct {
 	engine *ingest.Engine
+	// dataDir gates the WAL-shipping endpoints: only a durable node has
+	// a journal a follower can replicate.
+	dataDir string
+	// draining flips /v1/healthz to 503 ahead of shutdown so the
+	// gateway's health checks stop routing here before the listener
+	// closes.
+	draining atomic.Bool
 }
 
 func (s *server) handler() http.Handler {
@@ -627,11 +658,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/swarm/{id}", s.handleSwarm)
 	mux.HandleFunc("GET /v1/summary", s.handleSummary)
 	mux.HandleFunc("GET /v1/availability/cdf", s.handleCDF)
 	mux.HandleFunc("GET /v1/bundling/summary", s.handleBundling)
+	mux.HandleFunc("GET /v1/state", s.handleState)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	if s.dataDir != "" && s.engine.WAL() != nil {
+		// WAL shipping: a follower replicates this node's journal and
+		// checkpoints from these routes.
+		(&cluster.WALServer{Log: s.engine.WAL(), Dir: s.dataDir}).Register(mux)
+	}
 	// The observability surface rides on the API listener too, so a
 	// bare deployment (no -admin) still scrapes. Everything is served
 	// straight from the engine's registry: the ingest pipeline writes
@@ -642,11 +680,26 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+func writeJSON(w http.ResponseWriter, v any) { ingest.WriteJSON(w, v) }
+
+// handleHealthz is the readiness probe: 200 "serving" exactly when the
+// node can take traffic — recovery finished (the listener only comes up
+// after OpenDurable returns) and not yet draining for shutdown. The
+// cluster gateway's failure detector keys off this.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"state":"draining"}`)
+		return
+	}
+	writeJSON(w, map[string]string{"state": "serving"})
+}
+
+// handleState serves the summary's full mergeable wire form — the
+// cluster gateway's scatter-gather payload.
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	ingest.WriteState(w, s.engine.Summary())
 }
 
 func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
@@ -664,52 +717,20 @@ func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSummary serves the merged engine-wide aggregate: population
-// gauges, headline §2 statistics, and event counters.
+// gauges, headline §2 statistics, and event counters. The rendering
+// lives in internal/ingest's shared httpapi so the cluster gateway's
+// merged answer is byte-identical to this one.
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum := s.engine.Summary()
-	writeJSON(w, struct {
-		*ingest.Summary
-		Headlines measure.StudyHeadlines `json:"headlines"`
-	}{sum, sum.Headlines()})
-}
-
-type cdfResponse struct {
-	Swarms     int                `json:"swarms"`
-	FirstMonth map[string]float64 `json:"first_month_quantiles"`
-	Full       map[string]float64 `json:"full_quantiles"`
-	// ToleranceAbs is the sketch resolution: every quantile is within
-	// this of the exact order statistic.
-	ToleranceAbs float64                `json:"tolerance_abs"`
-	Headlines    measure.StudyHeadlines `json:"headlines"`
+	ingest.WriteSummary(w, s.engine.Summary())
 }
 
 func (s *server) handleCDF(w http.ResponseWriter, r *http.Request) {
-	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
-	if arg := r.URL.Query().Get("q"); arg != "" {
-		qs = qs[:0]
-		for _, part := range strings.Split(arg, ",") {
-			q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil || q < 0 || q > 1 {
-				http.Error(w, "bad quantile list", http.StatusBadRequest)
-				return
-			}
-			qs = append(qs, q)
-		}
+	qs, err := ingest.ParseQuantiles(r.URL.Query().Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	sum := s.engine.Summary()
-	resp := cdfResponse{
-		Swarms:       sum.StudySwarms,
-		FirstMonth:   make(map[string]float64, len(qs)),
-		Full:         make(map[string]float64, len(qs)),
-		ToleranceAbs: sum.Full.Resolution(),
-		Headlines:    sum.Headlines(),
-	}
-	for _, q := range qs {
-		key := strconv.FormatFloat(q, 'g', -1, 64)
-		resp.FirstMonth[key] = sum.FirstMonth.Quantile(q)
-		resp.Full[key] = sum.Full.Quantile(q)
-	}
-	writeJSON(w, resp)
+	ingest.WriteCDF(w, s.engine.Summary(), qs)
 }
 
 type bundlingCategory struct {

@@ -1,0 +1,160 @@
+// Command availgw is the cluster gateway: one availd-shaped API over N
+// availd nodes. It consistent-hashes swarms across the nodes (whole
+// swarms, never split — the same partitioning rule the engine's shards
+// use in-process), fans POST /v1/ingest out through per-node retrying
+// clients, scatter-gathers GET /v1/summary, /v1/availability/cdf and
+// /v1/state by merging every node's state, and — when followers are
+// configured — promotes a node's warm standby after consecutive failed
+// health checks.
+//
+//	availgw -listen :8650 \
+//	  -nodes http://n1:8647,http://n2:8647,http://n3:8647 \
+//	  -followers http://f1:8657,http://f2:8657,http://f3:8657
+//
+// Node order is part of the cluster identity: every gateway (and every
+// restart) must list the same nodes in the same order, or swarms route
+// to different homes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"swarmavail/internal/cluster"
+	"swarmavail/internal/obs"
+)
+
+type options struct {
+	listen      string
+	nodes       string
+	followers   string
+	vnodes      int
+	queueDepth  int
+	sendPasses  int
+	healthEvery time.Duration
+	failAfter   int
+}
+
+func main() {
+	var (
+		opts     options
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	)
+	flag.StringVar(&opts.listen, "listen", ":8650", "HTTP listen address")
+	flag.StringVar(&opts.nodes, "nodes", "", "comma-separated leader base URLs, in slot order (required)")
+	flag.StringVar(&opts.followers, "followers", "", "comma-separated follower base URLs, parallel to -nodes (empty slots allowed)")
+	flag.IntVar(&opts.vnodes, "vnodes", 0, "virtual nodes per slot on the hash ring (0 = default)")
+	flag.IntVar(&opts.queueDepth, "queue-depth", 0, "queued pushes per node before back-pressure (0 = default)")
+	flag.IntVar(&opts.sendPasses, "send-passes", 0, "client retry cycles per push before reporting failure (0 = default)")
+	flag.DurationVar(&opts.healthEvery, "health-every", time.Second, "leader health-check cadence")
+	flag.IntVar(&opts.failAfter, "fail-after", 3, "consecutive failed health checks before promoting the follower")
+	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, "availgw", obs.ParseLevel(*logLevel), *logJSON)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opts, logger.Info, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "availgw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseNodes zips -nodes and -followers into the cluster membership.
+func parseNodes(nodes, followers string) ([]cluster.NodeConfig, error) {
+	if strings.TrimSpace(nodes) == "" {
+		return nil, fmt.Errorf("-nodes is required")
+	}
+	urls := strings.Split(nodes, ",")
+	var fws []string
+	if strings.TrimSpace(followers) != "" {
+		fws = strings.Split(followers, ",")
+		if len(fws) != len(urls) {
+			return nil, fmt.Errorf("-followers has %d entries for %d nodes", len(fws), len(urls))
+		}
+	}
+	out := make([]cluster.NodeConfig, 0, len(urls))
+	for i, u := range urls {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("node %d has an empty URL", i)
+		}
+		nc := cluster.NodeConfig{Name: fmt.Sprintf("node%d", i), URL: u}
+		if fws != nil {
+			nc.Follower = strings.TrimSuffix(strings.TrimSpace(fws[i]), "/")
+		}
+		out = append(out, nc)
+	}
+	return out, nil
+}
+
+// run builds the gateway and serves until ctx ends; tests drive it
+// directly with a ready channel for the bound address.
+func run(ctx context.Context, opts options, logf func(string, ...any), ready chan<- net.Addr) error {
+	nodes, err := parseNodes(opts.nodes, opts.followers)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	g, err := cluster.NewGateway(cluster.GatewayConfig{
+		Nodes:       nodes,
+		Vnodes:      opts.vnodes,
+		QueueDepth:  opts.queueDepth,
+		SendPasses:  opts.sendPasses,
+		HealthEvery: opts.healthEvery,
+		FailAfter:   opts.failAfter,
+		Metrics:     reg,
+		Logf: func(format string, args ...any) {
+			if logf != nil {
+				logf(fmt.Sprintf(format, args...))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	h := obs.InstrumentHandler(reg, "gateway", g.Handler())
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	fmt.Printf("availgw: serving on %s over %d nodes\n", ln.Addr(), len(nodes))
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("availgw: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "availgw: shutdown: %v\n", err)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/trace"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("http://a:1, http://b:2/ ,http://c:3", "http://fa:1,,http://fc:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	if nodes[0].URL != "http://a:1" || nodes[1].URL != "http://b:2" || nodes[2].URL != "http://c:3" {
+		t.Fatalf("bad URLs: %+v", nodes)
+	}
+	if nodes[0].Follower != "http://fa:1" || nodes[1].Follower != "" || nodes[2].Follower != "http://fc:3" {
+		t.Fatalf("bad followers: %+v", nodes)
+	}
+	if nodes[0].Name != "node0" || nodes[2].Name != "node2" {
+		t.Fatalf("bad names: %+v", nodes)
+	}
+
+	if _, err := parseNodes("", ""); err == nil {
+		t.Fatal("empty -nodes accepted")
+	}
+	if _, err := parseNodes("http://a:1,http://b:2", "http://f:1"); err == nil {
+		t.Fatal("mismatched -followers length accepted")
+	}
+	if _, err := parseNodes("http://a:1,,http://c:3", ""); err == nil {
+		t.Fatal("empty node URL accepted")
+	}
+}
+
+// TestRunServesCluster boots the real run() against one in-process
+// node and checks a push round-trips into the merged summary.
+func TestRunServesCluster(t *testing.T) {
+	e := ingest.New(ingest.Config{Shards: 2, BatchSize: 16})
+	defer e.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		sc := trace.NewScanner[ingest.Record](r.Body)
+		var ops []ingest.Op
+		for sc.Scan() {
+			ops = append(ops, ingest.EventOp(sc.Record()))
+		}
+		if err := sc.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := e.Submit(ops); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		ingest.WriteJSON(w, map[string]int{"accepted": len(ops)})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		e.Flush()
+		ingest.WriteState(w, e.Summary())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+	})
+	node := httptest.NewServer(mux)
+	defer node.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			listen:      "127.0.0.1:0",
+			nodes:       node.URL,
+			healthEvery: time.Hour,
+		}, t.Logf, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = fmt.Sprintf("http://%s", addr)
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never became ready")
+	}
+
+	client := ingest.NewHTTPClient(ingest.HTTPClientConfig{BaseURL: base, MaxAttempts: 2})
+	recs := make([]ingest.Record, 50)
+	for i := range recs {
+		recs[i] = ingest.Record{SwarmID: i % 7, PeerID: 1, Seed: true, Online: true, Time: float64(i)}
+	}
+	if err := client.Push(ctx, recs); err != nil {
+		t.Fatalf("push through gateway: %v", err)
+	}
+	sum, err := client.FetchSummary(ctx)
+	if err != nil {
+		t.Fatalf("fetch summary: %v", err)
+	}
+	if sum.Events != uint64(len(recs)) {
+		t.Fatalf("gateway summary has %d events, pushed %d", sum.Events, len(recs))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never shut down")
+	}
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"swarmavail/internal/ingest"
+)
+
+// testLeader is an in-process durable engine with the WAL-shipping
+// routes mounted, standing in for a leader availd.
+type testLeader struct {
+	e   *ingest.Engine
+	srv *httptest.Server
+	dir string
+}
+
+func newTestLeader(t *testing.T) *testLeader {
+	t.Helper()
+	dir := t.TempDir()
+	e, _, err := ingest.OpenDurable(
+		ingest.Config{Shards: 2, BatchSize: 16},
+		ingest.DurabilityConfig{Dir: dir},
+	)
+	if err != nil {
+		t.Fatalf("open leader: %v", err)
+	}
+	mux := http.NewServeMux()
+	(&WALServer{Log: e.WAL(), Dir: dir}).Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &testLeader{e: e, srv: srv, dir: dir}
+}
+
+// submit pushes one batch of synthetic events through the durable
+// engine (journaled, so shippable).
+func (l *testLeader) submit(t *testing.T, round, n int) {
+	t.Helper()
+	ops := make([]ingest.Op, n)
+	for i := range ops {
+		ops[i] = ingest.EventOp(ingest.Record{
+			SwarmID: (round*n + i) % 37,
+			PeerID:  uint64(round + 1),
+			Seed:    i%3 != 2,
+			Online:  (round+i)%2 == 0,
+			Time:    float64(round*100+i) / 50,
+		})
+	}
+	if err := l.e.Submit(ops); err != nil {
+		t.Fatalf("leader submit: %v", err)
+	}
+}
+
+// stateBytes renders an engine's full mergeable state, the equality
+// currency of these tests.
+func stateBytes(t *testing.T, e *ingest.Engine) []byte {
+	t.Helper()
+	e.Flush()
+	raw, err := json.Marshal(e.Summary().State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFollowerCatchUpAndPromote(t *testing.T) {
+	leader := newTestLeader(t)
+	for r := 0; r < 10; r++ {
+		leader.submit(t, r, 32)
+	}
+
+	f, err := NewFollower(FollowerConfig{
+		LeaderURL: leader.srv.URL,
+		Dir:       t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, want := f.Shipped(), leader.e.WAL().LastSeq(); got != want {
+		t.Fatalf("shipped %d, leader at %d", got, want)
+	}
+
+	// More writes land after the first catch-up; the next pass ships
+	// just the delta.
+	for r := 10; r < 15; r++ {
+		leader.submit(t, r, 32)
+	}
+	if err := f.Sync(ctx); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if got, want := f.Shipped(), leader.e.WAL().LastSeq(); got != want {
+		t.Fatalf("after delta: shipped %d, leader at %d", got, want)
+	}
+
+	promoted, rs, err := f.Promote(ingest.Config{Shards: 2})
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer promoted.Close()
+	t.Logf("promotion recovery: %+v", rs)
+	if got, want := stateBytes(t, promoted), stateBytes(t, leader.e); string(got) != string(want) {
+		t.Fatalf("promoted state diverged from leader\n--- promoted ---\n%s\n--- leader ---\n%s", got, want)
+	}
+	leader.e.Close()
+}
+
+// TestFollowerCheckpointBootstrap: a follower arriving after the leader
+// checkpointed (journal truncated) must re-base on the checkpoint, then
+// stream the tail.
+func TestFollowerCheckpointBootstrap(t *testing.T) {
+	leader := newTestLeader(t)
+	for r := 0; r < 8; r++ {
+		leader.submit(t, r, 32)
+	}
+	leader.e.Flush()
+	if _, err := leader.e.Checkpoint(); err != nil {
+		t.Fatalf("leader checkpoint: %v", err)
+	}
+	// A tail beyond the checkpoint, so the bootstrap path and the
+	// streaming path both carry real data.
+	for r := 8; r < 12; r++ {
+		leader.submit(t, r, 32)
+	}
+
+	f, err := NewFollower(FollowerConfig{
+		LeaderURL: leader.srv.URL,
+		Dir:       t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(context.Background()); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if f.Bootstraps() != 1 {
+		t.Fatalf("expected exactly one checkpoint bootstrap, got %d", f.Bootstraps())
+	}
+	if got, want := f.Shipped(), leader.e.WAL().LastSeq(); got != want {
+		t.Fatalf("shipped %d, leader at %d", got, want)
+	}
+
+	promoted, _, err := f.Promote(ingest.Config{Shards: 2})
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer promoted.Close()
+	if got, want := stateBytes(t, promoted), stateBytes(t, leader.e); string(got) != string(want) {
+		t.Fatalf("bootstrapped state diverged from leader\n--- promoted ---\n%s\n--- leader ---\n%s", got, want)
+	}
+	leader.e.Close()
+}
+
+// TestFollowerResume: a restarted follower resumes from its on-disk
+// watermark instead of re-shipping history.
+func TestFollowerResume(t *testing.T) {
+	leader := newTestLeader(t)
+	for r := 0; r < 6; r++ {
+		leader.submit(t, r, 16)
+	}
+	dir := t.TempDir()
+	f1, err := NewFollower(FollowerConfig{LeaderURL: leader.srv.URL, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mark := f1.Shipped()
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := NewFollower(FollowerConfig{LeaderURL: leader.srv.URL, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Shipped() != mark {
+		t.Fatalf("restarted follower lost its watermark: %d, had %d", f2.Shipped(), mark)
+	}
+	leader.submit(t, 6, 16)
+	if err := f2.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f2.Shipped(), leader.e.WAL().LastSeq(); got != want {
+		t.Fatalf("resumed follower shipped %d, leader at %d", got, want)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leader.e.Close()
+}
+
+func TestWALServerStatus(t *testing.T) {
+	leader := newTestLeader(t)
+	leader.submit(t, 0, 8)
+	leader.submit(t, 1, 8)
+	st, err := FetchWALStatus(http.DefaultClient, leader.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstSeq != 1 || st.LastSeq < 2 || st.CheckpointSeq != 0 {
+		t.Fatalf("unexpected status %+v", st)
+	}
+	last := st.LastSeq
+	leader.e.Flush()
+	if _, err := leader.e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = FetchWALStatus(http.DefaultClient, leader.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CheckpointSeq != last {
+		t.Fatalf("checkpoint seq %d, want %d", st.CheckpointSeq, last)
+	}
+	// The journal was truncated by the checkpoint: streaming from 1 is
+	// now Gone.
+	resp, err := http.Get(leader.srv.URL + "/v1/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stream from truncated seq: got %d, want 410", resp.StatusCode)
+	}
+	leader.e.Close()
+}

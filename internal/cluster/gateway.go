@@ -1,0 +1,542 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/obs"
+	"swarmavail/internal/trace"
+)
+
+// ErrGatewayClosed is returned for pushes caught mid-flight by a
+// gateway shutdown.
+var ErrGatewayClosed = errors.New("cluster: gateway closed")
+
+// NodeConfig names one cluster slot: the leader serving it and,
+// optionally, the follower the gateway may promote into it.
+type NodeConfig struct {
+	// Name labels the node in logs and metrics (default: the URL).
+	Name string
+	// URL is the leader availd's base URL.
+	URL string
+	// Follower is the standby's base URL ("" = no failover for this
+	// slot). The follower must be running availd -follow against URL.
+	Follower string
+}
+
+func (n NodeConfig) name() string {
+	if n.Name != "" {
+		return n.Name
+	}
+	return n.URL
+}
+
+// GatewayConfig parameterises a Gateway.
+type GatewayConfig struct {
+	// Nodes is the cluster membership, in slot order. The ring maps
+	// swarms to slot indices, so order is part of the cluster identity:
+	// every gateway over the same ordered membership routes identically.
+	Nodes []NodeConfig
+	// Vnodes is the virtual-node count per slot (default DefaultVnodes).
+	Vnodes int
+	// QueueDepth bounds queued pushes per node (default 32); a full
+	// queue back-pressures the ingest handler rather than buffering
+	// unboundedly.
+	QueueDepth int
+	// SendPasses is how many full client retry cycles a push gets before
+	// the gateway reports failure (default 8). Each pass re-resolves the
+	// node's current client, so pushes in flight during a failover land
+	// on the promoted follower.
+	SendPasses int
+	// HealthEvery is the leader health-check cadence (default 1s).
+	HealthEvery time.Duration
+	// FailAfter is the consecutive health-check failures that trigger
+	// failover (default 3).
+	FailAfter int
+	// ClientConfig is the template for per-node ingest clients; URL and
+	// BaseURL are overwritten per node. Tests inject fault transports
+	// and fast backoff here.
+	ClientConfig ingest.HTTPClientConfig
+	// Promote, when set, replaces the default promotion call (POST
+	// {follower}/v1/promote) and returns the promoted node's base URL.
+	Promote func(ctx context.Context, n NodeConfig) (string, error)
+	// Metrics, when set, registers gateway series.
+	Metrics *obs.Registry
+	// Logf, when set, receives lifecycle and failure lines.
+	Logf func(format string, args ...any)
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.SendPasses <= 0 {
+		c.SendPasses = 8
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	return c
+}
+
+// gwNode is one cluster slot's runtime state.
+type gwNode struct {
+	idx int
+	cfg NodeConfig
+
+	url      atomic.Value // string: current base URL (leader, then follower)
+	client   atomic.Pointer[ingest.HTTPClient]
+	jobs     chan *pushJob
+	fails    atomic.Int32 // consecutive failed health checks
+	promoted atomic.Bool  // failover done; no second standby
+
+	unhealthy *obs.Gauge
+}
+
+func (n *gwNode) currentURL() string { return n.url.Load().(string) }
+
+// pushJob is one node's share of an ingest request.
+type pushJob struct {
+	ctx  context.Context
+	recs []ingest.Record
+	done chan error // buffered(1): sender never blocks answering
+}
+
+// Gateway is the cluster front door. It speaks the same API as a
+// single availd — POST /v1/ingest, GET /v1/summary, /v1/availability/cdf,
+// /v1/state — over N nodes:
+//
+//   - Writes are partitioned by the consistent-hash ring (whole swarms,
+//     never split) and fanned out through per-node retrying clients,
+//     one in-order sender per node. The request is acknowledged only
+//     when every node has journaled its share; a partial failure is
+//     reported as 503 and acknowledges nothing, so the monitor's
+//     retry preserves at-least-once delivery end to end.
+//   - Reads scatter-gather /v1/state from every node and merge with
+//     Summary.Merge. The merge algebra is exact (integer counters and
+//     sketch bin counts), the merge order is fixed (slot order), and
+//     the rendering is the same code a single availd runs — so the
+//     merged responses are byte-identical to a lone node that saw the
+//     whole stream.
+//   - A health loop probes each leader's /v1/healthz; FailAfter
+//     consecutive misses promote the slot's follower and swap the
+//     slot's client, redirecting queued and future pushes.
+type Gateway struct {
+	cfg   GatewayConfig
+	ring  *Ring
+	nodes []*gwNode
+
+	healthClient *http.Client
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	records   *obs.Counter
+	batches   *obs.Counter
+	pushFails *obs.Counter
+	failovers *obs.Counter
+}
+
+// NewGateway builds and starts a gateway: senders and the health loop
+// are running when it returns. Close stops them.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: gateway needs at least one node")
+	}
+	ring, err := NewRing(len(cfg.Nodes), cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:          cfg,
+		ring:         ring,
+		healthClient: &http.Client{Timeout: cfg.HealthEvery},
+		stop:         make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		g.records = reg.Counter("gateway_ingest_records_total")
+		g.batches = reg.Counter("gateway_ingest_batches_total")
+		g.pushFails = reg.Counter("gateway_push_failures_total")
+		g.failovers = reg.Counter("gateway_failovers_total")
+	}
+	for i, nc := range cfg.Nodes {
+		if nc.URL == "" {
+			return nil, fmt.Errorf("cluster: node %d has no URL", i)
+		}
+		n := &gwNode{idx: i, cfg: nc, jobs: make(chan *pushJob, cfg.QueueDepth)}
+		n.url.Store(nc.URL)
+		n.client.Store(g.newClient(nc.URL))
+		if reg := cfg.Metrics; reg != nil {
+			n.unhealthy = reg.Gauge("gateway_node_unhealthy", obs.L("node", nc.name()))
+		}
+		g.nodes = append(g.nodes, n)
+	}
+	for _, n := range g.nodes {
+		g.wg.Add(1)
+		go g.sender(n)
+	}
+	g.wg.Add(1)
+	go g.healthLoop()
+	return g, nil
+}
+
+// newClient builds a node client from the config template.
+func (g *Gateway) newClient(baseURL string) *ingest.HTTPClient {
+	cc := g.cfg.ClientConfig
+	cc.URL, cc.BaseURL = "", baseURL
+	return ingest.NewHTTPClient(cc)
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// Ring exposes the routing table (tests assert placement with it).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// NodeURL returns slot i's current base URL (the follower's after a
+// promotion).
+func (g *Gateway) NodeURL(i int) string { return g.nodes[i].currentURL() }
+
+// Close stops the senders and health loop, failing any queued pushes.
+func (g *Gateway) Close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(g.stop)
+	g.wg.Wait()
+	// Senders are gone; anything still buffered can only be answered
+	// here. done is buffered, so this never blocks.
+	for _, n := range g.nodes {
+		for {
+			select {
+			case job := <-n.jobs:
+				job.done <- ErrGatewayClosed
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// sender delivers one node's pushes in order. In-order matters: records
+// for a swarm are an event stream, and the engine applies them in
+// arrival order, so the gateway must never let batch k+1 overtake
+// batch k on its node.
+func (g *Gateway) sender(n *gwNode) {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case job := <-n.jobs:
+			job.done <- g.deliver(n, job)
+		}
+	}
+}
+
+// deliver pushes one job, re-resolving the node's client between
+// passes so a failover mid-push redirects the retry to the promoted
+// follower rather than hammering a corpse.
+func (g *Gateway) deliver(n *gwNode, job *pushJob) error {
+	var lastErr error
+	for pass := 1; pass <= g.cfg.SendPasses; pass++ {
+		if err := job.ctx.Err(); err != nil {
+			return err
+		}
+		client := n.client.Load()
+		err := client.Push(job.ctx, job.recs)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		g.pushFails.Inc()
+		g.logf("gateway: push to %s failed (pass %d/%d): %v", n.cfg.name(), pass, g.cfg.SendPasses, err)
+		if pass == g.cfg.SendPasses {
+			break
+		}
+		// Give the health loop a beat to notice and promote before the
+		// next pass re-resolves the client.
+		select {
+		case <-job.ctx.Done():
+			return job.ctx.Err()
+		case <-g.stop:
+			return lastErr
+		case <-time.After(g.cfg.HealthEvery):
+		}
+	}
+	return lastErr
+}
+
+// healthLoop probes each slot's current leader and promotes its
+// follower after FailAfter consecutive misses.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		}
+		for _, n := range g.nodes {
+			if n.promoted.Load() {
+				continue // one standby per slot; nothing left to do
+			}
+			if g.healthy(n) {
+				n.fails.Store(0)
+				n.unhealthy.Set(0)
+				continue
+			}
+			fails := n.fails.Add(1)
+			n.unhealthy.Set(1)
+			g.logf("gateway: %s failed health check (%d/%d)", n.cfg.name(), fails, g.cfg.FailAfter)
+			if int(fails) >= g.cfg.FailAfter && n.cfg.Follower != "" {
+				g.failover(n)
+			}
+		}
+	}
+}
+
+func (g *Gateway) healthy(n *gwNode) bool {
+	resp, err := g.healthClient.Get(n.currentURL() + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// failover promotes n's follower and swaps the slot's client. A failed
+// promotion is retried on the next health tick (the miss counter stays
+// over threshold).
+func (g *Gateway) failover(n *gwNode) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	promote := g.cfg.Promote
+	if promote == nil {
+		promote = g.httpPromote
+	}
+	newURL, err := promote(ctx, n.cfg)
+	if err != nil {
+		g.logf("gateway: promoting follower of %s: %v", n.cfg.name(), err)
+		return
+	}
+	n.promoted.Store(true)
+	n.url.Store(newURL)
+	n.client.Store(g.newClient(newURL))
+	n.fails.Store(0)
+	n.unhealthy.Set(0)
+	g.failovers.Inc()
+	g.logf("gateway: promoted follower of %s at %s", n.cfg.name(), newURL)
+}
+
+// httpPromote is the default promotion: POST {follower}/v1/promote and
+// route to the follower once it answers 200 (it does so only after
+// recovering the shipped state and swapping into serving mode).
+func (g *Gateway) httpPromote(ctx context.Context, n NodeConfig) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.Follower+"/v1/promote", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		return "", err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("cluster: promote %s: %s", n.Follower, resp.Status)
+	}
+	return n.Follower, nil
+}
+
+// Handler returns the gateway's HTTP API: the availd read/write surface
+// served cluster-wide.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+	})
+	mux.HandleFunc("POST /v1/ingest", g.handleIngest)
+	mux.HandleFunc("GET /v1/summary", g.handleSummary)
+	mux.HandleFunc("GET /v1/availability/cdf", g.handleCDF)
+	mux.HandleFunc("GET /v1/state", g.handleState)
+	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	if reg := g.cfg.Metrics; reg != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+		mux.Handle("GET /debug/vars", obs.VarsHandler(reg))
+	}
+	return mux
+}
+
+// maxIngestBody mirrors availd's request bound.
+const maxIngestBody = 32 << 20
+
+// handleIngest partitions the batch by swarm across the ring and fans
+// it out. 200 {"accepted": n} means every node journaled its share; any
+// other outcome acknowledges nothing, and the retrying client replays
+// the batch — nodes that did accept their share see the replay again
+// (at-least-once, the same contract a lone availd's lost-ack retry
+// already imposes).
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
+	sc := trace.NewScanner[ingest.Record](r.Body)
+	perNode := make([][]ingest.Record, len(g.nodes))
+	n := 0
+	for sc.Scan() {
+		rec := sc.Record()
+		slot := g.ring.Node(rec.SwarmID)
+		perNode[slot] = append(perNode[slot], rec)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad record %d: %v", n, err), http.StatusBadRequest)
+		return
+	}
+
+	jobs := make([]*pushJob, 0, len(g.nodes))
+	for slot, recs := range perNode {
+		if len(recs) == 0 {
+			continue
+		}
+		job := &pushJob{ctx: r.Context(), recs: recs, done: make(chan error, 1)}
+		select {
+		case g.nodes[slot].jobs <- job:
+			jobs = append(jobs, job)
+		case <-r.Context().Done():
+			http.Error(w, "client gone", http.StatusServiceUnavailable)
+			return
+		case <-g.stop:
+			http.Error(w, ErrGatewayClosed.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	var firstErr error
+	for _, job := range jobs {
+		select {
+		case err := <-job.done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-g.stop:
+			if firstErr == nil {
+				firstErr = ErrGatewayClosed
+			}
+		}
+	}
+	if firstErr != nil {
+		http.Error(w, firstErr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	g.batches.Inc()
+	g.records.Add(uint64(n))
+	ingest.WriteJSON(w, map[string]int{"accepted": n})
+}
+
+// merged scatter-gathers every node's /v1/state and merges in slot
+// order. All-or-nothing: a partial merge would silently undercount, so
+// one unreachable node fails the read.
+func (g *Gateway) merged(ctx context.Context) (*ingest.Summary, error) {
+	sums := make([]*ingest.Summary, len(g.nodes))
+	errs := make([]error, len(g.nodes))
+	var wg sync.WaitGroup
+	for i, n := range g.nodes {
+		wg.Add(1)
+		go func(i int, n *gwNode) {
+			defer wg.Done()
+			sums[i], errs[i] = n.client.Load().FetchState(ctx)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", g.nodes[i].cfg.name(), err)
+		}
+	}
+	merged := ingest.NewSummary()
+	for _, s := range sums {
+		merged.Merge(s)
+	}
+	return merged, nil
+}
+
+func (g *Gateway) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum, err := g.merged(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	ingest.WriteSummary(w, sum)
+}
+
+func (g *Gateway) handleCDF(w http.ResponseWriter, r *http.Request) {
+	qs, err := ingest.ParseQuantiles(r.URL.Query().Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sum, merr := g.merged(r.Context())
+	if merr != nil {
+		http.Error(w, merr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	ingest.WriteCDF(w, sum, qs)
+}
+
+func (g *Gateway) handleState(w http.ResponseWriter, r *http.Request) {
+	sum, err := g.merged(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	ingest.WriteState(w, sum)
+}
+
+// clusterNodeStatus is one slot in the GET /v1/cluster body.
+type clusterNodeStatus struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Follower string `json:"follower,omitempty"`
+	Promoted bool   `json:"promoted"`
+	Fails    int    `json:"consecutive_health_failures"`
+}
+
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Nodes []clusterNodeStatus `json:"nodes"`
+	}{}
+	for _, n := range g.nodes {
+		out.Nodes = append(out.Nodes, clusterNodeStatus{
+			Name:     n.cfg.name(),
+			URL:      n.currentURL(),
+			Follower: n.cfg.Follower,
+			Promoted: n.promoted.Load(),
+			Fails:    int(n.fails.Load()),
+		})
+	}
+	ingest.WriteJSON(w, out)
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/trace"
+)
+
+// testNode is an in-process stand-in for one availd: engine plus the
+// slice of the API the gateway talks to.
+type testNode struct {
+	e       *ingest.Engine
+	srv     *httptest.Server
+	healthy atomic.Bool
+	failAll atomic.Bool // 500 every ingest, for partial-failure tests
+}
+
+func newTestNode(t *testing.T) *testNode {
+	t.Helper()
+	n := startTestNode(ingest.Config{Shards: 2, BatchSize: 16})
+	t.Cleanup(func() { n.srv.Close(); n.e.Close() })
+	return n
+}
+
+func startTestNode(cfg ingest.Config) *testNode {
+	n := &testNode{e: ingest.New(cfg)}
+	n.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if n.failAll.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		sc := trace.NewScanner[ingest.Record](r.Body)
+		var ops []ingest.Op
+		for sc.Scan() {
+			ops = append(ops, ingest.EventOp(sc.Record()))
+		}
+		if err := sc.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := n.e.Submit(ops); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		ingest.WriteJSON(w, map[string]int{"accepted": len(ops)})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		n.e.Flush()
+		ingest.WriteState(w, n.e.Summary())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, `{"state":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+	})
+	n.srv = httptest.NewServer(mux)
+	return n
+}
+
+// fastClient is a retry-quick client template for tests.
+var fastClient = ingest.HTTPClientConfig{
+	MaxAttempts: 3,
+	BackoffBase: 2 * time.Millisecond,
+	BackoffCap:  10 * time.Millisecond,
+}
+
+func mkRecords(n, swarms, salt int) []ingest.Record {
+	recs := make([]ingest.Record, n)
+	for i := range recs {
+		recs[i] = ingest.Record{
+			SwarmID: (salt*n + i) % swarms,
+			PeerID:  uint64(salt + 1),
+			Seed:    i%3 != 2,
+			Online:  (salt+i)%2 == 0,
+			Time:    float64(salt*1000+i) / 100,
+		}
+	}
+	return recs
+}
+
+// TestGatewayFanOutMergedReads is the heart of the scatter-gather
+// contract: the gateway's /v1/summary and /v1/availability/cdf over a
+// 3-node cluster must be byte-identical to a single availd that saw
+// the whole stream.
+func TestGatewayFanOutMergedReads(t *testing.T) {
+	nodes := []*testNode{newTestNode(t), newTestNode(t), newTestNode(t)}
+	cfg := GatewayConfig{
+		Nodes: []NodeConfig{
+			{Name: "n0", URL: nodes[0].srv.URL},
+			{Name: "n1", URL: nodes[1].srv.URL},
+			{Name: "n2", URL: nodes[2].srv.URL},
+		},
+		ClientConfig: fastClient,
+		HealthEvery:  time.Hour, // health out of the way
+		Logf:         t.Logf,
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	ref := ingest.New(ingest.Config{Shards: 2, BatchSize: 16})
+	defer ref.Close()
+
+	client := ingest.NewHTTPClient(func() ingest.HTTPClientConfig {
+		c := fastClient
+		c.BaseURL = gw.URL
+		return c
+	}())
+	const swarms = 151
+	for batch := 0; batch < 12; batch++ {
+		recs := mkRecords(64, swarms, batch)
+		if err := client.Push(context.Background(), recs); err != nil {
+			t.Fatalf("push %d: %v", batch, err)
+		}
+		ops := make([]ingest.Op, len(recs))
+		for i, rec := range recs {
+			ops[i] = ingest.EventOp(rec)
+		}
+		if err := ref.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Flush()
+
+	// Every swarm must live on exactly one node, and the populations
+	// must add up.
+	total := 0
+	for i, n := range nodes {
+		n.e.Flush()
+		got := n.e.Summary().Swarms
+		if got == 0 {
+			t.Fatalf("node %d holds no swarms; ring is not spreading", i)
+		}
+		total += got
+	}
+	if total != swarms {
+		t.Fatalf("nodes hold %d swarms total, want %d (a swarm was split or lost)", total, swarms)
+	}
+
+	fetch := func(base, path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	render := func(write func(w http.ResponseWriter)) string {
+		rec := httptest.NewRecorder()
+		write(rec)
+		return rec.Body.String()
+	}
+
+	refSum := ref.Summary()
+	if got, want := fetch(gw.URL, "/v1/summary"),
+		render(func(w http.ResponseWriter) { ingest.WriteSummary(w, refSum) }); got != want {
+		t.Fatalf("merged /v1/summary diverged from single-engine answer\n--- gateway ---\n%s--- reference ---\n%s", got, want)
+	}
+	if got, want := fetch(gw.URL, "/v1/availability/cdf"),
+		render(func(w http.ResponseWriter) { ingest.WriteCDF(w, refSum, ingest.DefaultCDFQuantiles) }); got != want {
+		t.Fatalf("merged /v1/availability/cdf diverged\n--- gateway ---\n%s--- reference ---\n%s", got, want)
+	}
+	if got, want := fetch(gw.URL, "/v1/state"),
+		render(func(w http.ResponseWriter) { ingest.WriteState(w, refSum) }); got != want {
+		t.Fatalf("merged /v1/state diverged\n--- gateway ---\n%s--- reference ---\n%s", got, want)
+	}
+}
+
+// TestGatewayPartialFailureNoAck: if any node cannot journal its share,
+// the gateway must not acknowledge the batch.
+func TestGatewayPartialFailureNoAck(t *testing.T) {
+	good, bad := newTestNode(t), newTestNode(t)
+	bad.failAll.Store(true)
+	cfg := GatewayConfig{
+		Nodes: []NodeConfig{
+			{Name: "good", URL: good.srv.URL},
+			{Name: "bad", URL: bad.srv.URL},
+		},
+		ClientConfig: func() ingest.HTTPClientConfig {
+			c := fastClient
+			c.MaxAttempts = 2
+			return c
+		}(),
+		SendPasses:  1,
+		HealthEvery: time.Hour,
+		Logf:        t.Logf,
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	client := ingest.NewHTTPClient(func() ingest.HTTPClientConfig {
+		c := fastClient
+		c.MaxAttempts = 1
+		c.BaseURL = gw.URL
+		return c
+	}())
+	err = client.Push(context.Background(), mkRecords(64, 51, 0))
+	if err == nil {
+		t.Fatal("gateway acknowledged a batch one node refused to journal")
+	}
+	t.Logf("push correctly failed: %v", err)
+}
+
+// TestGatewayFailover: when a node dies, the health loop promotes its
+// follower and in-flight pushes land there.
+func TestGatewayFailover(t *testing.T) {
+	alive, dying, standby := newTestNode(t), newTestNode(t), newTestNode(t)
+	var promoteCalls atomic.Int32
+	cfg := GatewayConfig{
+		Nodes: []NodeConfig{
+			{Name: "n0", URL: alive.srv.URL},
+			{Name: "n1", URL: dying.srv.URL, Follower: standby.srv.URL},
+		},
+		ClientConfig: fastClient,
+		HealthEvery:  20 * time.Millisecond,
+		FailAfter:    2,
+		SendPasses:   40,
+		Promote: func(ctx context.Context, n NodeConfig) (string, error) {
+			promoteCalls.Add(1)
+			return n.Follower, nil
+		},
+		Logf: t.Logf,
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	client := ingest.NewHTTPClient(func() ingest.HTTPClientConfig {
+		c := fastClient
+		c.MaxAttempts = 2
+		c.BaseURL = gw.URL
+		return c
+	}())
+	if err := client.Push(context.Background(), mkRecords(64, 51, 0)); err != nil {
+		t.Fatalf("pre-failure push: %v", err)
+	}
+
+	// Kill node 1: its listener vanishes, pushes and health checks fail.
+	dying.srv.Close()
+
+	// This push includes swarms homed on the dead node; the sender must
+	// ride through the failover and land them on the standby.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.Push(ctx, mkRecords(64, 51, 1)); err != nil {
+		t.Fatalf("push during failover: %v", err)
+	}
+	if promoteCalls.Load() != 1 {
+		t.Fatalf("promote called %d times, want 1", promoteCalls.Load())
+	}
+	if g.NodeURL(1) != standby.srv.URL {
+		t.Fatalf("slot 1 routes to %s, want standby %s", g.NodeURL(1), standby.srv.URL)
+	}
+	standby.e.Flush()
+	if standby.e.Summary().Events == 0 {
+		t.Fatal("standby received no records after promotion")
+	}
+	t.Logf("standby holds %d events after failover", standby.e.Summary().Events)
+}

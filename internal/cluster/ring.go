@@ -1,0 +1,94 @@
+// Package cluster scales the ingest pipeline past one availd process:
+// a consistent-hash ring partitions the swarm keyspace across N nodes
+// (the same "partition by swarm, never split a swarm" rule that
+// internal/ingest's shards apply within a process, lifted one level
+// up), a gateway fans writes out and scatter-gathers reads back
+// through Summary.Merge, and a WAL-shipping follower gives each node a
+// warm standby the gateway can promote when health checks mark the
+// leader dead.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per physical node. Imbalance
+// under consistent hashing falls roughly with 1/sqrt(vnodes); 256
+// points per node keeps the largest share within ~10% of fair for a
+// handful of nodes while ring construction and lookups stay trivial
+// (the whole table is nodes×256 entries, binary-searched).
+const DefaultVnodes = 256
+
+// Ring is an immutable consistent-hash ring mapping swarm ids to node
+// indices. Immutability is the point: the gateway builds one ring at
+// startup and every request hashes against the same table, so a swarm's
+// home node never changes while the cluster membership doesn't —
+// failover replaces the process behind a slot, not the slot itself.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring over nodes physical nodes with vnodes virtual
+// points each (vnodes <= 0 selects DefaultVnodes).
+func NewRing(nodes, vnodes int) (*Ring, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node, got %d", nodes)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, nodes*vnodes), nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "node-%d/vnode-%d", n, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Deterministic tie-break so two gateways built from the same
+		// membership agree even on (vanishingly unlikely) hash collisions.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the physical node count.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Node maps a swarm id to its home node index. The key is mixed through
+// the same splitmix64 finalizer internal/ingest uses for shard routing:
+// swarm ids are small sequential integers, and an unmixed key would
+// walk the ring instead of spraying across it.
+func (r *Ring) Node(swarmID int) int {
+	key := mix64(uint64(swarmID))
+	// First ring point at or clockwise-after the key; wrap to the start.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// mix64 is the splitmix64 finalizer — the same mix as ingest's
+// shardIndex, so both levels of partitioning treat dense integer ids
+// as uniform keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

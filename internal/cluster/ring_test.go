@@ -1,0 +1,92 @@
+package cluster
+
+import "testing"
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 10_000; id++ {
+		if a.Node(id) != b.Node(id) {
+			t.Fatalf("swarm %d routes to %d on one ring, %d on another", id, a.Node(id), b.Node(id))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nodes, swarms = 3, 30_000
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, nodes)
+	for id := 0; id < swarms; id++ {
+		n := r.Node(id)
+		if n < 0 || n >= nodes {
+			t.Fatalf("swarm %d routed to out-of-range node %d", id, n)
+		}
+		counts[n]++
+	}
+	// Consistent hashing with 64 vnodes is not perfectly even, but every
+	// node must carry a real share: at least half of fair.
+	fair := swarms / nodes
+	for n, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("node %d holds %d of %d swarms (fair share %d): ring badly unbalanced %v",
+				n, c, swarms, fair, counts)
+		}
+	}
+	t.Logf("placement across %d nodes: %v", nodes, counts)
+}
+
+// TestRingSingleNode: with one node, everything routes to it.
+func TestRingSingleNode(t *testing.T) {
+	r, err := NewRing(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 100; id++ {
+		if r.Node(id) != 0 {
+			t.Fatalf("swarm %d routed to node %d on a 1-node ring", id, r.Node(id))
+		}
+	}
+}
+
+func TestRingRejectsEmptyMembership(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("NewRing(0, …) succeeded")
+	}
+}
+
+// TestRingStabilityUnderGrowth: adding a node moves some swarms (it
+// must — the new node needs a share) but leaves the majority of
+// placements untouched. That minimal-disruption property is why the
+// gateway hashes with a ring rather than mod-N.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	const swarms = 30_000
+	r3, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for id := 0; id < swarms; id++ {
+		if r3.Node(id) != r4.Node(id) {
+			moved++
+		}
+	}
+	// Ideal reshuffle moves 1/4 of keys; mod-N would move ~3/4. Assert
+	// we are much closer to the former.
+	if moved > swarms/2 {
+		t.Fatalf("%d of %d swarms moved when growing 3→4 nodes; consistent hashing should move ~1/4", moved, swarms)
+	}
+	t.Logf("3→4 nodes moved %d/%d swarms (ideal %d)", moved, swarms, swarms/4)
+}

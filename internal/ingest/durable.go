@@ -178,6 +178,38 @@ func OpenDurable(cfg Config, d DurabilityConfig) (*Engine, RecoveryStats, error)
 	return e, rs, nil
 }
 
+// WAL returns the engine's journal log, or nil for an engine without a
+// durability layer (one built by New). The cluster's WAL-shipping
+// endpoints read from it with Tail, which is safe alongside the
+// engine's appends.
+func (e *Engine) WAL() *wal.Log {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.log
+}
+
+// DurableDir returns the durability directory (WAL segments and
+// checkpoint files), or "" for a non-durable engine.
+func (e *Engine) DurableDir() string {
+	if e.journal == nil {
+		return ""
+	}
+	return e.journal.log.Dir()
+}
+
+// NewestCheckpoint reports the newest checkpoint file in dir: its path
+// and the WAL sequence it covers. ok is false when dir holds no
+// checkpoint. The WAL-shipping bootstrap path serves this file to a
+// follower whose catch-up point has been truncated out of the journal.
+func NewestCheckpoint(dir string) (path string, seq uint64, ok bool, err error) {
+	seqs, err := listCheckpoints(dir)
+	if err != nil || len(seqs) == 0 {
+		return "", 0, false, err
+	}
+	return checkpointPath(dir, seqs[0]), seqs[0], true, nil
+}
+
 // Checkpoint serializes the engine's full state to a checkpoint file in
 // the durability directory and drops the WAL segments it makes
 // redundant. Concurrent producers stall only for the snapshot capture

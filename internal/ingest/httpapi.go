@@ -1,0 +1,98 @@
+// HTTP response rendering shared by cmd/availd (single node) and
+// cmd/availgw (cluster gateway). Keeping the encoding in one place is
+// what makes the gateway's merged answers byte-identical to a single
+// node's: both sides render the same structs with the same encoder
+// settings, so equality of the underlying Summary is equality of the
+// bytes on the wire.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"swarmavail/internal/measure"
+)
+
+// WriteJSON renders v as indented JSON with the shared encoder settings.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SummaryResponse is the GET /v1/summary body: the summary's public
+// counters plus the §2 headline fractions.
+type SummaryResponse struct {
+	*Summary
+	Headlines measure.StudyHeadlines `json:"headlines"`
+}
+
+// WriteSummary renders sum as a /v1/summary response.
+func WriteSummary(w http.ResponseWriter, sum *Summary) {
+	WriteJSON(w, SummaryResponse{Summary: sum, Headlines: sum.Headlines()})
+}
+
+// DefaultCDFQuantiles is the quantile list served when the request does
+// not name one.
+var DefaultCDFQuantiles = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+// CDFResponse is the GET /v1/availability/cdf body.
+type CDFResponse struct {
+	Swarms     int                `json:"swarms"`
+	FirstMonth map[string]float64 `json:"first_month_quantiles"`
+	Full       map[string]float64 `json:"full_quantiles"`
+	// ToleranceAbs is the sketch resolution: every quantile is within
+	// this of the exact order statistic.
+	ToleranceAbs float64                `json:"tolerance_abs"`
+	Headlines    measure.StudyHeadlines `json:"headlines"`
+}
+
+// NewCDFResponse evaluates sum's availability sketches at qs.
+func NewCDFResponse(sum *Summary, qs []float64) CDFResponse {
+	resp := CDFResponse{
+		Swarms:       sum.StudySwarms,
+		FirstMonth:   make(map[string]float64, len(qs)),
+		Full:         make(map[string]float64, len(qs)),
+		ToleranceAbs: sum.Full.Resolution(),
+		Headlines:    sum.Headlines(),
+	}
+	for _, q := range qs {
+		key := strconv.FormatFloat(q, 'g', -1, 64)
+		resp.FirstMonth[key] = sum.FirstMonth.Quantile(q)
+		resp.Full[key] = sum.Full.Quantile(q)
+	}
+	return resp
+}
+
+// WriteCDF renders sum's quantiles at qs as a /v1/availability/cdf
+// response.
+func WriteCDF(w http.ResponseWriter, sum *Summary, qs []float64) {
+	WriteJSON(w, NewCDFResponse(sum, qs))
+}
+
+// ParseQuantiles parses a ?q=0.25,0.5,… list; an empty argument selects
+// DefaultCDFQuantiles.
+func ParseQuantiles(arg string) ([]float64, error) {
+	if arg == "" {
+		return DefaultCDFQuantiles, nil
+	}
+	var qs []float64
+	for _, part := range strings.Split(arg, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || q < 0 || q > 1 {
+			return nil, fmt.Errorf("bad quantile list")
+		}
+		qs = append(qs, q)
+	}
+	return qs, nil
+}
+
+// WriteState renders sum's full mergeable wire form — the scatter-gather
+// payload served on GET /v1/state.
+func WriteState(w http.ResponseWriter, sum *Summary) {
+	WriteJSON(w, sum.State())
+}

@@ -9,6 +9,9 @@ import (
 	"io"
 	mrand "math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,10 +19,15 @@ import (
 )
 
 // HTTPClientConfig parameterises an HTTPClient. The zero value (plus a
-// URL) selects sensible defaults.
+// URL or BaseURL) selects sensible defaults.
 type HTTPClientConfig struct {
 	// URL is the ingest endpoint (e.g. http://127.0.0.1:8647/v1/ingest).
+	// Derived from BaseURL when empty.
 	URL string
+	// BaseURL is the server root (e.g. http://127.0.0.1:8647) the GET
+	// helpers (FetchState, FetchSummary, FetchCDF) resolve against.
+	// Derived from URL when empty by trimming the /v1/ingest suffix.
+	BaseURL string
 	// Client is the underlying HTTP client (default: 30s timeout). Tests
 	// inject fault-wrapped transports here.
 	Client *http.Client
@@ -38,6 +46,12 @@ type HTTPClientConfig struct {
 }
 
 func (c HTTPClientConfig) withDefaults() HTTPClientConfig {
+	if c.URL == "" && c.BaseURL != "" {
+		c.URL = strings.TrimSuffix(c.BaseURL, "/") + "/v1/ingest"
+	}
+	if c.BaseURL == "" {
+		c.BaseURL = strings.TrimSuffix(c.URL, "/v1/ingest")
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -240,4 +254,104 @@ func (c *HTTPClient) pushOnce(ctx context.Context, payload []byte, n int) error 
 		return &fatalPushError{err: fmt.Errorf("ingest: server accepted %d of %d records", ack.Accepted, n)}
 	}
 	return nil
+}
+
+// getJSON fetches BaseURL+path and decodes the body into v, with the
+// same retry discipline as Push: transport errors, 5xx and 429 are
+// retried with capped jittered backoff; other 4xx are fatal.
+func (c *HTTPClient) getJSON(ctx context.Context, path string, v any) error {
+	target := c.cfg.BaseURL + path
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			wait := c.backoff(attempt - 1)
+			c.logf("ingest get %s failed (attempt %d/%d, retrying in %v): %v",
+				path, attempt-1, c.cfg.MaxAttempts, wait, lastErr)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		err := c.getOnce(ctx, target, v)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var fatal *fatalPushError
+		if errors.As(err, &fatal) {
+			return fatal.err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ingest: get %s failed after %d attempts: %w", path, c.cfg.MaxAttempts, lastErr)
+}
+
+func (c *HTTPClient) getOnce(ctx context.Context, target string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return &fatalPushError{err: err}
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err // transport error: retryable
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		statusErr := fmt.Errorf("ingest: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return statusErr
+		}
+		return &fatalPushError{err: statusErr}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("ingest: bad response body: %w", err)
+	}
+	return nil
+}
+
+// FetchState fetches the server's full mergeable summary state
+// (GET /v1/state) — the scatter-gather payload the cluster gateway
+// merges across nodes via Summary.Merge.
+func (c *HTTPClient) FetchState(ctx context.Context) (*Summary, error) {
+	var st SummaryState
+	if err := c.getJSON(ctx, "/v1/state", &st); err != nil {
+		return nil, err
+	}
+	return st.Summary()
+}
+
+// FetchSummary fetches the server's rendered GET /v1/summary response
+// (public counters + headlines; the sketches do not travel on this
+// endpoint — use FetchState for mergeable state).
+func (c *HTTPClient) FetchSummary(ctx context.Context) (*SummaryResponse, error) {
+	resp := &SummaryResponse{Summary: NewSummary()}
+	if err := c.getJSON(ctx, "/v1/summary", resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// FetchCDF fetches GET /v1/availability/cdf, asking for qs (nil = the
+// server's default quantile list).
+func (c *HTTPClient) FetchCDF(ctx context.Context, qs []float64) (*CDFResponse, error) {
+	path := "/v1/availability/cdf"
+	if len(qs) > 0 {
+		parts := make([]string, len(qs))
+		for i, q := range qs {
+			parts[i] = strconv.FormatFloat(q, 'g', -1, 64)
+		}
+		path += "?q=" + url.QueryEscape(strings.Join(parts, ","))
+	}
+	var resp CDFResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// partition splits xs into k non-empty-ish random groups. Groups may
+// come out empty — merging an empty partition must also be a no-op, so
+// that case is part of the property, not an error.
+func partition(rng *rand.Rand, xs []float64, k int) [][]float64 {
+	groups := make([][]float64, k)
+	for _, x := range xs {
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], x)
+	}
+	return groups
+}
+
+// TestQuantileSketchMergePartitionInvariant: feeding a stream through K
+// sketches split any which way and merging them back — in any order —
+// must reproduce the sequential sketch exactly. This is the property
+// the cluster gateway's scatter-gather reads stand on: byte-identical
+// merged answers regardless of how swarms were partitioned.
+func TestQuantileSketchMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix of in-range, boundary and out-of-range values so the
+			// under/over clamp paths merge correctly too.
+			switch rng.Intn(10) {
+			case 0:
+				xs[i] = -rng.Float64()
+			case 1:
+				xs[i] = 1 + rng.Float64()
+			default:
+				xs[i] = rng.Float64()
+			}
+		}
+
+		seq := NewAvailabilitySketch()
+		for _, x := range xs {
+			seq.Add(x)
+		}
+
+		k := 2 + rng.Intn(6)
+		parts := partition(rng, xs, k)
+		shards := make([]*QuantileSketch, k)
+		for i, part := range parts {
+			shards[i] = NewAvailabilitySketch()
+			for _, x := range part {
+				shards[i].Add(x)
+			}
+		}
+		merged := NewAvailabilitySketch()
+		for _, i := range rng.Perm(k) {
+			merged.Merge(shards[i])
+		}
+
+		seqJSON, err := json.Marshal(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mergedJSON, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(seqJSON) != string(mergedJSON) {
+			t.Fatalf("trial %d (n=%d, k=%d): merged sketch differs from sequential\nseq:    %s\nmerged: %s",
+				trial, n, k, seqJSON, mergedJSON)
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			if a, b := seq.Quantile(q), merged.Quantile(q); a != b {
+				t.Fatalf("trial %d: quantile(%g) %v != %v", trial, q, a, b)
+			}
+		}
+	}
+}
+
+// TestAccumulatorMergePartitionInvariant: the moment accumulator is
+// float-order-sensitive, so partition merges agree with the sequential
+// result only to rounding — but that rounding must stay tiny (the
+// relative error of a handful of reassociations), and the exact fields
+// (n, min, max) must match exactly.
+func TestAccumulatorMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	relClose := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-9*scale
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(3000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*50 + 10
+		}
+
+		var seq Accumulator
+		seq.AddAll(xs)
+
+		k := 2 + rng.Intn(6)
+		parts := partition(rng, xs, k)
+		accs := make([]*Accumulator, k)
+		for i, part := range parts {
+			accs[i] = &Accumulator{}
+			accs[i].AddAll(part)
+		}
+		var merged Accumulator
+		for _, i := range rng.Perm(k) {
+			merged.Merge(accs[i])
+		}
+
+		if merged.N() != seq.N() {
+			t.Fatalf("trial %d: merged n=%d, sequential n=%d", trial, merged.N(), seq.N())
+		}
+		if merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+			t.Fatalf("trial %d: min/max (%v,%v) != (%v,%v)",
+				trial, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+		}
+		if !relClose(merged.Mean(), seq.Mean()) {
+			t.Fatalf("trial %d: mean %v vs %v", trial, merged.Mean(), seq.Mean())
+		}
+		if !relClose(merged.Var(), seq.Var()) {
+			t.Fatalf("trial %d: var %v vs %v", trial, merged.Var(), seq.Var())
+		}
+	}
+}
+
+// TestSketchJSONRoundTripExact: marshalling and unmarshalling a sketch
+// must preserve it bit-for-bit — the WAL checkpoint and the gateway's
+// /v1/state scatter-gather both ride on this.
+func TestSketchJSONRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewAvailabilitySketch()
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.Float64() * 1.2)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QuantileSketch
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("sketch JSON round-trip not exact:\n%s\n%s", raw, raw2)
+	}
+}

@@ -1,6 +1,11 @@
 package stats
 
-import "math"
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
 
 // QuantileSketch is a mergeable, fixed-resolution quantile summary over
 // a bounded value range [Lo, Hi]: a histogram with equal-width bins plus
@@ -171,6 +176,70 @@ func (s *QuantileSketch) Quantile(q float64) float64 {
 		}
 	}
 	return s.max
+}
+
+// sketchJSON is the wire form of a QuantileSketch: the full geometry
+// plus the non-zero bins as [bin, count] pairs, so a sparse sketch (the
+// common case — a few thousand swarms over 4096 bins) stays compact and
+// a round trip is lossless. Floats survive encoding/json bitwise (Go
+// emits the shortest representation that parses back exactly), which is
+// what lets a gateway-merged sketch equal a locally merged one.
+type sketchJSON struct {
+	Lo     float64     `json:"lo"`
+	Hi     float64     `json:"hi"`
+	Bins   int         `json:"bins"`
+	N      uint64      `json:"n"`
+	Min    float64     `json:"min"`
+	Max    float64     `json:"max"`
+	Counts [][2]uint64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. The scatter-gather read path
+// (internal/cluster) ships per-node sketches in this form and merges
+// them with Merge; the round trip is exact.
+func (s *QuantileSketch) MarshalJSON() ([]byte, error) {
+	w := sketchJSON{Lo: s.Lo, Hi: s.Hi, Bins: len(s.counts), N: s.n, Min: s.min, Max: s.max}
+	for i, c := range s.counts {
+		if c != 0 {
+			w.Counts = append(w.Counts, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. It validates the geometry
+// and bin indices (wire data may come from a foreign node), so a decoded
+// sketch is always safe to Merge or query.
+func (s *QuantileSketch) UnmarshalJSON(data []byte) error {
+	var w sketchJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Bins <= 0 || !(w.Hi > w.Lo) {
+		return errors.New("stats: sketch wire form needs hi > lo and positive bins")
+	}
+	if width := w.Hi - w.Lo; math.IsNaN(width) || math.IsInf(width, 0) {
+		return errors.New("stats: sketch wire form needs finite bounds")
+	}
+	counts := make([]uint64, w.Bins)
+	var total uint64
+	for _, pair := range w.Counts {
+		if pair[0] >= uint64(w.Bins) {
+			return fmt.Errorf("stats: sketch wire bin %d out of range (%d bins)", pair[0], w.Bins)
+		}
+		counts[pair[0]] += pair[1]
+		total += pair[1]
+	}
+	if total != w.N {
+		return fmt.Errorf("stats: sketch wire counts sum to %d, header says %d", total, w.N)
+	}
+	s.Lo, s.Hi, s.counts, s.n = w.Lo, w.Hi, counts, w.N
+	if w.N == 0 {
+		s.min, s.max = 0, 0
+	} else {
+		s.min, s.max = w.Min, w.Max
+	}
+	return nil
 }
 
 // At returns the estimated CDF value F(x) = P[X ≤ x]: the fraction of

@@ -475,6 +475,23 @@ func (l *Log) LastSeq() uint64 {
 	return l.nextSeq - 1
 }
 
+// FirstSeq returns the sequence number of the oldest frame still on
+// disk, or 0 when the log holds no frames (empty, or fully truncated by
+// a checkpoint). Together with LastSeq it bounds what Tail can serve: a
+// reader asking for a sequence below FirstSeq must bootstrap from a
+// checkpoint instead.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.sealed) > 0 {
+		return l.sealed[0].base
+	}
+	if l.f != nil && l.active.frames > 0 {
+		return l.active.base
+	}
+	return 0
+}
+
 // Segments returns the number of on-disk segment files.
 func (l *Log) Segments() int {
 	l.mu.Lock()
@@ -490,6 +507,23 @@ func (l *Log) Segments() int {
 // A non-nil error from fn aborts the replay and is returned. Replay
 // must not run concurrently with Append.
 func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, payload []byte) error) error {
+	return l.Tail(fromSeq, fn)
+}
+
+// Tail streams every frame with sequence ≥ fromSeq that existed when the
+// call was made, in order, to fn. Unlike Replay's contract, Tail is safe
+// to run concurrently with Append: it snapshots the segment list (and
+// the active segment's valid length) under the lock, then reads only
+// that prefix — frames appended afterwards are simply not served, and a
+// torn tail beyond the snapshot is never touched. This is the WAL-
+// shipping read path: a follower polls Tail-backed HTTP responses while
+// the leader keeps appending.
+//
+// A segment deleted mid-read (checkpoint truncation racing the tail)
+// surfaces as a file-open error; callers that poll should treat it as a
+// cue to re-check FirstSeq and bootstrap from a checkpoint if a gap
+// opened.
+func (l *Log) Tail(fromSeq uint64, fn func(seq uint64, payload []byte) error) error {
 	l.mu.Lock()
 	segs := make([]segment, 0, len(l.sealed)+1)
 	segs = append(segs, l.sealed...)

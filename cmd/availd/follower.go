@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,6 +148,17 @@ func (fs *followerServer) standbyHandler() http.Handler {
 // shipped state, swap the full availd API in. 200 means the node is
 // serving — the caller can route traffic the moment this returns.
 func (fs *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	// The promoter stamps the successor epoch; a manual (unstamped)
+	// promote bumps past whatever epoch the shipped data dir carries.
+	var promoteEpoch uint64
+	if stamp := r.Header.Get(cluster.EpochHeader); stamp != "" {
+		e, err := strconv.ParseUint(stamp, 10, 64)
+		if err != nil || e == 0 {
+			http.Error(w, "bad "+cluster.EpochHeader+" header", http.StatusBadRequest)
+			return
+		}
+		promoteEpoch = e
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.promoted {
@@ -163,7 +175,25 @@ func (fs *followerServer) handlePromote(w http.ResponseWriter, r *http.Request) 
 	reg := e.Registry()
 	obs.RegisterProcessMetrics(reg)
 	registerSummaryMetrics(reg, e)
-	s := &server{engine: e, dataDir: fs.opts.dataDir}
+	gate, err := cluster.OpenEpochGate(fs.opts.dataDir, reg, func(format string, args ...any) {
+		if fs.opts.logger != nil {
+			fs.opts.logger.Warn(fmt.Sprintf(format, args...))
+		}
+	})
+	if err != nil {
+		e.Close()
+		http.Error(w, fmt.Sprintf("promote: epoch gate: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if promoteEpoch == 0 {
+		promoteEpoch = gate.Epoch() + 1
+	}
+	if err := gate.Adopt(promoteEpoch); err != nil {
+		e.Close()
+		http.Error(w, fmt.Sprintf("promote: %v", err), http.StatusConflict)
+		return
+	}
+	s := &server{engine: e, dataDir: fs.opts.dataDir, gate: gate}
 	h := obs.InstrumentHandler(reg, "api", s.handler())
 	fs.handler.Store(handlerBox{obs.LogRequests(fs.opts.logger, h)})
 	fs.promoted, fs.engine, fs.server = true, e, s

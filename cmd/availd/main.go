@@ -272,7 +272,18 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 	obs.RegisterProcessMetrics(reg)
 	registerSummaryMetrics(reg, e)
 
-	s := &server{engine: e, dataDir: opts.dataDir}
+	// The epoch gate is opened even without a data dir (memory-only) so
+	// the cluster_epoch/fencing series exist on every configuration and
+	// a stamped request fences an in-memory node the same way.
+	gate, err := cluster.OpenEpochGate(opts.dataDir, reg, func(format string, args ...any) {
+		if opts.logger != nil {
+			opts.logger.Warn(fmt.Sprintf(format, args...))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s := &server{engine: e, dataDir: opts.dataDir, gate: gate}
 	h := obs.InstrumentHandler(reg, "api", s.handler())
 	h = obs.LogRequests(opts.logger, h)
 
@@ -647,6 +658,10 @@ type server struct {
 	// dataDir gates the WAL-shipping endpoints: only a durable node has
 	// a journal a follower can replicate.
 	dataDir string
+	// gate, when non-nil, wraps the API in cluster epoch fencing: every
+	// response carries this node's slot epoch, and requests from a newer
+	// era demote the node (see cluster.EpochGate).
+	gate *cluster.EpochGate
 	// draining flips /v1/healthz to 503 ahead of shutdown so the
 	// gateway's health checks stop routing here before the listener
 	// closes.
@@ -677,6 +692,9 @@ func (s *server) handler() http.Handler {
 	// analytical gauges — nothing is copied field by field here.
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.engine.Registry()))
 	mux.Handle("GET /debug/vars", obs.VarsHandler(s.engine.Registry()))
+	if s.gate != nil {
+		return s.gate.Middleware(mux)
+	}
 	return mux
 }
 
@@ -691,6 +709,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"state":"draining"}`)
+		return
+	}
+	if s.gate != nil && s.gate.Fenced() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"state":"fenced"}`)
 		return
 	}
 	writeJSON(w, map[string]string{"state": "serving"})
@@ -793,6 +817,19 @@ const parallelIngestBody = 1 << 20
 // under -data-dir with the default fsync policy, on stable storage) —
 // state a graceful shutdown drains before exiting.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Idempotency key headers select the exactly-once path: a retried
+	// batch whose first attempt was journaled (its ack lost in flight) is
+	// acknowledged again without re-applying.
+	source := r.Header.Get(ingest.HeaderSource)
+	var seq uint64
+	if source != "" {
+		var err error
+		seq, err = strconv.ParseUint(r.Header.Get(ingest.HeaderSeq), 10, 64)
+		if err != nil || seq == 0 {
+			http.Error(w, "bad "+ingest.HeaderSeq+" header", http.StatusBadRequest)
+			return
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
 	var src trace.Source[ingest.Record]
 	if r.ContentLength >= parallelIngestBody {
@@ -816,7 +853,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad record %d: %v", len(ops), err), http.StatusBadRequest)
 		return
 	}
-	if err := s.engine.Submit(ops); err != nil {
+	if source != "" {
+		// applied=false means the batch was a duplicate: still a full
+		// acknowledgement (the records are journaled and applied — once).
+		if _, err := s.engine.SubmitKeyed(source, seq, ops); err != nil {
+			ingestUnavailable(w, err)
+			return
+		}
+	} else if err := s.engine.Submit(ops); err != nil {
 		ingestUnavailable(w, err)
 		return
 	}

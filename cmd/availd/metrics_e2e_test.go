@@ -196,6 +196,53 @@ func TestMetricsScrapeE2E(t *testing.T) {
 		t.Errorf("pprof cmdline: status %d, want 200", resp.StatusCode)
 	}
 
+	// Keyed pushes: the same (source, seq) batch twice. The duplicate is
+	// acked but never re-applied, and the dedup + epoch series expose the
+	// split-brain-safety surface on every scrape.
+	const keyed = 15
+	pushKeyed := func() {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i := 0; i < keyed; i++ {
+			rec := ingest.Record{SwarmID: 3000 + i, PeerID: 1, Seed: true, Online: true}
+			if err := enc.Encode(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		req, err := http.NewRequest(http.MethodPost,
+			fmt.Sprintf("http://%s/v1/ingest", addr), &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ingest.HeaderSource, "metrics-e2e")
+		req.Header.Set(ingest.HeaderSeq, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("keyed push: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("keyed push: status %d", resp.StatusCode)
+		}
+	}
+	pushKeyed() // applies
+	pushKeyed() // duplicate: acked, deduplicated
+	e.Flush()
+	series = scrapeMetrics(t, adminAddr)
+	if got := series["ingest_records_total"]; got != first+keyed {
+		t.Errorf("ingest_records_total after duplicate = %v, want %d (the dedup must not count records)", got, first+keyed)
+	}
+	if got := series["ingest_deduped_total"]; got != keyed {
+		t.Errorf("ingest_deduped_total = %v, want %d", got, keyed)
+	}
+	if got := series["cluster_epoch"]; got != 1 {
+		t.Errorf("cluster_epoch = %v, want 1 (never promoted, never fenced)", got)
+	}
+	if got, ok := series["cluster_fenced_requests_total"]; !ok || got != 0 {
+		t.Errorf("cluster_fenced_requests_total = %v ok=%v, want 0 on a healthy node", got, ok)
+	}
+
 	// Push a second wave, then trigger the graceful drain; every acked
 	// record must be counted in the final registry state.
 	const second = 25
@@ -210,13 +257,13 @@ func TestMetricsScrapeE2E(t *testing.T) {
 		t.Fatal("serve did not drain")
 	}
 	reg := e.Registry()
-	if v, _ := reg.Value("ingest_records_total"); v != first+second {
-		t.Errorf("post-drain ingest_records_total = %v, want %d", v, first+second)
+	if v, _ := reg.Value("ingest_records_total"); v != first+keyed+second {
+		t.Errorf("post-drain ingest_records_total = %v, want %d", v, first+keyed+second)
 	}
-	if got := reg.Sum("ingest_applied_total"); got != first+second {
-		t.Errorf("post-drain applied = %v, want %d", got, first+second)
+	if got := reg.Sum("ingest_applied_total"); got != first+keyed+second {
+		t.Errorf("post-drain applied = %v, want %d", got, first+keyed+second)
 	}
-	if m := e.Metrics(); m.Applied != first+second {
-		t.Errorf("post-drain snapshot applied = %d, want %d", m.Applied, first+second)
+	if m := e.Metrics(); m.Applied != first+keyed+second || m.Deduped != keyed {
+		t.Errorf("post-drain snapshot applied=%d deduped=%d, want %d/%d", m.Applied, m.Deduped, first+keyed+second, keyed)
 	}
 }

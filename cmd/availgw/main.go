@@ -33,14 +33,17 @@ import (
 )
 
 type options struct {
-	listen      string
-	nodes       string
-	followers   string
-	vnodes      int
-	queueDepth  int
-	sendPasses  int
-	healthEvery time.Duration
-	failAfter   int
+	listen         string
+	nodes          string
+	followers      string
+	vnodes         int
+	queueDepth     int
+	sendPasses     int
+	healthEvery    time.Duration
+	failAfter      int
+	probeTimeout   time.Duration
+	promoteTimeout time.Duration
+	drainGrace     time.Duration
 }
 
 func main() {
@@ -57,6 +60,9 @@ func main() {
 	flag.IntVar(&opts.sendPasses, "send-passes", 0, "client retry cycles per push before reporting failure (0 = default)")
 	flag.DurationVar(&opts.healthEvery, "health-every", time.Second, "leader health-check cadence")
 	flag.IntVar(&opts.failAfter, "fail-after", 3, "consecutive failed health checks before promoting the follower")
+	flag.DurationVar(&opts.probeTimeout, "probe-timeout", 0, "timeout per health probe (0 = health-every)")
+	flag.DurationVar(&opts.promoteTimeout, "promote-timeout", 0, "timeout per follower promotion attempt (0 = default)")
+	flag.DurationVar(&opts.drainGrace, "drain-grace", 0, "keep answering /v1/healthz as draining this long before shutdown, so load balancers drain first")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, "availgw", obs.ParseLevel(*logLevel), *logJSON)
@@ -107,13 +113,15 @@ func run(ctx context.Context, opts options, logf func(string, ...any), ready cha
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	g, err := cluster.NewGateway(cluster.GatewayConfig{
-		Nodes:       nodes,
-		Vnodes:      opts.vnodes,
-		QueueDepth:  opts.queueDepth,
-		SendPasses:  opts.sendPasses,
-		HealthEvery: opts.healthEvery,
-		FailAfter:   opts.failAfter,
-		Metrics:     reg,
+		Nodes:          nodes,
+		Vnodes:         opts.vnodes,
+		QueueDepth:     opts.queueDepth,
+		SendPasses:     opts.sendPasses,
+		HealthEvery:    opts.healthEvery,
+		FailAfter:      opts.failAfter,
+		ProbeTimeout:   opts.probeTimeout,
+		PromoteTimeout: opts.promoteTimeout,
+		Metrics:        reg,
 		Logf: func(format string, args ...any) {
 			if logf != nil {
 				logf(fmt.Sprintf(format, args...))
@@ -151,6 +159,13 @@ func run(ctx context.Context, opts options, logf func(string, ...any), ready cha
 	case <-ctx.Done():
 	}
 	fmt.Println("availgw: signal received, draining")
+	// Advertise draining on /v1/healthz while the listener is still up,
+	// then wait out the grace period so load balancers stop routing to
+	// us before Shutdown closes the listener — mirroring availd.
+	g.SetDraining(true)
+	if opts.drainGrace > 0 {
+		time.Sleep(opts.drainGrace)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,5 +121,74 @@ func TestRunServesCluster(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("gateway never shut down")
+	}
+}
+
+// TestGatewayHealthzDrainTransition: on shutdown the gateway must
+// advertise draining on /v1/healthz — while still answering — for the
+// -drain-grace window before the listener closes, mirroring availd.
+func TestGatewayHealthzDrainTransition(t *testing.T) {
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+	}))
+	defer node.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			listen:      "127.0.0.1:0",
+			nodes:       node.URL,
+			healthEvery: time.Hour,
+			drainGrace:  500 * time.Millisecond,
+		}, t.Logf, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = fmt.Sprintf("http://%s", addr)
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never became ready")
+	}
+
+	healthz := func() (int, string) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := healthz(); code != http.StatusOK {
+		t.Fatalf("pre-drain healthz: %d %s", code, body)
+	}
+
+	cancel()
+	// Inside the grace window the listener must still answer — with 503
+	// draining — so load balancers see the transition before the socket
+	// vanishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := healthz()
+		if code == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never advertised draining (last: %d %s)", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never shut down after the grace window")
 	}
 }

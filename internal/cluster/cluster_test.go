@@ -199,6 +199,103 @@ func TestFollowerResume(t *testing.T) {
 	leader.e.Close()
 }
 
+// TestWALStreamTruncationRace: a checkpoint can truncate the leader's
+// journal between a follower's status fetch and its stream request —
+// or mid-stream. The follower must come through every such race via a
+// clean 410 Gone → checkpoint bootstrap, never a torn read: after the
+// churn settles, its promoted state must equal the leader's exactly.
+func TestWALStreamTruncationRace(t *testing.T) {
+	leader := newTestLeader(t)
+	// Two checkpointed rounds before the follower exists: its first sync
+	// deterministically finds the history truncated and must re-base.
+	leader.submit(t, 0, 16)
+	leader.submit(t, 1, 16)
+	leader.e.Flush()
+	if _, err := leader.e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFollower(FollowerConfig{
+		LeaderURL: leader.srv.URL,
+		Dir:       t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Churn: the leader keeps appending and checkpointing (each
+	// checkpoint truncates the journal) while the follower syncs
+	// concurrently, so syncs land at every point of the truncation
+	// window.
+	const rounds = 40
+	done := make(chan error, 1)
+	go func() {
+		for r := 2; r < rounds; r++ {
+			ops := make([]ingest.Op, 16)
+			for i := range ops {
+				ops[i] = ingest.EventOp(ingest.Record{
+					SwarmID: (r*16 + i) % 37,
+					PeerID:  uint64(r + 1),
+					Seed:    i%3 != 2,
+					Online:  (r+i)%2 == 0,
+					Time:    float64(r*100+i) / 50,
+				})
+			}
+			if err := leader.e.Submit(ops); err != nil {
+				done <- err
+				return
+			}
+			leader.e.Flush()
+			if _, err := leader.e.Checkpoint(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	syncs := 0
+churn:
+	for {
+		if err := f.Sync(ctx); err != nil {
+			t.Fatalf("sync during checkpoint churn: %v", err)
+		}
+		syncs++
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("leader churn: %v", err)
+			}
+			break churn
+		default:
+		}
+	}
+
+	// The leader is quiet now; one more pass must land exactly at its
+	// tip, and the churn must have forced at least one bootstrap.
+	if err := f.Sync(ctx); err != nil {
+		t.Fatalf("final sync: %v", err)
+	}
+	if got, want := f.Shipped(), leader.e.WAL().LastSeq(); got != want {
+		t.Fatalf("shipped %d after churn, leader at %d", got, want)
+	}
+	if f.Bootstraps() < 1 {
+		t.Fatal("no 410 → checkpoint bootstrap happened; the race was not exercised")
+	}
+	t.Logf("%d syncs raced %d rounds of truncation, %d bootstraps", syncs, rounds, f.Bootstraps())
+
+	promoted, _, err := f.Promote(ingest.Config{Shards: 2})
+	if err != nil {
+		t.Fatalf("promote after churn: %v", err)
+	}
+	defer promoted.Close()
+	if got, want := stateBytes(t, promoted), stateBytes(t, leader.e); string(got) != string(want) {
+		t.Fatalf("torn read: promoted state diverged from leader\n--- promoted ---\n%s\n--- leader ---\n%s", got, want)
+	}
+	leader.e.Close()
+}
+
 func TestWALServerStatus(t *testing.T) {
 	leader := newTestLeader(t)
 	leader.submit(t, 0, 8)

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"swarmavail/internal/obs"
+)
+
+func openGate(t *testing.T, dir string) (*EpochGate, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g, err := OpenEpochGate(dir, reg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, reg
+}
+
+// do sends one request through the gate's middleware around a handler
+// that records whether it was reached.
+func do(t *testing.T, g *EpochGate, method, stamp string) (*httptest.ResponseRecorder, bool) {
+	t.Helper()
+	reached := false
+	h := g.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached = true
+		w.WriteHeader(http.StatusOK)
+	}))
+	var body *strings.Reader
+	if method == http.MethodPost {
+		body = strings.NewReader("x")
+	} else {
+		body = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, "/v1/ingest", body)
+	if stamp != "" {
+		req.Header.Set(EpochHeader, stamp)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, reached
+}
+
+func TestEpochGatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	g, _ := openGate(t, dir)
+	if g.Epoch() != 1 || g.Fenced() {
+		t.Fatalf("fresh gate: epoch=%d fenced=%v, want 1/false", g.Epoch(), g.Fenced())
+	}
+	if err := g.Adopt(3); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, _ := openGate(t, dir)
+	if g2.Epoch() != 3 || g2.Fenced() {
+		t.Fatalf("reopened gate: epoch=%d fenced=%v, want 3/false", g2.Epoch(), g2.Fenced())
+	}
+
+	// A stamped newer request fences the node; the fence must survive a
+	// restart — a zombie that reboots comes back demoted, not writable.
+	if rec, _ := do(t, g2, http.MethodPost, "5"); rec.Code != http.StatusConflict {
+		t.Fatalf("newer-epoch request: %d, want 409", rec.Code)
+	}
+	g3, _ := openGate(t, dir)
+	if g3.Epoch() != 5 || !g3.Fenced() {
+		t.Fatalf("gate after fence+restart: epoch=%d fenced=%v, want 5/true", g3.Epoch(), g3.Fenced())
+	}
+}
+
+func TestEpochGateAdopt(t *testing.T) {
+	g, _ := openGate(t, "") // memory-only: engines without a data dir
+	if err := g.Adopt(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Adopt(2); err == nil {
+		t.Fatal("adopting a lower epoch succeeded")
+	}
+	// Fence, then re-adopt at a higher epoch: the fence clears — the
+	// node is the legitimate owner again (e.g. re-promoted).
+	if rec, _ := do(t, g, http.MethodPost, "6"); rec.Code != http.StatusConflict {
+		t.Fatalf("fencing request: %d, want 409", rec.Code)
+	}
+	if !g.Fenced() || g.Epoch() != 6 {
+		t.Fatalf("after fence: epoch=%d fenced=%v", g.Epoch(), g.Fenced())
+	}
+	if err := g.Adopt(7); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fenced() || g.Epoch() != 7 {
+		t.Fatalf("after re-adopt: epoch=%d fenced=%v, want 7/false", g.Epoch(), g.Fenced())
+	}
+}
+
+// TestEpochGateMiddlewareAlgebra walks the full decision table.
+func TestEpochGateMiddlewareAlgebra(t *testing.T) {
+	g, reg := openGate(t, t.TempDir())
+	if err := g.Adopt(3); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		stamp      string
+		code       int
+		reached    bool
+		wantEpoch  uint64 // expected response header epoch
+		wantFenced bool   // gate state afterwards
+	}{
+		{"unstamped read", http.MethodGet, "", 200, true, 3, false},
+		{"unstamped write", http.MethodPost, "", 200, true, 3, false},
+		{"equal stamp", http.MethodPost, "3", 200, true, 3, false},
+		{"stale stamp", http.MethodPost, "2", 409, false, 3, false},
+		{"bad stamp", http.MethodPost, "not-a-number", 400, false, 3, false},
+		{"zero stamp", http.MethodPost, "0", 400, false, 3, false},
+		// A newer stamp demotes — even on a read: the gateway's
+		// post-heal probe is a stamped GET.
+		{"newer stamp read", http.MethodGet, "5", 409, false, 5, true},
+		// Once fenced: unstamped reads still serve, everything else 409s.
+		{"fenced unstamped read", http.MethodGet, "", 200, true, 5, true},
+		{"fenced unstamped write", http.MethodPost, "", 409, false, 5, true},
+		{"fenced equal stamp", http.MethodPost, "5", 409, false, 5, true},
+	}
+	for _, tc := range cases {
+		rec, reached := do(t, g, tc.method, tc.stamp)
+		if rec.Code != tc.code || reached != tc.reached {
+			t.Fatalf("%s: code=%d reached=%v, want %d/%v", tc.name, rec.Code, reached, tc.code, tc.reached)
+		}
+		if got := rec.Header().Get(EpochHeader); got != strconv.FormatUint(tc.wantEpoch, 10) {
+			t.Fatalf("%s: response epoch header %q, want %d", tc.name, got, tc.wantEpoch)
+		}
+		if g.Fenced() != tc.wantFenced {
+			t.Fatalf("%s: gate fenced=%v, want %v", tc.name, g.Fenced(), tc.wantFenced)
+		}
+		if rec.Code == http.StatusConflict {
+			var body struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Epoch != tc.wantEpoch {
+				t.Fatalf("%s: 409 body %q (err %v), want epoch %d", tc.name, rec.Body.String(), err, tc.wantEpoch)
+			}
+		}
+	}
+
+	// Four rejects above; the counter and the epoch gauge must agree.
+	if v, ok := reg.Value("cluster_fenced_requests_total"); !ok || v != 4 {
+		t.Fatalf("cluster_fenced_requests_total = %v ok=%v, want 4", v, ok)
+	}
+	if v, ok := reg.Value("cluster_epoch"); !ok || v != 5 {
+		t.Fatalf("cluster_epoch = %v ok=%v, want 5", v, ok)
+	}
+}

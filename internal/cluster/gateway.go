@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,13 +61,29 @@ type GatewayConfig struct {
 	// FailAfter is the consecutive health-check failures that trigger
 	// failover (default 3).
 	FailAfter int
+	// ProbeTimeout bounds each individual health probe (default
+	// HealthEvery) so a hung node reads as down, not as a stalled loop.
+	ProbeTimeout time.Duration
+	// PromoteTimeout bounds one promotion attempt (default 30s).
+	PromoteTimeout time.Duration
+	// HealthClient, when set, carries the health probes and promotion
+	// calls (tests inject fault transports). Timeouts come from
+	// ProbeTimeout/PromoteTimeout contexts, not from the client.
+	HealthClient *http.Client
+	// SourceID is the idempotency source stem for pushes the gateway
+	// originates keys for (default: a fresh random id). Unkeyed client
+	// batches are re-keyed per slot as "<SourceID>#<slot>"; batches that
+	// arrive already keyed keep their upstream key.
+	SourceID string
 	// ClientConfig is the template for per-node ingest clients; URL and
 	// BaseURL are overwritten per node. Tests inject fault transports
 	// and fast backoff here.
 	ClientConfig ingest.HTTPClientConfig
 	// Promote, when set, replaces the default promotion call (POST
-	// {follower}/v1/promote) and returns the promoted node's base URL.
-	Promote func(ctx context.Context, n NodeConfig) (string, error)
+	// {follower}/v1/promote stamped with the successor epoch) and
+	// returns the promoted node's base URL. Implementations should make
+	// the promoted node adopt epoch.
+	Promote func(ctx context.Context, n NodeConfig, epoch uint64) (string, error)
 	// Metrics, when set, registers gateway series.
 	Metrics *obs.Registry
 	// Logf, when set, receives lifecycle and failure lines.
@@ -85,6 +103,18 @@ func (c GatewayConfig) withDefaults() GatewayConfig {
 	if c.FailAfter <= 0 {
 		c.FailAfter = 3
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.HealthEvery
+	}
+	if c.PromoteTimeout <= 0 {
+		c.PromoteTimeout = 30 * time.Second
+	}
+	if c.HealthClient == nil {
+		c.HealthClient = &http.Client{}
+	}
+	if c.SourceID == "" {
+		c.SourceID = ingest.NewSourceID()
+	}
 	return c
 }
 
@@ -99,16 +129,30 @@ type gwNode struct {
 	fails    atomic.Int32 // consecutive failed health checks
 	promoted atomic.Bool  // failover done; no second standby
 
+	// epoch is the slot epoch the gateway believes (0 = not yet
+	// learned; pre-epoch nodes never teach one). Promotion bumps it;
+	// probe responses and 409s raise it.
+	epoch atomic.Uint64
+	// seq numbers the gateway-originated idempotency keys for this slot.
+	seq atomic.Uint64
+	// retired holds the pre-promotion leader's URL until the gateway has
+	// fenced it (stamped it with the successor epoch); "" once done.
+	retired atomic.Value // string
+
 	unhealthy *obs.Gauge
 }
 
 func (n *gwNode) currentURL() string { return n.url.Load().(string) }
 
-// pushJob is one node's share of an ingest request.
+// pushJob is one node's share of an ingest request. source/seq is the
+// idempotency key the sender stamps on every delivery attempt, so
+// retries across passes (and across a failover) deduplicate server-side.
 type pushJob struct {
-	ctx  context.Context
-	recs []ingest.Record
-	done chan error // buffered(1): sender never blocks answering
+	ctx    context.Context
+	source string
+	seq    uint64
+	recs   []ingest.Record
+	done   chan error // buffered(1): sender never blocks answering
 }
 
 // Gateway is the cluster front door. It speaks the same API as a
@@ -137,9 +181,10 @@ type Gateway struct {
 
 	healthClient *http.Client
 
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	draining atomic.Bool
 
 	records   *obs.Counter
 	batches   *obs.Counter
@@ -161,7 +206,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	g := &Gateway{
 		cfg:          cfg,
 		ring:         ring,
-		healthClient: &http.Client{Timeout: cfg.HealthEvery},
+		healthClient: cfg.HealthClient,
 		stop:         make(chan struct{}),
 	}
 	if reg := cfg.Metrics; reg != nil {
@@ -176,9 +221,13 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		}
 		n := &gwNode{idx: i, cfg: nc, jobs: make(chan *pushJob, cfg.QueueDepth)}
 		n.url.Store(nc.URL)
-		n.client.Store(g.newClient(nc.URL))
+		n.retired.Store("")
+		n.client.Store(g.newClient(nc.URL, 0))
 		if reg := cfg.Metrics; reg != nil {
 			n.unhealthy = reg.Gauge("gateway_node_unhealthy", obs.L("node", nc.name()))
+			reg.GaugeFunc("gateway_slot_epoch",
+				func() float64 { return float64(n.epoch.Load()) },
+				obs.L("node", nc.name()))
 		}
 		g.nodes = append(g.nodes, n)
 	}
@@ -191,11 +240,29 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	return g, nil
 }
 
-// newClient builds a node client from the config template.
-func (g *Gateway) newClient(baseURL string) *ingest.HTTPClient {
+// newClient builds a node client from the config template, stamping
+// epoch (0 = unstamped) on everything it sends.
+func (g *Gateway) newClient(baseURL string, epoch uint64) *ingest.HTTPClient {
 	cc := g.cfg.ClientConfig
 	cc.URL, cc.BaseURL = "", baseURL
+	cc.Epoch = epoch
 	return ingest.NewHTTPClient(cc)
+}
+
+// adoptEpoch raises slot n's epoch to epoch (CAS-max) and swaps in a
+// client stamping it. Lower or equal epochs are no-ops.
+func (g *Gateway) adoptEpoch(n *gwNode, epoch uint64) {
+	for {
+		cur := n.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if n.epoch.CompareAndSwap(cur, epoch) {
+			n.client.Store(g.newClient(n.currentURL(), epoch))
+			g.logf("gateway: %s now at epoch %d", n.cfg.name(), epoch)
+			return
+		}
+	}
 }
 
 func (g *Gateway) logf(format string, args ...any) {
@@ -210,6 +277,12 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // NodeURL returns slot i's current base URL (the follower's after a
 // promotion).
 func (g *Gateway) NodeURL(i int) string { return g.nodes[i].currentURL() }
+
+// SetDraining flips the gateway's /v1/healthz readiness answer: true
+// makes it 503 {"state":"draining"} so load balancers stop routing new
+// work here while in-flight requests finish (mirroring availd's
+// -drain-grace sequence).
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
 
 // Close stops the senders and health loop, failing any queued pushes.
 func (g *Gateway) Close() {
@@ -259,9 +332,18 @@ func (g *Gateway) deliver(n *gwNode, job *pushJob) error {
 			return err
 		}
 		client := n.client.Load()
-		err := client.Push(job.ctx, job.recs)
+		err := client.PushKeyed(job.ctx, job.source, job.seq, job.recs)
 		if err == nil {
 			return nil
+		}
+		// An epoch conflict from a node ahead of us is self-inflicted
+		// staleness, not a node failure: adopt the newer epoch and retry
+		// immediately with the re-stamped client.
+		var conflict *ingest.EpochConflictError
+		if errors.As(err, &conflict) && conflict.NodeEpoch > n.epoch.Load() {
+			g.adoptEpoch(n, conflict.NodeEpoch)
+			lastErr = err
+			continue
 		}
 		lastErr = err
 		g.pushFails.Inc()
@@ -296,7 +378,10 @@ func (g *Gateway) healthLoop() {
 		}
 		for _, n := range g.nodes {
 			if n.promoted.Load() {
-				continue // one standby per slot; nothing left to do
+				// One standby per slot, so no further failover — but the
+				// retired leader may still need fencing once reachable.
+				g.fenceRetired(n)
+				continue
 			}
 			if g.healthy(n) {
 				n.fails.Store(0)
@@ -314,47 +399,103 @@ func (g *Gateway) healthLoop() {
 }
 
 func (g *Gateway) healthy(n *gwNode) bool {
-	resp, err := g.healthClient.Get(n.currentURL() + "/v1/healthz")
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.currentURL()+"/v1/healthz", nil)
 	if err != nil {
 		return false
 	}
+	// Stamp the probe once the slot epoch is known: a leader that fell
+	// behind the epoch answers 409, reads as unhealthy, and is demoted by
+	// this very request. Learn from the response either way.
+	if e := n.epoch.Load(); e != 0 {
+		req.Header.Set(EpochHeader, strconv.FormatUint(e, 10))
+	}
+	resp, err := g.healthClient.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
+	if e, perr := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64); perr == nil {
+		g.adoptEpoch(n, e)
+	}
 	return resp.StatusCode == http.StatusOK
 }
 
-// failover promotes n's follower and swaps the slot's client. A failed
-// promotion is retried on the next health tick (the miss counter stays
-// over threshold).
+// fenceRetired stamps the pre-promotion leader with the successor epoch
+// so it demotes itself the moment it is reachable again (partition
+// healed, process unstuck). Any HTTP answer settles it — the epoch
+// middleware fences on sight of the newer stamp — while transport
+// errors leave it queued for the next tick.
+func (g *Gateway) fenceRetired(n *gwNode) {
+	retired, _ := n.retired.Load().(string)
+	if retired == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, retired+"/v1/healthz", nil)
+	if err != nil {
+		n.retired.Store("")
+		return
+	}
+	req.Header.Set(EpochHeader, strconv.FormatUint(n.epoch.Load(), 10))
+	resp, err := g.healthClient.Do(req)
+	if err != nil {
+		return // unreachable; retry next tick — healing is when fencing matters
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	g.logf("gateway: fenced retired leader %s at epoch %d (%s)", retired, n.epoch.Load(), resp.Status)
+	n.retired.Store("")
+}
+
+// failover promotes n's follower under the successor epoch and swaps
+// the slot's client. A failed promotion is retried on the next health
+// tick (the miss counter stays over threshold).
 func (g *Gateway) failover(n *gwNode) {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.PromoteTimeout)
 	defer cancel()
 	promote := g.cfg.Promote
 	if promote == nil {
 		promote = g.httpPromote
 	}
-	newURL, err := promote(ctx, n.cfg)
+	// The successor epoch: one past what the slot last taught us, and
+	// never below 2 (a pre-epoch slot still moves to a numbered era on
+	// its first failover, fencing the old leader's implicit epoch 1).
+	newEpoch := n.epoch.Load() + 1
+	if newEpoch < 2 {
+		newEpoch = 2
+	}
+	oldURL := n.currentURL()
+	newURL, err := promote(ctx, n.cfg, newEpoch)
 	if err != nil {
 		g.logf("gateway: promoting follower of %s: %v", n.cfg.name(), err)
 		return
 	}
 	n.promoted.Store(true)
 	n.url.Store(newURL)
-	n.client.Store(g.newClient(newURL))
+	n.epoch.Store(newEpoch)
+	n.client.Store(g.newClient(newURL, newEpoch))
+	n.retired.Store(oldURL)
 	n.fails.Store(0)
 	n.unhealthy.Set(0)
 	g.failovers.Inc()
-	g.logf("gateway: promoted follower of %s at %s", n.cfg.name(), newURL)
+	g.logf("gateway: promoted follower of %s at %s (epoch %d)", n.cfg.name(), newURL, newEpoch)
 }
 
-// httpPromote is the default promotion: POST {follower}/v1/promote and
-// route to the follower once it answers 200 (it does so only after
-// recovering the shipped state and swapping into serving mode).
-func (g *Gateway) httpPromote(ctx context.Context, n NodeConfig) (string, error) {
+// httpPromote is the default promotion: POST {follower}/v1/promote
+// stamped with the successor epoch, routing to the follower once it
+// answers 200 (it does so only after recovering the shipped state and
+// swapping into serving mode at that epoch).
+func (g *Gateway) httpPromote(ctx context.Context, n NodeConfig, epoch uint64) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.Follower+"/v1/promote", nil)
 	if err != nil {
 		return "", err
 	}
-	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	resp, err := g.healthClient.Do(req)
 	if err != nil {
 		return "", err
 	}
@@ -373,6 +514,12 @@ func (g *Gateway) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if g.draining.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"state":"draining"}`)
+			return
+		}
 		ingest.WriteJSON(w, map[string]string{"state": "serving"})
 	})
 	mux.HandleFunc("POST /v1/ingest", g.handleIngest)
@@ -397,6 +544,20 @@ const maxIngestBody = 32 << 20
 // (at-least-once, the same contract a lone availd's lost-ack retry
 // already imposes).
 func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// A batch that arrives already keyed keeps its upstream key on every
+	// slot's share — so the client's retry of a lost gateway ack (or a
+	// second gateway's replay) still deduplicates at the nodes. Unkeyed
+	// batches get a gateway-originated per-slot key instead.
+	upSource := r.Header.Get(ingest.HeaderSource)
+	var upSeq uint64
+	if upSource != "" {
+		var err error
+		upSeq, err = strconv.ParseUint(r.Header.Get(ingest.HeaderSeq), 10, 64)
+		if err != nil || upSeq == 0 {
+			http.Error(w, "bad "+ingest.HeaderSeq+" header", http.StatusBadRequest)
+			return
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
 	sc := trace.NewScanner[ingest.Record](r.Body)
 	perNode := make([][]ingest.Record, len(g.nodes))
@@ -423,7 +584,12 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if len(recs) == 0 {
 			continue
 		}
-		job := &pushJob{ctx: r.Context(), recs: recs, done: make(chan error, 1)}
+		source, seq := upSource, upSeq
+		if source == "" {
+			source = g.cfg.SourceID + "#" + strconv.Itoa(slot)
+			seq = g.nodes[slot].seq.Add(1)
+		}
+		job := &pushJob{ctx: r.Context(), source: source, seq: seq, recs: recs, done: make(chan error, 1)}
 		select {
 		case g.nodes[slot].jobs <- job:
 			jobs = append(jobs, job)
@@ -474,6 +640,12 @@ func (g *Gateway) merged(ctx context.Context) (*ingest.Summary, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			// A stale-epoch answer must never be merged — but learn the
+			// newer epoch so the next read is stamped correctly.
+			var conflict *ingest.EpochConflictError
+			if errors.As(err, &conflict) && conflict.NodeEpoch > g.nodes[i].epoch.Load() {
+				g.adoptEpoch(g.nodes[i], conflict.NodeEpoch)
+			}
 			return nil, fmt.Errorf("node %s: %w", g.nodes[i].cfg.name(), err)
 		}
 	}
@@ -522,6 +694,7 @@ type clusterNodeStatus struct {
 	URL      string `json:"url"`
 	Follower string `json:"follower,omitempty"`
 	Promoted bool   `json:"promoted"`
+	Epoch    uint64 `json:"epoch"`
 	Fails    int    `json:"consecutive_health_failures"`
 }
 
@@ -535,6 +708,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 			URL:      n.currentURL(),
 			Follower: n.cfg.Follower,
 			Promoted: n.promoted.Load(),
+			Epoch:    n.epoch.Load(),
 			Fails:    int(n.fails.Load()),
 		})
 	}

@@ -242,7 +242,7 @@ func TestGatewayFailover(t *testing.T) {
 		HealthEvery:  20 * time.Millisecond,
 		FailAfter:    2,
 		SendPasses:   40,
-		Promote: func(ctx context.Context, n NodeConfig) (string, error) {
+		Promote: func(ctx context.Context, n NodeConfig, epoch uint64) (string, error) {
 			promoteCalls.Add(1)
 			return n.Follower, nil
 		},

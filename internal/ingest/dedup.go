@@ -1,0 +1,263 @@
+package ingest
+
+import "sync"
+
+// Idempotency and epoch headers shared by the HTTP client, availd's
+// ingest handler, and the cluster gateway. They live here (not in
+// internal/cluster) because cluster already imports ingest and the
+// client stamps them on every keyed push.
+const (
+	// HeaderSource carries the idempotency source id (a stable name for
+	// one sender) on POST /v1/ingest.
+	HeaderSource = "X-Ingest-Source"
+	// HeaderSeq carries the batch sequence within the source; together
+	// (source, seq) name one batch across retries.
+	HeaderSeq = "X-Ingest-Seq"
+	// HeaderEpoch carries the cluster slot epoch. Requests stamped with
+	// it are fenced by the node's epoch gate; responses always echo the
+	// node's current epoch.
+	HeaderEpoch = "X-Avail-Epoch"
+)
+
+// dedupWindowSize is how many batch sequences below a source's
+// high-watermark stay individually tracked. Sequences at or below
+// max−dedupWindowSize are assumed already seen: a sender never has
+// anywhere near this many batches in flight (retries keep their
+// original seq), so anything that old can only be a replay.
+const dedupWindowSize = 1024
+
+// sourceWindow is one source's exactly-once state: the highest batch
+// sequence observed plus the set of individually seen sequences inside
+// the trailing window (pushes from one client can complete out of
+// order, so a plain high-watermark would misclassify a late first
+// attempt as a duplicate).
+type sourceWindow struct {
+	mu   sync.Mutex
+	max  uint64
+	seen map[uint64]struct{}
+}
+
+// observed reports whether seq was already applied. Caller holds mu.
+func (w *sourceWindow) observed(seq uint64) bool {
+	if w.max >= dedupWindowSize && seq <= w.max-dedupWindowSize {
+		return true
+	}
+	_, ok := w.seen[seq]
+	return ok
+}
+
+// mark records seq as applied and evicts sequences that fell out of the
+// window. Caller holds mu.
+func (w *sourceWindow) mark(seq uint64) {
+	if w.seen == nil {
+		w.seen = make(map[uint64]struct{})
+	}
+	w.seen[seq] = struct{}{}
+	if seq > w.max {
+		w.max = seq
+	}
+	// Evict lazily, once the map has grown well past the window, so a
+	// steady in-order stream pays one sweep per window, not per batch.
+	if len(w.seen) >= 2*dedupWindowSize && w.max >= dedupWindowSize {
+		floor := w.max - dedupWindowSize
+		for s := range w.seen {
+			if s <= floor {
+				delete(w.seen, s)
+			}
+		}
+	}
+}
+
+// dedupState is the engine's per-source window table. Sources are
+// never evicted (a monitor fleet is a bounded population; see DESIGN.md
+// §11 for the accounting).
+type dedupState struct {
+	mu      sync.Mutex
+	sources map[string]*sourceWindow
+}
+
+// window returns source's window, creating it on first use.
+func (d *dedupState) window(source string) *sourceWindow {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sources == nil {
+		d.sources = make(map[string]*sourceWindow)
+	}
+	w, ok := d.sources[source]
+	if !ok {
+		w = &sourceWindow{}
+		d.sources[source] = w
+	}
+	return w
+}
+
+// observe marks (source, seq) as applied — the recovery-replay path,
+// where no duplicate check is needed (the journal already decided).
+func (d *dedupState) observe(source string, seq uint64) {
+	w := d.window(source)
+	w.mu.Lock()
+	w.mark(seq)
+	w.mu.Unlock()
+}
+
+// dedupRecord is one source's window in checkpoint wire form.
+type dedupRecord struct {
+	Source string   `json:"source"`
+	Max    uint64   `json:"max"`
+	Seen   []uint64 `json:"seen,omitempty"`
+}
+
+// records snapshots every window, sorted by source for deterministic
+// checkpoint bytes. Checkpoint calls it with the journal gate held
+// exclusively, so no keyed submit is concurrently marking.
+func (d *dedupState) records() []dedupRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]dedupRecord, 0, len(d.sources))
+	for source, w := range d.sources {
+		w.mu.Lock()
+		rec := dedupRecord{Source: source, Max: w.max, Seen: make([]uint64, 0, len(w.seen))}
+		for s := range w.seen {
+			rec.Seen = append(rec.Seen, s)
+		}
+		w.mu.Unlock()
+		sortUint64s(rec.Seen)
+		out = append(out, rec)
+	}
+	sortDedupRecords(out)
+	return out
+}
+
+// install replaces the table with recs — recovery only, before any
+// producer exists.
+func (d *dedupState) install(recs []dedupRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sources = make(map[string]*sourceWindow, len(recs))
+	for _, rec := range recs {
+		w := &sourceWindow{max: rec.Max}
+		if len(rec.Seen) > 0 {
+			w.seen = make(map[uint64]struct{}, len(rec.Seen))
+			for _, s := range rec.Seen {
+				w.seen[s] = struct{}{}
+			}
+		}
+		d.sources[rec.Source] = w
+	}
+}
+
+// SubmitKeyed applies ops exactly once per (source, seq) idempotency
+// key: the first call delivers the batch, any retry of the same key is
+// acknowledged without re-applying (applied=false, err=nil, and the
+// duplicate is counted in ingest_deduped_total). An empty source
+// degrades to plain at-least-once Submit.
+//
+// On a durable engine the whole keyed batch is journaled as one frame —
+// key and ops together — before any shard sees it, so a crash can never
+// apply a batch while forgetting its key (or vice versa), and WAL
+// shipping carries the window to followers: a batch retried across a
+// failover is deduplicated by the promoted follower too.
+//
+// Keyed batches always use Block delivery regardless of cfg.OnFull:
+// shedding a journaled batch would resurrect at recovery exactly what
+// the shed dropped, breaking the exactly-once ledger.
+func (e *Engine) SubmitKeyed(source string, seq uint64, ops []Op) (applied bool, err error) {
+	if source == "" {
+		return true, e.Submit(ops)
+	}
+	if len(ops) == 0 {
+		return true, nil
+	}
+	if !e.enter() {
+		return false, ErrClosed
+	}
+	defer e.exit()
+	w := e.dedup.window(source)
+
+	if e.journal == nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.observed(seq) {
+			e.metrics.deduped.Add(uint64(len(ops)))
+			return false, nil
+		}
+		e.deliver(ops)
+		w.mark(seq)
+		return true, nil
+	}
+
+	frame, err := e.journal.encodeKeyed(source, seq, ops)
+	if err != nil {
+		return false, err
+	}
+	// Lock order: journal gate before window — Checkpoint holds the gate
+	// exclusively while snapshotting windows, so taking the window first
+	// here would deadlock. Holding the window across append+deliver also
+	// serialises retries of the same key: the loser of the race observes
+	// the winner's mark.
+	e.journal.gate.RLock()
+	defer e.journal.gate.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.observed(seq) {
+		e.journal.release(frame)
+		e.metrics.deduped.Add(uint64(len(ops)))
+		return false, nil
+	}
+	if err := e.journal.append(frame, len(ops)); err != nil {
+		return false, err
+	}
+	e.deliver(ops)
+	w.mark(seq)
+	return true, nil
+}
+
+// deliver partitions ops and block-sends one pooled batch per shard
+// touched, without journaling (the caller already has) and without
+// shedding (see SubmitKeyed). The caller must hold an enter()
+// registration.
+func (e *Engine) deliver(ops []Op) {
+	defer e.metrics.records.Add(uint64(len(ops)))
+	if len(e.shards) == 1 {
+		batch := e.pool.get(len(ops))
+		batch = append(batch, ops...)
+		e.shards[0].in <- shardMsg{ops: batch}
+		return
+	}
+	var parts [][]Op
+	if v := e.parts.Get(); v != nil {
+		parts = *(v.(*[][]Op))
+	} else {
+		parts = make([][]Op, len(e.shards))
+	}
+	for _, op := range ops {
+		i := shardIndex(op.SwarmID(), len(e.shards))
+		if parts[i] == nil {
+			parts[i] = e.pool.get(e.cfg.BatchSize)
+		}
+		parts[i] = append(parts[i], op)
+	}
+	for i, part := range parts {
+		if len(part) > 0 {
+			e.shards[i].in <- shardMsg{ops: part}
+		}
+		parts[i] = nil
+	}
+	e.parts.Put(&parts)
+}
+
+func sortUint64s(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}
+
+func sortDedupRecords(recs []dedupRecord) {
+	for i := 1; i < len(recs); i++ {
+		for k := i; k > 0 && recs[k].Source < recs[k-1].Source; k-- {
+			recs[k], recs[k-1] = recs[k-1], recs[k]
+		}
+	}
+}

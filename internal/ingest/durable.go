@@ -17,8 +17,12 @@ import (
 	"swarmavail/internal/wal"
 )
 
-// checkpointVersion versions the checkpoint file layout.
-const checkpointVersion = 1
+// checkpointVersion versions the checkpoint file layout. Version 2
+// appends one mandatory dedup frame (the per-source exactly-once
+// windows, JSON) after the shard frames; version 1 files — written
+// before idempotency keys existed — are still loaded, with empty
+// windows.
+const checkpointVersion = 2
 
 // checkpointsKept is how many checkpoint files survive pruning: the
 // newest plus one fallback in case the newest is torn by a crash
@@ -104,11 +108,12 @@ func OpenDurable(cfg Config, d DurabilityConfig) (*Engine, RecoveryStats, error)
 	e := newEngine(cfg)
 
 	// 1. Newest readable checkpoint → shard maps (still single-threaded).
-	ckptSeq, swarms, err := loadNewestCheckpoint(d.Dir, e.shards)
+	ckptSeq, swarms, dedupRecs, err := loadNewestCheckpoint(d.Dir, e.shards)
 	if err != nil {
 		return nil, rs, err
 	}
 	rs.CheckpointSeq, rs.CheckpointSwarms = ckptSeq, swarms
+	e.dedup.install(dedupRecs)
 
 	// 2. Open the journal, repairing any torn tail.
 	reg := e.metrics.reg
@@ -131,13 +136,18 @@ func OpenDurable(cfg Config, d DurabilityConfig) (*Engine, RecoveryStats, error)
 	replayed := reg.Counter("recovery_replayed_total")
 	var badSeq uint64
 	replayErr := log.Replay(ckptSeq+1, func(seq uint64, payload []byte) error {
-		ops, derr := decodeOps(payload)
+		source, batchSeq, ops, derr := decodeFrame(payload)
 		if derr != nil {
 			badSeq = seq
 			return derr
 		}
 		if serr := e.Submit(ops); serr != nil {
 			return serr
+		}
+		if source != "" {
+			// The journal already arbitrated this key (SubmitKeyed only
+			// journals first applications), so replay just re-marks it.
+			e.dedup.observe(source, batchSeq)
 		}
 		rs.ReplayedFrames++
 		rs.ReplayedOps += uint64(len(ops))
@@ -260,7 +270,10 @@ func (e *Engine) Checkpoint() (CheckpointStats, error) {
 		cs.Swarms += len(s.Swarms)
 	}
 
-	bytes, err := writeCheckpoint(j.log.Dir(), seq, len(e.shards), snaps)
+	// The gate is held exclusively, so no keyed submit is mid-mark: the
+	// windows captured here are exactly the ones the journaled prefix
+	// ≤ seq produced.
+	bytes, err := writeCheckpoint(j.log.Dir(), seq, len(e.shards), snaps, e.dedup.records())
 	if err != nil {
 		return cs, err
 	}
@@ -287,7 +300,7 @@ func checkpointPath(dir string, seq uint64) string {
 // writeCheckpoint renders the snapshot to checkpoint-<seq>.bin via a
 // fsynced temp file + atomic rename: the file either exists whole and
 // checksummed or not at all.
-func writeCheckpoint(dir string, seq uint64, shards int, snaps []*shardSnapshot) (int64, error) {
+func writeCheckpoint(dir string, seq uint64, shards int, snaps []*shardSnapshot, dedup []dedupRecord) (int64, error) {
 	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
 		return 0, err
@@ -325,6 +338,18 @@ func writeCheckpoint(dir string, seq uint64, shards int, snaps []*shardSnapshot)
 		if err := writeFrame(payload); err != nil {
 			return 0, err
 		}
+	}
+	// v2: one mandatory dedup frame after the shard frames (an empty
+	// window table still writes "[]" so the reader never guesses).
+	if dedup == nil {
+		dedup = []dedupRecord{}
+	}
+	dedupPayload, err := json.Marshal(dedup)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFrame(dedupPayload); err != nil {
+		return 0, err
 	}
 	if err := w.Flush(); err != nil {
 		return 0, err
@@ -376,15 +401,15 @@ func listCheckpoints(dir string) ([]uint64, error) {
 // shards and returns its sequence. A torn or corrupt checkpoint is
 // skipped in favour of the next older one — recovery degrades to a
 // longer WAL replay, never a refusal to start.
-func loadNewestCheckpoint(dir string, shards []*shard) (uint64, int, error) {
+func loadNewestCheckpoint(dir string, shards []*shard) (uint64, int, []dedupRecord, error) {
 	seqs, err := listCheckpoints(dir)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	for _, seq := range seqs {
-		swarms, lerr := loadCheckpoint(checkpointPath(dir, seq), seq, shards)
+		swarms, dedup, lerr := loadCheckpoint(checkpointPath(dir, seq), seq, shards)
 		if lerr == nil {
-			return seq, swarms, nil
+			return seq, swarms, dedup, nil
 		}
 		// Reset any partial install and fall back to the next older
 		// checkpoint.
@@ -393,33 +418,33 @@ func loadNewestCheckpoint(dir string, shards []*shard) (uint64, int, error) {
 			clear(s.cats)
 		}
 	}
-	return 0, 0, nil
+	return 0, 0, nil, nil
 }
 
 // loadCheckpoint reads one checkpoint file into the shards, routing
 // each swarm by the *current* hash (the checkpoint's shard count need
 // not match).
-func loadCheckpoint(path string, wantSeq uint64, shards []*shard) (int, error) {
+func loadCheckpoint(path string, wantSeq uint64, shards []*shard) (int, []dedupRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer f.Close()
 	r := wal.NewFrameReader(bufio.NewReaderSize(f, 1<<20))
 
 	frame, err := r.Next()
 	if err != nil {
-		return 0, fmt.Errorf("ingest: checkpoint header: %w", err)
+		return 0, nil, fmt.Errorf("ingest: checkpoint header: %w", err)
 	}
 	var hdr checkpointHeader
 	if err := json.Unmarshal(frame, &hdr); err != nil {
-		return 0, fmt.Errorf("ingest: checkpoint header: %w", err)
+		return 0, nil, fmt.Errorf("ingest: checkpoint header: %w", err)
 	}
-	if hdr.Version != checkpointVersion {
-		return 0, fmt.Errorf("ingest: checkpoint version %d not supported", hdr.Version)
+	if hdr.Version != 1 && hdr.Version != checkpointVersion {
+		return 0, nil, fmt.Errorf("ingest: checkpoint version %d not supported", hdr.Version)
 	}
 	if hdr.Seq != wantSeq {
-		return 0, fmt.Errorf("ingest: checkpoint header seq %d does not match file name %d", hdr.Seq, wantSeq)
+		return 0, nil, fmt.Errorf("ingest: checkpoint header seq %d does not match file name %d", hdr.Seq, wantSeq)
 	}
 
 	// Parse everything before installing anything, so a torn tail can't
@@ -428,13 +453,23 @@ func loadCheckpoint(path string, wantSeq uint64, shards []*shard) (int, error) {
 	for i := 0; i < hdr.Shards; i++ {
 		frame, err := r.Next()
 		if err != nil {
-			return 0, fmt.Errorf("ingest: checkpoint shard frame %d/%d: %w", i, hdr.Shards, err)
+			return 0, nil, fmt.Errorf("ingest: checkpoint shard frame %d/%d: %w", i, hdr.Shards, err)
 		}
 		snap := &shardSnapshot{}
 		if err := json.Unmarshal(frame, snap); err != nil {
-			return 0, fmt.Errorf("ingest: checkpoint shard frame %d/%d: %w", i, hdr.Shards, err)
+			return 0, nil, fmt.Errorf("ingest: checkpoint shard frame %d/%d: %w", i, hdr.Shards, err)
 		}
 		snaps = append(snaps, snap)
+	}
+	var dedup []dedupRecord
+	if hdr.Version >= 2 {
+		frame, err := r.Next()
+		if err != nil {
+			return 0, nil, fmt.Errorf("ingest: checkpoint dedup frame: %w", err)
+		}
+		if err := json.Unmarshal(frame, &dedup); err != nil {
+			return 0, nil, fmt.Errorf("ingest: checkpoint dedup frame: %w", err)
+		}
 	}
 
 	var swarms int
@@ -466,7 +501,7 @@ func loadCheckpoint(path string, wantSeq uint64, shards []*shard) (int, error) {
 			shards[dst].install(rs)
 		}
 	}
-	return swarms, nil
+	return swarms, dedup, nil
 }
 
 // pruneCheckpoints removes all but the checkpointsKept newest files.

@@ -87,6 +87,11 @@ type Engine struct {
 	// producer exists, so the unsynchronised reads in enqueue are safe.
 	journal *journal
 
+	// dedup holds the per-source exactly-once windows consulted by
+	// SubmitKeyed. On a durable engine its contents are recovered from
+	// the checkpoint and keyed WAL frames before any producer exists.
+	dedup dedupState
+
 	// closed is the lifecycle fast-path flag: once set, no new queue
 	// user may enter. inflight counts producers and readers currently
 	// touching the shard queues; Close waits for it to reach zero

@@ -3,6 +3,8 @@ package ingest
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,10 +15,39 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swarmavail/internal/trace"
 )
+
+// NewSourceID returns a fresh random idempotency source id (8 bytes,
+// hex). One id names one sender stream: batches pushed under it carry
+// monotonic sequence numbers, and the server deduplicates on the
+// (source, seq) pair.
+func NewSourceID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to the
+		// jitter PRNG's seed space rather than refusing to start.
+		return "src-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EpochConflictError reports a push or read rejected (or silently
+// re-homed) because the node's cluster epoch disagrees with the
+// client's. It is fatal to the attempt: retrying against the same node
+// cannot change the verdict — the caller must learn the newer epoch
+// first.
+type EpochConflictError struct {
+	ClientEpoch uint64
+	NodeEpoch   uint64
+}
+
+func (e *EpochConflictError) Error() string {
+	return fmt.Sprintf("ingest: epoch conflict (client %d, node %d)", e.ClientEpoch, e.NodeEpoch)
+}
 
 // HTTPClientConfig parameterises an HTTPClient. The zero value (plus a
 // URL or BaseURL) selects sensible defaults.
@@ -41,6 +72,15 @@ type HTTPClientConfig struct {
 	// Seed seeds the jitter stream (0 = fixed default; determinism is
 	// harmless here and useful in tests).
 	Seed int64
+	// Source is the idempotency source id stamped (with a per-client
+	// sequence) on every push so server-side dedup makes retries
+	// exactly-once. Default: a fresh random id from NewSourceID.
+	Source string
+	// Epoch, when non-zero, stamps every request with the cluster slot
+	// epoch (X-Avail-Epoch). A node whose epoch disagrees answers 409,
+	// which surfaces as a fatal *EpochConflictError instead of burning
+	// retries.
+	Epoch uint64
 	// Logf, when set, receives one line per retried attempt.
 	Logf func(format string, args ...any)
 }
@@ -67,6 +107,9 @@ func (c HTTPClientConfig) withDefaults() HTTPClientConfig {
 	if c.Seed == 0 {
 		c.Seed = 0x16e57
 	}
+	if c.Source == "" {
+		c.Source = NewSourceID()
+	}
 	return c
 }
 
@@ -81,6 +124,10 @@ func (c HTTPClientConfig) withDefaults() HTTPClientConfig {
 type HTTPClient struct {
 	cfg HTTPClientConfig
 
+	// seq numbers the batches pushed under cfg.Source; retries of one
+	// batch reuse its number, which is what lets the server deduplicate.
+	seq atomic.Uint64
+
 	mu  sync.Mutex
 	rng *mrand.Rand
 
@@ -92,6 +139,9 @@ func NewHTTPClient(cfg HTTPClientConfig) *HTTPClient {
 	cfg = cfg.withDefaults()
 	return &HTTPClient{cfg: cfg, rng: mrand.New(mrand.NewSource(cfg.Seed))}
 }
+
+// Source returns the client's idempotency source id.
+func (c *HTTPClient) Source() string { return c.cfg.Source }
 
 // Retries reports attempts beyond the first across the client's
 // lifetime — the cost of the faults it rode through.
@@ -120,8 +170,20 @@ func (c *HTTPClient) logf(format string, args ...any) {
 
 // Push delivers one batch of records, retrying transient failures until
 // the server acknowledges all of them or ctx ends. Returns nil exactly
-// when the batch is acknowledged.
+// when the batch is acknowledged. The batch is keyed with the client's
+// source id and the next sequence number, so a retry whose first
+// attempt actually landed is acknowledged by the server without being
+// re-applied (exactly-once against dedup-aware servers; plain
+// at-least-once against older ones, which ignore the headers).
 func (c *HTTPClient) Push(ctx context.Context, recs []Record) error {
+	return c.PushKeyed(ctx, c.cfg.Source, c.seq.Add(1), recs)
+}
+
+// PushKeyed delivers one batch under an explicit (source, seq)
+// idempotency key — for callers that relay batches on behalf of an
+// upstream sender and must preserve its key (the cluster gateway).
+// source may be "" to push unkeyed.
+func (c *HTTPClient) PushKeyed(ctx context.Context, source string, seq uint64, recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
@@ -146,15 +208,25 @@ func (c *HTTPClient) Push(ctx context.Context, recs []Record) error {
 			case <-time.After(wait):
 			}
 		}
-		err := c.pushOnce(ctx, payload, len(recs))
+		err := c.pushOnce(ctx, source, seq, payload, len(recs))
 		if err == nil {
 			if attempt > 1 {
 				c.logf("ingest push recovered after %d failed attempts", attempt-1)
 			}
 			return nil
 		}
+		// The caller's context ending is fatal: either it was cancelled
+		// (give the cancel back promptly instead of burning the remaining
+		// backoff budget) or its own deadline passed. A per-attempt
+		// timeout from http.Client.Timeout also surfaces as
+		// context.DeadlineExceeded (since Go 1.16) but with ctx still
+		// live — that one stays retryable, which slow-network fault tests
+		// depend on.
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if errors.Is(err, context.Canceled) {
+			return err
 		}
 		var fatal *fatalPushError
 		if errors.As(err, &fatal) {
@@ -222,12 +294,19 @@ type fatalPushError struct{ err error }
 func (e *fatalPushError) Error() string { return e.err.Error() }
 func (e *fatalPushError) Unwrap() error { return e.err }
 
-func (c *HTTPClient) pushOnce(ctx context.Context, payload []byte, n int) error {
+func (c *HTTPClient) pushOnce(ctx context.Context, source string, seq uint64, payload []byte, n int) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.URL, bytes.NewReader(payload))
 	if err != nil {
 		return &fatalPushError{err: err}
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if source != "" {
+		req.Header.Set(HeaderSource, source)
+		req.Header.Set(HeaderSeq, strconv.FormatUint(seq, 10))
+	}
+	if c.cfg.Epoch != 0 {
+		req.Header.Set(HeaderEpoch, strconv.FormatUint(c.cfg.Epoch, 10))
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return err // transport error: retryable
@@ -236,6 +315,9 @@ func (c *HTTPClient) pushOnce(ctx context.Context, payload []byte, n int) error 
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 	}()
+	if err := c.checkEpoch(resp); err != nil {
+		return err
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		statusErr := fmt.Errorf("ingest: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
@@ -252,6 +334,30 @@ func (c *HTTPClient) pushOnce(ctx context.Context, payload []byte, n int) error 
 	}
 	if ack.Accepted != n {
 		return &fatalPushError{err: fmt.Errorf("ingest: server accepted %d of %d records", ack.Accepted, n)}
+	}
+	return nil
+}
+
+// checkEpoch turns an epoch disagreement into a fatal
+// *EpochConflictError: a 409 carrying the node's epoch (the fencing
+// verdict), or a success from a node whose epoch no longer matches the
+// client's stamp (the node moved on between our stamp and its answer —
+// the caller must re-learn before trusting further requests).
+func (c *HTTPClient) checkEpoch(resp *http.Response) error {
+	nodeEpochStr := resp.Header.Get(HeaderEpoch)
+	if nodeEpochStr == "" {
+		return nil
+	}
+	nodeEpoch, err := strconv.ParseUint(nodeEpochStr, 10, 64)
+	if err != nil {
+		return nil // pre-epoch server or proxy noise; ignore
+	}
+	conflict := &fatalPushError{err: &EpochConflictError{ClientEpoch: c.cfg.Epoch, NodeEpoch: nodeEpoch}}
+	if resp.StatusCode == http.StatusConflict {
+		return conflict
+	}
+	if resp.StatusCode == http.StatusOK && c.cfg.Epoch != 0 && nodeEpoch != c.cfg.Epoch {
+		return conflict
 	}
 	return nil
 }
@@ -280,6 +386,9 @@ func (c *HTTPClient) getJSON(ctx context.Context, path string, v any) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		if errors.Is(err, context.Canceled) {
+			return err
+		}
 		var fatal *fatalPushError
 		if errors.As(err, &fatal) {
 			return fatal.err
@@ -294,6 +403,9 @@ func (c *HTTPClient) getOnce(ctx context.Context, target string, v any) error {
 	if err != nil {
 		return &fatalPushError{err: err}
 	}
+	if c.cfg.Epoch != 0 {
+		req.Header.Set(HeaderEpoch, strconv.FormatUint(c.cfg.Epoch, 10))
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return err // transport error: retryable
@@ -302,6 +414,9 @@ func (c *HTTPClient) getOnce(ctx context.Context, target string, v any) error {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 	}()
+	if err := c.checkEpoch(resp); err != nil {
+		return err
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		statusErr := fmt.Errorf("ingest: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))

@@ -2,6 +2,8 @@ package ingest
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -62,5 +64,150 @@ func TestHTTPClientConcurrentPushes(t *testing.T) {
 		t.Fatalf("no retries recorded; the backoff path was never exercised")
 	} else {
 		t.Logf("retries across %d concurrent pushes: %d", pushers*pushes, got)
+	}
+}
+
+// TestHTTPClientPushCancelMidBackoff is the regression test for prompt
+// cancellation: with a multi-second backoff pending between attempts
+// against an always-failing server, cancelling the context must return
+// immediately — not after the backoff timer or the remaining attempt
+// budget drains.
+func TestHTTPClientPushCancelMidBackoff(t *testing.T) {
+	attempted := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempted <- struct{}{}
+		http.Error(w, "transient", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(HTTPClientConfig{
+		URL:         srv.URL,
+		MaxAttempts: 10,
+		BackoffBase: 10 * time.Second,
+		BackoffCap:  10 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Push(ctx, []Record{{SwarmID: 1, PeerID: 1, Online: true}})
+	}()
+	<-attempted // first attempt has failed; the client is now in backoff
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Push returned %v, want context.Canceled", err)
+		}
+		if wait := time.Since(start); wait > 2*time.Second {
+			t.Fatalf("Push took %v to honour cancellation; it sat out the backoff", wait)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push still running 5s after cancel — stuck in the 10s backoff")
+	}
+}
+
+// TestHTTPClientPushCancelDuringAttempt: a cancel while an attempt is
+// in flight (server never answers) must also surface promptly as
+// context.Canceled, not be retried as a transport error.
+func TestHTTPClientPushCancelDuringAttempt(t *testing.T) {
+	arrived := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only watches for the client
+		// hanging up (which cancels r.Context()) once the body is read.
+		io.Copy(io.Discard, r.Body)
+		arrived <- struct{}{}
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(HTTPClientConfig{
+		URL:         srv.URL,
+		MaxAttempts: 10,
+		BackoffBase: 10 * time.Second,
+		BackoffCap:  10 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Push(ctx, []Record{{SwarmID: 1, PeerID: 1, Online: true}})
+	}()
+	<-arrived
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Push returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push did not return after cancel during an in-flight attempt")
+	}
+}
+
+// TestHTTPClientPerAttemptTimeoutRetries: a per-attempt timeout from
+// http.Client.Timeout surfaces as context.DeadlineExceeded with the
+// caller's ctx still live. That must stay retryable — the slow-network
+// fault tests depend on the client riding through per-attempt stalls.
+func TestHTTPClientPerAttemptTimeoutRetries(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			select { // stall past the client's per-attempt timeout
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+			return
+		}
+		w.Write([]byte(`{"accepted":1}`))
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(HTTPClientConfig{
+		URL:         srv.URL,
+		Client:      &http.Client{Timeout: 100 * time.Millisecond},
+		MaxAttempts: 6,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	})
+	if err := c.Push(context.Background(), []Record{{SwarmID: 1, PeerID: 1, Online: true}}); err != nil {
+		t.Fatalf("Push did not ride through per-attempt timeouts: %v", err)
+	}
+	if hits.Load() < 3 {
+		t.Fatalf("server saw %d attempts, want >= 3", hits.Load())
+	}
+}
+
+// TestHTTPClientEpochConflictFatal: a 409 carrying the node's epoch is
+// a cluster-membership fact, not a transient — Push must fail fast with
+// *EpochConflictError instead of burning the retry budget.
+func TestHTTPClientEpochConflictFatal(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if got := r.Header.Get(HeaderEpoch); got != "3" {
+			t.Errorf("request stamped %q, want epoch 3", got)
+		}
+		w.Header().Set(HeaderEpoch, "5")
+		http.Error(w, `{"error":"stale"}`, http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(HTTPClientConfig{
+		URL:         srv.URL,
+		Epoch:       3,
+		MaxAttempts: 6,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	})
+	err := c.Push(context.Background(), []Record{{SwarmID: 1, PeerID: 1, Online: true}})
+	var conflict *EpochConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("Push returned %v, want *EpochConflictError", err)
+	}
+	if conflict.ClientEpoch != 3 || conflict.NodeEpoch != 5 {
+		t.Fatalf("conflict %+v, want client 3 node 5", conflict)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no retries on epoch conflict)", hits.Load())
 	}
 }

@@ -17,6 +17,21 @@ import (
 // binary never misreads a new journal.
 const opsCodecVersion = 1
 
+// keyedCodecVersion marks a frame carrying a (source, seq) idempotency
+// key ahead of a complete v1 ops payload:
+//
+//	[ver=2][u16 len(source)][source bytes][u64 seq][v1 ops frame]
+//
+// Keying the frame itself — rather than journaling a separate marker —
+// makes the batch and its key one atomic durability unit: a crash can
+// never journal the ops while losing the key, or vice versa, and WAL
+// shipping carries the dedup window to followers for free.
+const keyedCodecVersion = 2
+
+// maxSourceLen bounds the idempotency source id so a corrupt frame
+// cannot claim an absurd header.
+const maxSourceLen = 256
+
 // Event ops use a fixed-width binary layout (the hot path: one frame
 // per flushed batch, almost all events); registration and census ops
 // carry their bulky payloads as length-prefixed JSON, reusing the
@@ -73,6 +88,50 @@ func encodeOps(dst []byte, ops []Op) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// encodeKeyedOps appends the keyed (v2) wire form of ops to dst: the
+// key header followed by the complete v1 encoding.
+func encodeKeyedOps(dst []byte, source string, seq uint64, ops []Op) ([]byte, error) {
+	if source == "" || len(source) > maxSourceLen {
+		return nil, fmt.Errorf("ingest: bad idempotency source length %d", len(source))
+	}
+	dst = append(dst, keyedCodecVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(source)))
+	dst = append(dst, source...)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	return encodeOps(dst, ops)
+}
+
+// decodeFrame parses one WAL frame of either codec version: keyed (v2)
+// frames yield their idempotency key, plain (v1) frames yield
+// source == "". Like decodeOps it is total — corrupt headers return
+// errors, never panics.
+func decodeFrame(data []byte) (source string, seq uint64, ops []Op, err error) {
+	if len(data) == 0 {
+		return "", 0, nil, fmt.Errorf("ingest: empty journal frame")
+	}
+	if data[0] != keyedCodecVersion {
+		ops, err = decodeOps(data)
+		return "", 0, ops, err
+	}
+	if len(data) < 3 {
+		return "", 0, nil, fmt.Errorf("ingest: keyed journal frame too short (%d bytes)", len(data))
+	}
+	srclen := int(binary.LittleEndian.Uint16(data[1:3]))
+	if srclen == 0 || srclen > maxSourceLen {
+		return "", 0, nil, fmt.Errorf("ingest: bad keyed frame source length %d", srclen)
+	}
+	if len(data) < 3+srclen+8 {
+		return "", 0, nil, fmt.Errorf("ingest: keyed journal frame truncated in header")
+	}
+	source = string(data[3 : 3+srclen])
+	seq = binary.LittleEndian.Uint64(data[3+srclen : 3+srclen+8])
+	ops, err = decodeOps(data[3+srclen+8:])
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return source, seq, ops, nil
 }
 
 // decodeOps parses one WAL frame back into ops. It is total: any input
@@ -179,6 +238,16 @@ func (j *journal) encode(ops []Op) ([]byte, error) {
 		buf = (*(v.(*[]byte)))[:0]
 	}
 	return encodeOps(buf, ops)
+}
+
+// encodeKeyed renders a keyed batch into a pooled scratch buffer. The
+// caller must hand the buffer back via j.append or j.release.
+func (j *journal) encodeKeyed(source string, seq uint64, ops []Op) ([]byte, error) {
+	var buf []byte
+	if v := j.bufs.Get(); v != nil {
+		buf = (*(v.(*[]byte)))[:0]
+	}
+	return encodeKeyedOps(buf, source, seq, ops)
 }
 
 // append journals one pre-encoded frame and releases the buffer.

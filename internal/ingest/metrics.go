@@ -21,6 +21,7 @@ type Metrics struct {
 	reg   *obs.Registry
 
 	records       *obs.Counter   // ops accepted by Submit/Writer
+	deduped       *obs.Counter   // keyed ops acked without re-applying (duplicates)
 	shed          *obs.Counter   // ops dropped by the Shed overflow policy
 	writerDropped *obs.Counter   // buffered Writer ops lost to Close (see ClosedError)
 	batches       *obs.Counter   // batches applied
@@ -47,6 +48,7 @@ func newMetrics(reg *obs.Registry, shards int) *Metrics {
 		start:         time.Now(),
 		reg:           reg,
 		records:       reg.Counter("ingest_records_total"),
+		deduped:       reg.Counter("ingest_deduped_total"),
 		shed:          reg.Counter("ingest_shed_total"),
 		writerDropped: reg.Counter("ingest_writer_dropped_total"),
 		batches:       reg.Counter("ingest_batches_total"),
@@ -83,6 +85,9 @@ type MetricsSnapshot struct {
 	Applied          uint64  `json:"applied"`
 	Batches          uint64  `json:"batches"`
 	RecordsPerSecond float64 `json:"records_per_second"`
+	// Deduped counts keyed ops acknowledged without re-applying because
+	// their (source, seq) batch was already journaled.
+	Deduped uint64 `json:"deduped"`
 	// Shed counts ops dropped by the Shed overflow policy; always 0
 	// under Block. OverflowPolicy names the active policy.
 	Shed           uint64  `json:"shed"`
@@ -115,6 +120,7 @@ func (m *Metrics) snapshot(depths []int, policy OverflowPolicy) MetricsSnapshot 
 	snap := MetricsSnapshot{
 		UptimeSeconds:  up,
 		Records:        m.records.Value(),
+		Deduped:        m.deduped.Value(),
 		Applied:        applied,
 		Batches:        m.batches.Value(),
 		Shed:           m.shed.Value(),

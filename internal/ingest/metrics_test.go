@@ -37,6 +37,14 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Exercise the exactly-once path: the second submit of the same
+	// (source, seq) key is a duplicate and populates Deduped.
+	if applied, err := e.SubmitKeyed("metrics-test", 1, ops[:1]); err != nil || !applied {
+		t.Fatalf("first keyed submit: applied=%v err=%v", applied, err)
+	}
+	if applied, err := e.SubmitKeyed("metrics-test", 1, ops[:1]); err != nil || applied {
+		t.Fatalf("duplicate keyed submit: applied=%v err=%v", applied, err)
+	}
 	e.Flush()
 
 	snap := e.Metrics()

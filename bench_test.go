@@ -9,8 +9,11 @@ package swarmavail
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strconv"
@@ -413,6 +416,110 @@ func BenchmarkIngestParallel(b *testing.B) {
 			b.ReportMetric(float64(total), "records/op")
 		})
 	}
+}
+
+// benchRecords builds a deterministic monitor-record campaign shared by
+// the ingest protocol benchmarks.
+func benchRecords(n int) []ingest.Record {
+	recs := make([]ingest.Record, n)
+	for i := range recs {
+		recs[i] = ingest.Record{
+			SwarmID: i % 499,
+			PeerID:  uint64(i%97 + 1),
+			Seed:    i%3 == 0,
+			Online:  i%7 != 6,
+			Time:    float64(i%1000) / 10,
+		}
+	}
+	return recs
+}
+
+// BenchmarkIngestStream compares the two ingest wire protocols end to
+// end on identical 8-shard engines: JSONL batches over POST /v1/ingest
+// (the handler's scanner-decode-then-Submit core) versus the
+// length-framed binary stream (DESIGN.md §12) through a StreamClient
+// over real loopback TCP. Each iteration pushes the same campaign into
+// a fresh engine; records/sec is the acceptance metric — the binary
+// stream must hold ≥5× the JSON path's throughput.
+func BenchmarkIngestStream(b *testing.B) {
+	const total, batch = 16384, 512
+	recs := benchRecords(total)
+
+	b.Run("json-http", func(b *testing.B) {
+		var e *ingest.Engine
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sc := trace.NewScanner[ingest.Record](r.Body)
+			var ops []ingest.Op
+			for sc.Scan() {
+				ops = append(ops, ingest.EventOp(sc.Record()))
+			}
+			if err := sc.Err(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := e.Submit(ops); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintf(w, `{"accepted":%d}`, len(ops))
+		}))
+		defer srv.Close()
+		client := ingest.NewHTTPClient(ingest.HTTPClientConfig{BaseURL: srv.URL, MaxAttempts: 2})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e = ingest.New(ingest.Config{Shards: 8})
+			b.StartTimer()
+			for off := 0; off < total; off += batch {
+				if err := client.Push(context.Background(), recs[off:off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e.Flush()
+			b.StopTimer()
+			e.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	})
+
+	b.Run("binary-stream", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := ingest.New(ingest.Config{Shards: 8})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss := ingest.NewStreamServer(e, nil)
+			done := make(chan struct{})
+			go func() { defer close(done); _ = ss.Serve(ln) }()
+			b.StartTimer()
+			c := ingest.NewStreamClient(ingest.StreamClientConfig{
+				Addr:      ln.Addr().String(),
+				BatchSize: batch,
+			})
+			for _, rec := range recs {
+				if err := c.Observe(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Close(); err != nil {
+				b.Fatal(err)
+			}
+			e.Flush()
+			b.StopTimer()
+			ln.Close()
+			ss.Close()
+			<-done
+			e.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	})
 }
 
 // BenchmarkTraceDecode compares the two JSONL decode paths on the same

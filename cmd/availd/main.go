@@ -93,6 +93,13 @@ type options struct {
 	follow     string        // leader base URL to follow
 	followPoll time.Duration // WAL-shipping poll cadence
 	drainGrace time.Duration // how long /v1/healthz advertises draining before shutdown
+
+	// Binary streaming ingest: with ingestBin set a raw TCP listener
+	// speaks the length-framed stream protocol (DESIGN.md §12) next to
+	// the HTTP API. binReady, when non-nil, receives the bound address
+	// once the listener is up (tests use ":0").
+	ingestBin string
+	binReady  chan<- net.Addr
 }
 
 func main() {
@@ -118,6 +125,7 @@ func main() {
 	flag.StringVar(&opts.follow, "follow", "", "run as a warm standby shipping this leader's WAL (e.g. http://host:8647); requires -listen and -data-dir")
 	flag.DurationVar(&opts.followPoll, "follow-poll", 250*time.Millisecond, "WAL-shipping poll cadence under -follow")
 	flag.DurationVar(&opts.drainGrace, "drain-grace", 0, "keep answering /v1/healthz as draining this long before shutdown, so load balancers drain first")
+	flag.StringVar(&opts.ingestBin, "ingest-bin", "", "binary streaming ingest listen address (e.g. :8649); empty = HTTP ingest only")
 	flag.Parse()
 
 	opts.logger = obs.NewLogger(os.Stderr, "availd", obs.ParseLevel(*logLevel), *logJSON)
@@ -299,7 +307,7 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	go func() { errc <- srv.Serve(ln) }()
 
 	var adminSrv *http.Server
@@ -319,6 +327,37 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 			adminReady <- adminLn.Addr()
 		}
 		go func() { errc <- adminSrv.Serve(adminLn) }()
+	}
+
+	// Binary streaming ingest listener: the same engine behind a raw TCP
+	// protocol whose frames are journal frames (DESIGN.md §12).
+	var (
+		binLn net.Listener
+		binSS *ingest.StreamServer
+	)
+	if opts.ingestBin != "" {
+		binLn, err = net.Listen("tcp", opts.ingestBin)
+		if err != nil {
+			if adminSrv != nil {
+				adminSrv.Close()
+			}
+			srv.Close()
+			ln.Close()
+			return err
+		}
+		binSS = ingest.NewStreamServer(e, func(format string, args ...any) {
+			if opts.logger != nil {
+				opts.logger.Warn(fmt.Sprintf(format, args...))
+			}
+		})
+		fmt.Printf("availd: binary ingest on %s\n", binLn.Addr())
+		if opts.logger != nil {
+			opts.logger.Info("binary ingest listener up", "addr", binLn.Addr().String())
+		}
+		if opts.binReady != nil {
+			opts.binReady <- binLn.Addr()
+		}
+		go func() { errc <- binSS.Serve(binLn) }()
 	}
 
 	// Periodic checkpoints bound recovery time: boot cost is one
@@ -356,6 +395,10 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 		if adminSrv != nil {
 			adminSrv.Close()
 		}
+		if binLn != nil {
+			binLn.Close()
+			binSS.Close()
+		}
 		srv.Close()
 		return err
 	case <-ctx.Done():
@@ -371,6 +414,14 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 	s.draining.Store(true)
 	if opts.drainGrace > 0 {
 		time.Sleep(opts.drainGrace)
+	}
+	if binLn != nil {
+		// Stop the binary stream first: closing the listener and the
+		// active connections cuts every stream at a frame boundary —
+		// acknowledged frames are in the engine, clients resend the rest
+		// on reconnect (keyed frames make that exactly-once).
+		binLn.Close()
+		binSS.Close()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

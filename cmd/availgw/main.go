@@ -34,8 +34,11 @@ import (
 
 type options struct {
 	listen         string
+	ingestBin      string
 	nodes          string
 	followers      string
+	nodeBins       string
+	followerBins   string
 	vnodes         int
 	queueDepth     int
 	sendPasses     int
@@ -55,6 +58,9 @@ func main() {
 	flag.StringVar(&opts.listen, "listen", ":8650", "HTTP listen address")
 	flag.StringVar(&opts.nodes, "nodes", "", "comma-separated leader base URLs, in slot order (required)")
 	flag.StringVar(&opts.followers, "followers", "", "comma-separated follower base URLs, parallel to -nodes (empty slots allowed)")
+	flag.StringVar(&opts.ingestBin, "ingest-bin", "", "binary streaming ingest listen address (e.g. :8651); requires -node-bins")
+	flag.StringVar(&opts.nodeBins, "node-bins", "", "comma-separated node binary ingest addresses (availd -ingest-bin), parallel to -nodes")
+	flag.StringVar(&opts.followerBins, "follower-bins", "", "comma-separated follower binary ingest addresses, parallel to -nodes (empty slots allowed)")
 	flag.IntVar(&opts.vnodes, "vnodes", 0, "virtual nodes per slot on the hash ring (0 = default)")
 	flag.IntVar(&opts.queueDepth, "queue-depth", 0, "queued pushes per node before back-pressure (0 = default)")
 	flag.IntVar(&opts.sendPasses, "send-passes", 0, "client retry cycles per push before reporting failure (0 = default)")
@@ -75,18 +81,34 @@ func main() {
 	}
 }
 
-// parseNodes zips -nodes and -followers into the cluster membership.
-func parseNodes(nodes, followers string) ([]cluster.NodeConfig, error) {
+// parseNodes zips -nodes, -followers, -node-bins and -follower-bins
+// into the cluster membership.
+func parseNodes(nodes, followers, nodeBins, followerBins string) ([]cluster.NodeConfig, error) {
 	if strings.TrimSpace(nodes) == "" {
 		return nil, fmt.Errorf("-nodes is required")
 	}
 	urls := strings.Split(nodes, ",")
-	var fws []string
-	if strings.TrimSpace(followers) != "" {
-		fws = strings.Split(followers, ",")
-		if len(fws) != len(urls) {
-			return nil, fmt.Errorf("-followers has %d entries for %d nodes", len(fws), len(urls))
+	parallel := func(flagName, v string) ([]string, error) {
+		if strings.TrimSpace(v) == "" {
+			return nil, nil
 		}
+		parts := strings.Split(v, ",")
+		if len(parts) != len(urls) {
+			return nil, fmt.Errorf("%s has %d entries for %d nodes", flagName, len(parts), len(urls))
+		}
+		return parts, nil
+	}
+	fws, err := parallel("-followers", followers)
+	if err != nil {
+		return nil, err
+	}
+	bins, err := parallel("-node-bins", nodeBins)
+	if err != nil {
+		return nil, err
+	}
+	fbins, err := parallel("-follower-bins", followerBins)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]cluster.NodeConfig, 0, len(urls))
 	for i, u := range urls {
@@ -98,6 +120,12 @@ func parseNodes(nodes, followers string) ([]cluster.NodeConfig, error) {
 		if fws != nil {
 			nc.Follower = strings.TrimSuffix(strings.TrimSpace(fws[i]), "/")
 		}
+		if bins != nil {
+			nc.BinAddr = strings.TrimSpace(bins[i])
+		}
+		if fbins != nil {
+			nc.FollowerBin = strings.TrimSpace(fbins[i])
+		}
 		out = append(out, nc)
 	}
 	return out, nil
@@ -106,7 +134,7 @@ func parseNodes(nodes, followers string) ([]cluster.NodeConfig, error) {
 // run builds the gateway and serves until ctx ends; tests drive it
 // directly with a ready channel for the bound address.
 func run(ctx context.Context, opts options, logf func(string, ...any), ready chan<- net.Addr) error {
-	nodes, err := parseNodes(opts.nodes, opts.followers)
+	nodes, err := parseNodes(opts.nodes, opts.followers, opts.nodeBins, opts.followerBins)
 	if err != nil {
 		return err
 	}
@@ -149,11 +177,28 @@ func run(ctx context.Context, opts options, logf func(string, ...any), ready cha
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// Binary stream forwarding: a raw TCP front for the same fan-out,
+	// forwarding stream frames per slot to each node's -ingest-bin.
+	var binLn net.Listener
+	if opts.ingestBin != "" {
+		binLn, err = net.Listen("tcp", opts.ingestBin)
+		if err != nil {
+			srv.Close()
+			ln.Close()
+			return err
+		}
+		fmt.Printf("availgw: binary ingest on %s\n", binLn.Addr())
+		go func() { errc <- g.ServeStream(binLn) }()
+	}
 
 	select {
 	case err := <-errc:
+		if binLn != nil {
+			binLn.Close()
+		}
 		srv.Close()
 		return err
 	case <-ctx.Done():
@@ -165,6 +210,11 @@ func run(ctx context.Context, opts options, logf func(string, ...any), ready cha
 	g.SetDraining(true)
 	if opts.drainGrace > 0 {
 		time.Sleep(opts.drainGrace)
+	}
+	if binLn != nil {
+		// Cut the streams at frame boundaries before the gateway's
+		// upstream clients go away; keyed resends make the cut loss-free.
+		binLn.Close()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

@@ -16,7 +16,7 @@ import (
 )
 
 func TestParseNodes(t *testing.T) {
-	nodes, err := parseNodes("http://a:1, http://b:2/ ,http://c:3", "http://fa:1,,http://fc:3")
+	nodes, err := parseNodes("http://a:1, http://b:2/ ,http://c:3", "http://fa:1,,http://fc:3", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +33,13 @@ func TestParseNodes(t *testing.T) {
 		t.Fatalf("bad names: %+v", nodes)
 	}
 
-	if _, err := parseNodes("", ""); err == nil {
+	if _, err := parseNodes("", "", "", ""); err == nil {
 		t.Fatal("empty -nodes accepted")
 	}
-	if _, err := parseNodes("http://a:1,http://b:2", "http://f:1"); err == nil {
+	if _, err := parseNodes("http://a:1,http://b:2", "http://f:1", "", ""); err == nil {
 		t.Fatal("mismatched -followers length accepted")
 	}
-	if _, err := parseNodes("http://a:1,,http://c:3", ""); err == nil {
+	if _, err := parseNodes("http://a:1,,http://c:3", "", "", ""); err == nil {
 		t.Fatal("empty node URL accepted")
 	}
 }

@@ -30,6 +30,13 @@ type NodeConfig struct {
 	// Follower is the standby's base URL ("" = no failover for this
 	// slot). The follower must be running availd -follow against URL.
 	Follower string
+	// BinAddr is the leader's binary streaming ingest address (availd
+	// -ingest-bin). Required on every node for Gateway.ServeStream.
+	BinAddr string
+	// FollowerBin is the follower's binary ingest address; after a
+	// promotion stream forwarding redials here ("" = binary forwarding
+	// for this slot keeps dialing BinAddr).
+	FollowerBin string
 }
 
 func (n NodeConfig) name() string {
@@ -124,6 +131,7 @@ type gwNode struct {
 	cfg NodeConfig
 
 	url      atomic.Value // string: current base URL (leader, then follower)
+	binAddr  atomic.Value // string: current binary ingest address
 	client   atomic.Pointer[ingest.HTTPClient]
 	jobs     chan *pushJob
 	fails    atomic.Int32 // consecutive failed health checks
@@ -190,6 +198,9 @@ type Gateway struct {
 	batches   *obs.Counter
 	pushFails *obs.Counter
 	failovers *obs.Counter
+
+	streamConns  *obs.Counter
+	streamFrames *obs.Counter
 }
 
 // NewGateway builds and starts a gateway: senders and the health loop
@@ -214,6 +225,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		g.batches = reg.Counter("gateway_ingest_batches_total")
 		g.pushFails = reg.Counter("gateway_push_failures_total")
 		g.failovers = reg.Counter("gateway_failovers_total")
+		g.streamConns = reg.Counter("gateway_stream_conns_total")
+		g.streamFrames = reg.Counter("gateway_stream_frames_total")
 	}
 	for i, nc := range cfg.Nodes {
 		if nc.URL == "" {
@@ -221,6 +234,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		}
 		n := &gwNode{idx: i, cfg: nc, jobs: make(chan *pushJob, cfg.QueueDepth)}
 		n.url.Store(nc.URL)
+		n.binAddr.Store(nc.BinAddr)
 		n.retired.Store("")
 		n.client.Store(g.newClient(nc.URL, 0))
 		if reg := cfg.Metrics; reg != nil {
@@ -476,6 +490,9 @@ func (g *Gateway) failover(n *gwNode) {
 	}
 	n.promoted.Store(true)
 	n.url.Store(newURL)
+	if n.cfg.FollowerBin != "" {
+		n.binAddr.Store(n.cfg.FollowerBin)
+	}
 	n.epoch.Store(newEpoch)
 	n.client.Store(g.newClient(newURL, newEpoch))
 	n.retired.Store(oldURL)

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/obs"
+)
+
+// streamNode is one in-memory availd stand-in: an engine serving both
+// the binary stream protocol and the /v1/state + /v1/healthz routes the
+// gateway needs.
+type streamNode struct {
+	e       *ingest.Engine
+	srv     *httptest.Server
+	binAddr string
+}
+
+func newStreamNode(t *testing.T) *streamNode {
+	t.Helper()
+	e := ingest.New(ingest.Config{Shards: 2})
+	t.Cleanup(e.Close)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ingest.WriteJSON(w, map[string]string{"state": "serving"})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		e.Flush()
+		ingest.WriteState(w, e.Summary())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := ingest.NewStreamServer(e, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ss.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		ss.Close()
+		<-done
+	})
+	return &streamNode{e: e, srv: srv, binAddr: ln.Addr().String()}
+}
+
+// streamGateway wires nodes into a gateway with its binary stream
+// listener up, returning the gateway, its HTTP test server and the
+// stream address.
+func streamGateway(t *testing.T, nodes []*streamNode) (*Gateway, *httptest.Server, string) {
+	t.Helper()
+	cfgs := make([]NodeConfig, len(nodes))
+	for i, n := range nodes {
+		cfgs[i] = NodeConfig{Name: fmt.Sprintf("n%d", i), URL: n.srv.URL, BinAddr: n.binAddr}
+	}
+	g, err := NewGateway(GatewayConfig{
+		Nodes:       cfgs,
+		HealthEvery: time.Hour, // no failover noise in these tests
+		Metrics:     obs.NewRegistry(),
+		SourceID:    "gwtest",
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = g.ServeStream(ln)
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		<-done
+		g.Close()
+	})
+	return g, srv, ln.Addr().String()
+}
+
+func fetchBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return body
+}
+
+// TestGatewayStreamParity pushes one op stream through the gateway's
+// binary stream front — frames straddling slots, so both the verbatim
+// single-slot path and the split-and-re-key path run — and requires the
+// gateway's merged /v1/summary and /v1/availability/cdf to be
+// byte-identical to a lone engine that saw the whole stream.
+func TestGatewayStreamParity(t *testing.T) {
+	nodes := []*streamNode{newStreamNode(t), newStreamNode(t), newStreamNode(t)}
+	_, gwSrv, streamAddr := streamGateway(t, nodes)
+
+	lone := ingest.New(ingest.Config{Shards: 2})
+	defer lone.Close()
+
+	c := ingest.NewStreamClient(ingest.StreamClientConfig{Addr: streamAddr, BatchSize: 64})
+	for swarm := 0; swarm < 150; swarm++ {
+		for k := 0; k < 8; k++ {
+			rec := ingest.Record{
+				SwarmID: swarm,
+				PeerID:  uint64(k + 1),
+				Seed:    k%3 == 0,
+				Online:  k%4 != 3,
+				Time:    float64(k) / 4,
+			}
+			if err := c.Observe(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := lone.Observe(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lone.Flush()
+
+	loneSummary := httptest.NewRecorder()
+	ingest.WriteSummary(loneSummary, lone.Summary())
+	qs, err := ingest.ParseQuantiles("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loneCDF := httptest.NewRecorder()
+	ingest.WriteCDF(loneCDF, lone.Summary(), qs)
+
+	if got := fetchBody(t, gwSrv.URL+"/v1/summary"); !bytes.Equal(got, loneSummary.Body.Bytes()) {
+		t.Fatalf("merged summary diverged from lone engine\n--- gateway ---\n%s\n--- lone ---\n%s",
+			got, loneSummary.Body.Bytes())
+	}
+	if got := fetchBody(t, gwSrv.URL+"/v1/availability/cdf"); !bytes.Equal(got, loneCDF.Body.Bytes()) {
+		t.Fatalf("merged cdf diverged from lone engine\n--- gateway ---\n%s\n--- lone ---\n%s",
+			got, loneCDF.Body.Bytes())
+	}
+}
+
+// TestGatewayStreamKeyedReplayForwardsVerbatim replays a single-slot
+// keyed frame through the gateway twice. The forward is verbatim —
+// same bytes, same key — so the owning node's dedup window absorbs the
+// replay: no node re-applies, and the summary is unchanged.
+func TestGatewayStreamKeyedReplayForwardsVerbatim(t *testing.T) {
+	nodes := []*streamNode{newStreamNode(t), newStreamNode(t)}
+	g, gwSrv, streamAddr := streamGateway(t, nodes)
+
+	// A frame whose ops all live on one slot, keyed by the monitor.
+	slotOf := func(swarm int) int { return g.Ring().Node(swarm) }
+	wantSlot := slotOf(1)
+	var ops []ingest.Op
+	for swarm := 1; len(ops) < 6; swarm++ {
+		if slotOf(swarm) != wantSlot {
+			continue
+		}
+		ops = append(ops,
+			ingest.EventOp(ingest.Record{SwarmID: swarm, PeerID: 1, Seed: true, Online: true, Time: 0.5}),
+			ingest.EventOp(ingest.Record{SwarmID: swarm, PeerID: 2, Online: true, Time: 1.5}),
+		)
+	}
+	frame, err := ingest.EncodeFrame(nil, "mon-verbatim", 7, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	push := func() {
+		c := ingest.NewStreamClient(ingest.StreamClientConfig{Addr: streamAddr, Source: "mon-verbatim"})
+		if err := c.PushFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push()
+	base := fetchBody(t, gwSrv.URL+"/v1/summary")
+	var applied, deduped uint64
+	for _, n := range nodes {
+		m := n.e.Metrics()
+		applied += m.Records
+		deduped += m.Deduped
+	}
+	if want := uint64(len(ops)); applied != want {
+		t.Fatalf("nodes applied %d records, want %d", applied, want)
+	}
+	if deduped != 0 {
+		t.Fatalf("unexpected dedups before replay: %d", deduped)
+	}
+
+	push() // the lost-ack retry
+	var applied2, deduped2 uint64
+	for _, n := range nodes {
+		m := n.e.Metrics()
+		applied2 += m.Records
+		deduped2 += m.Deduped
+	}
+	if applied2 != applied {
+		t.Fatalf("replay re-applied: %d -> %d records", applied, applied2)
+	}
+	if want := uint64(len(ops)); deduped2 != want {
+		t.Fatalf("replay deduped %d records, want %d", deduped2, want)
+	}
+	if got := fetchBody(t, gwSrv.URL+"/v1/summary"); !bytes.Equal(got, base) {
+		t.Fatal("summary changed across a deduplicated replay")
+	}
+}

@@ -212,6 +212,80 @@ func (e *Engine) SubmitKeyed(source string, seq uint64, ops []Op) (applied bool,
 	return true, nil
 }
 
+// SubmitFrame applies one already-encoded wire frame (the v1/v2 ops
+// codec — exactly the bytes a binary stream DATA frame carries). This
+// is the streaming ingest hot path's whole point: the frame is decoded
+// once, and on a durable engine the received bytes are appended to the
+// journal verbatim — no intermediate structs, no re-encode — so the
+// wire format, the WAL format and the recovery format are one format.
+//
+// Keyed (v2) frames ride the same exactly-once windows as SubmitKeyed:
+// a replayed frame is acknowledged (applied=false, err=nil) without
+// re-applying and counted in ingest_deduped_total. A frame that fails
+// to decode is rejected before any state — journal or shards — is
+// touched.
+func (e *Engine) SubmitFrame(frame []byte) (applied bool, err error) {
+	// Decode into a pooled scratch slice: deliver copies ops into the
+	// per-shard batches before returning, so the decode buffer is dead by
+	// the time the deferred put runs.
+	scratch := e.pool.get(0)
+	source, seq, ops, err := decodeFrameInto(scratch, frame)
+	if err != nil {
+		e.pool.put(scratch)
+		return false, err
+	}
+	defer e.pool.put(ops)
+	if len(ops) == 0 {
+		return true, nil
+	}
+	if !e.enter() {
+		return false, ErrClosed
+	}
+	defer e.exit()
+
+	if source == "" {
+		if e.journal == nil {
+			e.deliver(ops)
+			return true, nil
+		}
+		e.journal.gate.RLock()
+		defer e.journal.gate.RUnlock()
+		if err := e.journal.appendRaw(frame, len(ops)); err != nil {
+			return false, err
+		}
+		e.deliver(ops)
+		return true, nil
+	}
+
+	w := e.dedup.window(source)
+	if e.journal == nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.observed(seq) {
+			e.metrics.deduped.Add(uint64(len(ops)))
+			return false, nil
+		}
+		e.deliver(ops)
+		w.mark(seq)
+		return true, nil
+	}
+	// Same lock order as SubmitKeyed: journal gate before window.
+	e.journal.gate.RLock()
+	defer e.journal.gate.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.observed(seq) {
+		e.metrics.deduped.Add(uint64(len(ops)))
+		return false, nil
+	}
+	if err := e.journal.appendRaw(frame, len(ops)); err != nil {
+		return false, err
+	}
+	e.deliver(ops)
+	w.mark(seq)
+	return true, nil
+}
+
 // deliver partitions ops and block-sends one pooled batch per shard
 // touched, without journaling (the caller already has) and without
 // shedding (see SubmitKeyed). The caller must hold an enter()
@@ -230,10 +304,12 @@ func (e *Engine) deliver(ops []Op) {
 	} else {
 		parts = make([][]Op, len(e.shards))
 	}
+	// Same cold-start sizing rationale as Submit's fan-out.
+	hint := len(ops)/len(e.shards) + len(ops)/8 + 8
 	for _, op := range ops {
 		i := shardIndex(op.SwarmID(), len(e.shards))
 		if parts[i] == nil {
-			parts[i] = e.pool.get(e.cfg.BatchSize)
+			parts[i] = e.pool.get(hint)
 		}
 		parts[i] = append(parts[i], op)
 	}

@@ -37,15 +37,28 @@ func (e *ClosedError) Unwrap() error { return ErrClosed }
 // ownership transfers through the queue (no copy) → the shard applies
 // it and puts it back. Elements are cleared before pooling so a parked
 // buffer cannot pin registration payloads for the GC.
+//
+// The free list is a bounded channel rather than a sync.Pool: the
+// ingest hot path allocates little else, so with a small live heap the
+// GC runs every few MB and would empty a sync.Pool on every cycle —
+// turning each delivery into a fresh make([]Op). The channel's buffers
+// survive GC; when it is full, put drops the buffer (bounding retained
+// memory at init's size), and the zero value degrades to plain
+// allocation.
 type batchPool struct {
-	pool sync.Pool
+	free chan []Op
 }
 
+// init sizes the free list; called once before the engine starts.
+func (p *batchPool) init(size int) { p.free = make(chan []Op, size) }
+
 func (p *batchPool) get(capHint int) []Op {
-	if v := p.pool.Get(); v != nil {
-		return (*(v.(*[]Op)))[:0]
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]Op, 0, capHint)
 	}
-	return make([]Op, 0, capHint)
 }
 
 func (p *batchPool) put(b []Op) {
@@ -54,7 +67,10 @@ func (p *batchPool) put(b []Op) {
 	}
 	clear(b) // drop aux pointers before parking
 	b = b[:0]
-	p.pool.Put(&b)
+	select {
+	case p.free <- b:
+	default: // full: let the GC have it
+	}
 }
 
 // Engine is the sharded streaming-ingestion engine. Writes scale
@@ -127,6 +143,9 @@ func newEngine(cfg Config) *Engine {
 		metrics: newMetrics(cfg.Metrics, cfg.Shards),
 		done:    make(chan struct{}),
 	}
+	// Enough parked buffers for every queue slot plus the batches being
+	// filled and decoded at the edges.
+	e.pool.init(cfg.Shards*cfg.QueueDepth + 2*cfg.Shards + 8)
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics, &e.pool)
@@ -272,10 +291,14 @@ func (e *Engine) Submit(ops []Op) error {
 	} else {
 		parts = make([][]Op, len(e.shards))
 	}
+	// Size cold-start buffers for this batch's per-shard share (with
+	// slack for skew), not the full BatchSize: a pool miss then costs
+	// what the batch needs, and append regrows the rare hot shard.
+	hint := len(ops)/len(e.shards) + len(ops)/8 + 8
 	for _, op := range ops {
 		i := shardIndex(op.SwarmID(), len(e.shards))
 		if parts[i] == nil {
-			parts[i] = e.pool.get(e.cfg.BatchSize)
+			parts[i] = e.pool.get(hint)
 		}
 		parts[i] = append(parts[i], op)
 	}

@@ -92,6 +92,13 @@ func encodeOps(dst []byte, ops []Op) ([]byte, error) {
 
 // encodeKeyedOps appends the keyed (v2) wire form of ops to dst: the
 // key header followed by the complete v1 encoding.
+// opsHeaderSize is the fixed v1 frame prefix: version byte + op count.
+const opsHeaderSize = 1 + 4
+
+// keyedHeaderSize is the v2 prefix in front of the embedded v1 frame:
+// version byte, source length + bytes, sequence number.
+func keyedHeaderSize(source string) int { return 1 + 2 + len(source) + 8 }
+
 func encodeKeyedOps(dst []byte, source string, seq uint64, ops []Op) ([]byte, error) {
 	if source == "" || len(source) > maxSourceLen {
 		return nil, fmt.Errorf("ingest: bad idempotency source length %d", len(source))
@@ -108,11 +115,18 @@ func encodeKeyedOps(dst []byte, source string, seq uint64, ops []Op) ([]byte, er
 // source == "". Like decodeOps it is total — corrupt headers return
 // errors, never panics.
 func decodeFrame(data []byte) (source string, seq uint64, ops []Op, err error) {
+	return decodeFrameInto(nil, data)
+}
+
+// decodeFrameInto is decodeFrame decoding into dst's backing array
+// (regrown as needed) — the hot ingest path feeds it a pooled scratch
+// slice so a frame decode costs no steady-state allocation.
+func decodeFrameInto(dst []Op, data []byte) (source string, seq uint64, ops []Op, err error) {
 	if len(data) == 0 {
 		return "", 0, nil, fmt.Errorf("ingest: empty journal frame")
 	}
 	if data[0] != keyedCodecVersion {
-		ops, err = decodeOps(data)
+		ops, err = decodeOpsInto(dst, data)
 		return "", 0, ops, err
 	}
 	if len(data) < 3 {
@@ -127,7 +141,7 @@ func decodeFrame(data []byte) (source string, seq uint64, ops []Op, err error) {
 	}
 	source = string(data[3 : 3+srclen])
 	seq = binary.LittleEndian.Uint64(data[3+srclen : 3+srclen+8])
-	ops, err = decodeOps(data[3+srclen+8:])
+	ops, err = decodeOpsInto(dst, data[3+srclen+8:])
 	if err != nil {
 		return "", 0, nil, err
 	}
@@ -139,7 +153,11 @@ func decodeFrame(data []byte) (source string, seq uint64, ops []Op, err error) {
 // error, never a panic or an over-allocation, because recovery feeds it
 // frames whose envelope checksum passed but whose payload may still be
 // foreign (a frame written by a different build, say).
-func decodeOps(data []byte) ([]Op, error) {
+func decodeOps(data []byte) ([]Op, error) { return decodeOpsInto(nil, data) }
+
+// decodeOpsInto appends into dst's backing array when it has the
+// capacity, regrowing otherwise; see decodeFrameInto.
+func decodeOpsInto(dst []Op, data []byte) ([]Op, error) {
 	if len(data) < 5 {
 		return nil, fmt.Errorf("ingest: journal frame too short (%d bytes)", len(data))
 	}
@@ -154,7 +172,10 @@ func decodeOps(data []byte) ([]Op, error) {
 	if uint64(count)*auxWireMin > uint64(len(data)) {
 		return nil, fmt.Errorf("ingest: journal frame claims %d ops in %d bytes", count, len(data))
 	}
-	ops := make([]Op, 0, count)
+	ops := dst[:0]
+	if cap(ops) < int(count) {
+		ops = make([]Op, 0, count)
+	}
 	for i := uint32(0); i < count; i++ {
 		if len(data) == 0 {
 			return nil, fmt.Errorf("ingest: journal frame truncated at op %d/%d", i, count)
@@ -207,6 +228,27 @@ func decodeOps(data []byte) ([]Op, error) {
 	return ops, nil
 }
 
+// DecodeFrame parses one journal/wire frame of either codec version:
+// keyed (v2) frames yield their idempotency key, plain (v1) frames
+// yield source == "". It is total — corrupt input returns an error,
+// never a panic. Exported for the cluster gateway's binary stream
+// forwarding and for cross-package protocol tests; the engine's own
+// paths use it through SubmitFrame.
+func DecodeFrame(frame []byte) (source string, seq uint64, ops []Op, err error) {
+	return decodeFrame(frame)
+}
+
+// EncodeFrame appends the wire form of ops to dst: the keyed (v2)
+// layout when source is non-empty, the plain (v1) layout otherwise.
+// The bytes are exactly what a WAL frame or a binary stream DATA frame
+// carries — the two formats are one format.
+func EncodeFrame(dst []byte, source string, seq uint64, ops []Op) ([]byte, error) {
+	if source == "" {
+		return encodeOps(dst, ops)
+	}
+	return encodeKeyedOps(dst, source, seq, ops)
+}
+
 // journal couples the engine's write path to a wal.Log. Its gate is the
 // checkpoint/append ordering lock: enqueue holds it shared across the
 // journal-append *and* the queue send, so when Checkpoint acquires it
@@ -254,6 +296,18 @@ func (j *journal) encodeKeyed(source string, seq uint64, ops []Op) ([]byte, erro
 func (j *journal) append(frame []byte, nOps int) error {
 	_, err := j.log.Append(frame)
 	j.bufs.Put(&frame)
+	if err == nil {
+		j.appended.Add(uint64(nOps))
+	}
+	return err
+}
+
+// appendRaw journals one wire-received frame verbatim. Unlike append it
+// never pools the buffer: the bytes belong to the caller (a stream
+// reader's reusable frame buffer), and the wal.Log copies them into its
+// own scratch before Append returns.
+func (j *journal) appendRaw(frame []byte, nOps int) error {
+	_, err := j.log.Append(frame)
 	if err == nil {
 		j.appended.Add(uint64(nOps))
 	}

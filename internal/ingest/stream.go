@@ -1,0 +1,280 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"swarmavail/internal/obs"
+	"swarmavail/internal/wal"
+)
+
+// The binary streaming ingest protocol (DESIGN.md §12). One TCP (or any
+// full-duplex byte-stream) connection carries a sequence of frames in
+// both directions, each wrapped in the WAL envelope — u32 LE payload
+// length, u32 LE CRC32-C, payload (wal.AppendFrame / wal.FrameReader) —
+// so a frame that passes the envelope check on arrival is, byte for
+// byte, a frame the journal can store and recovery can replay.
+//
+// Frame payloads start with a one-byte type:
+//
+//	client → server
+//	  0x01 DATA   rest = one ops-codec frame (v1 plain or v2 keyed,
+//	              identical to the WAL payload format)
+//	  0x02 CLOSE  empty; asks for a final cumulative ACK, then close
+//
+//	server → client
+//	  0x81 ACK    u64 LE: cumulative count of DATA frames accepted on
+//	              this connection (applied or deduplicated — both are
+//	              acknowledgements)
+//	  0x82 ERR    u8 code + UTF-8 message; the connection closes after
+//
+// Acks are cumulative and coalesced: the server acknowledges when its
+// read buffer drains or every streamAckEvery frames, whichever comes
+// first, so a fast sender pays one ack per burst, not per frame.
+const (
+	StreamFrameData  = 0x01
+	StreamFrameClose = 0x02
+	StreamFrameAck   = 0x81
+	StreamFrameErr   = 0x82
+)
+
+// ERR frame codes. A codec or protocol error is fatal to the
+// connection but — by construction — leaves engine state untouched:
+// frames are fully decoded before anything is journaled or applied.
+const (
+	// StreamErrCodec: a DATA frame's ops payload failed to decode.
+	StreamErrCodec = 1
+	// StreamErrState: the engine refused the write (closing/closed).
+	StreamErrState = 2
+	// StreamErrProto: a torn or corrupt envelope, or an unknown frame
+	// type — the stream is unsynchronized and cannot continue.
+	StreamErrProto = 3
+)
+
+// streamAckEvery bounds ack coalescing: at most this many DATA frames
+// are accepted between acks even when the sender never lets the read
+// buffer drain.
+const streamAckEvery = 64
+
+// maxStreamFrame bounds one stream frame's payload. Far below
+// wal.MaxFrameBytes: a single DATA frame is one client batch, and a
+// length claiming more than this is a framing desync, not a batch.
+const maxStreamFrame = 8 << 20
+
+// StreamError is the server's ERR frame surfaced to the client.
+type StreamError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("ingest: stream error %d: %s", e.Code, e.Msg)
+}
+
+// countingReader counts bytes as they arrive from the connection (the
+// ingest_stream_bytes_total source of truth — envelope included,
+// counted where they enter).
+type countingReader struct {
+	r io.Reader
+	n *obs.Counter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+	}
+	return n, err
+}
+
+// StreamServer serves the binary streaming ingest protocol over an
+// Engine. One StreamServer handles any number of concurrent
+// connections; per-connection state is local to ServeConn.
+type StreamServer struct {
+	e    *Engine
+	logf func(format string, args ...any)
+
+	frames    *obs.Counter   // ingest_stream_frames_total: DATA frames accepted
+	bytes     *obs.Counter   // ingest_stream_bytes_total: wire bytes received
+	conns     *obs.Counter   // ingest_stream_conns_total: connections served
+	errs      *obs.Counter   // ingest_stream_errors_total: ERR frames sent
+	ackWindow *obs.Histogram // ingest_stream_ack_window: DATA frames covered per ACK
+
+	mu     sync.Mutex
+	active map[net.Conn]struct{}
+	closed bool
+}
+
+// NewStreamServer registers the stream series on e's registry and
+// returns a server ready to accept connections.
+func NewStreamServer(e *Engine, logf func(format string, args ...any)) *StreamServer {
+	reg := e.Registry()
+	return &StreamServer{
+		e:         e,
+		logf:      logf,
+		frames:    reg.Counter("ingest_stream_frames_total"),
+		bytes:     reg.Counter("ingest_stream_bytes_total"),
+		conns:     reg.Counter("ingest_stream_conns_total"),
+		errs:      reg.Counter("ingest_stream_errors_total"),
+		ackWindow: reg.Histogram("ingest_stream_ack_window", obs.SizeBuckets),
+		active:    map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections from ln until the listener closes (or
+// Close is called), handling each on its own goroutine. It returns nil
+// on a clean listener close.
+func (s *StreamServer) Serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer s.untrack(conn)
+			if err := s.ServeConn(conn); err != nil && s.logf != nil {
+				s.logf("ingest stream %s: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+func (s *StreamServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.active[conn] = struct{}{}
+	return true
+}
+
+func (s *StreamServer) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
+}
+
+// Close tears down every active connection. In-flight frames that were
+// already acknowledged are journaled/applied; everything after the cut
+// is the client's to resend (keyed frames make the resend exactly-once).
+func (s *StreamServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// streamConn is one connection's protocol state.
+type streamConn struct {
+	s   *StreamServer
+	fr  *wal.FrameReader
+	buf *bufio.Reader // Buffered() drives ack coalescing
+	w   io.Writer
+
+	accepted  uint64 // DATA frames accepted (applied or deduplicated)
+	lastAcked uint64
+	wbuf      []byte // outbound frame scratch
+}
+
+// ServeConn runs the protocol on one connection until the peer closes,
+// a CLOSE frame completes, or an error ends the stream. The returned
+// error describes why the stream ended (nil for clean ends); the caller
+// owns closing conn.
+func (s *StreamServer) ServeConn(conn net.Conn) error {
+	s.conns.Inc()
+	br := bufio.NewReaderSize(&countingReader{r: conn, n: s.bytes}, 64<<10)
+	c := &streamConn{s: s, fr: wal.NewFrameReader(br), buf: br, w: conn}
+	for {
+		payload, err := c.fr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Peer vanished without CLOSE (crash, reset): everything
+				// acknowledged stands; everything else was never applied.
+				return nil
+			}
+			if errors.Is(err, wal.ErrCorrupt) {
+				c.sendErr(StreamErrProto, "corrupt frame: "+err.Error())
+				return fmt.Errorf("corrupt frame: %w", err)
+			}
+			return err
+		}
+		if len(payload) > maxStreamFrame {
+			c.sendErr(StreamErrProto, "frame exceeds stream bound")
+			return fmt.Errorf("oversized stream frame (%d bytes)", len(payload))
+		}
+		switch payload[0] {
+		case StreamFrameData:
+			if _, err := s.e.SubmitFrame(payload[1:]); err != nil {
+				code := byte(StreamErrCodec)
+				if errors.Is(err, ErrClosed) {
+					code = StreamErrState
+				}
+				c.sendErr(code, err.Error())
+				return fmt.Errorf("data frame rejected: %w", err)
+			}
+			s.frames.Inc()
+			c.accepted++
+			if c.buf.Buffered() == 0 || c.accepted-c.lastAcked >= streamAckEvery {
+				if err := c.sendAck(); err != nil {
+					return err
+				}
+			}
+		case StreamFrameClose:
+			// Final cumulative ack, then a clean end. The client treats
+			// the ack that covers its last DATA frame as full settlement.
+			if err := c.sendAck(); err != nil {
+				return err
+			}
+			return nil
+		default:
+			c.sendErr(StreamErrProto, fmt.Sprintf("unknown frame type 0x%02x", payload[0]))
+			return fmt.Errorf("unknown stream frame type 0x%02x", payload[0])
+		}
+	}
+}
+
+// sendAck writes one cumulative ACK frame.
+func (c *streamConn) sendAck() error {
+	c.s.ackWindow.Observe(float64(c.accepted - c.lastAcked))
+	c.lastAcked = c.accepted
+	var p [9]byte
+	p[0] = StreamFrameAck
+	binary.LittleEndian.PutUint64(p[1:], c.accepted)
+	c.wbuf = wal.AppendFrame(c.wbuf[:0], p[:])
+	_, err := c.w.Write(c.wbuf)
+	return err
+}
+
+// sendErr writes one ERR frame, best effort (the connection is about
+// to close either way).
+func (c *streamConn) sendErr(code byte, msg string) {
+	c.s.errs.Inc()
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	p := make([]byte, 0, 2+len(msg))
+	p = append(p, StreamFrameErr, code)
+	p = append(p, msg...)
+	c.wbuf = wal.AppendFrame(c.wbuf[:0], p)
+	_, _ = c.w.Write(c.wbuf)
+}

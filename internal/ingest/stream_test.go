@@ -1,0 +1,443 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"swarmavail/internal/faultnet"
+	"swarmavail/internal/trace"
+	"swarmavail/internal/wal"
+)
+
+// startStreamServer serves the binary streaming protocol for e on a
+// loopback listener, torn down with the test.
+func startStreamServer(t testing.TB, e *Engine) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(e, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ss.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		ss.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// studyOps renders a generated availability study as one flat op
+// stream, the shared input of the parity tests.
+func studyOps(swarms int, seed int64) []Op {
+	var ops []Op
+	for _, tr := range trace.GenerateStudy(trace.DefaultStudyConfig(swarms, seed)) {
+		ops = append(ops, TraceOps(tr)...)
+	}
+	return ops
+}
+
+// renderAPI renders the engine's two read endpoints exactly as availd
+// serves them; byte equality of these is the parity criterion.
+func renderAPI(t testing.TB, e *Engine) (summary, cdf []byte) {
+	t.Helper()
+	e.Flush()
+	sum := e.Summary()
+	qs, err := ParseQuantiles("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewRecorder()
+	WriteSummary(rs, sum)
+	rc := httptest.NewRecorder()
+	WriteCDF(rc, sum, qs)
+	return rs.Body.Bytes(), rc.Body.Bytes()
+}
+
+// TestStreamSummaryParity drives the same op stream through the JSON
+// path's core (Submit, as POST /v1/ingest does) and through the full
+// binary stream stack — StreamClient over real TCP into a StreamServer
+// — and requires the rendered /v1/summary and /v1/availability/cdf
+// bodies to be byte-identical.
+func TestStreamSummaryParity(t *testing.T) {
+	ops := studyOps(120, 17)
+
+	jsonE := New(Config{Shards: 4})
+	defer jsonE.Close()
+	for i := 0; i < len(ops); i += 500 {
+		end := i + 500
+		if end > len(ops) {
+			end = len(ops)
+		}
+		if err := jsonE.Submit(ops[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	binE := New(Config{Shards: 4})
+	defer binE.Close()
+	addr := startStreamServer(t, binE)
+	c := NewStreamClient(StreamClientConfig{Addr: addr, BatchSize: 97})
+	for _, op := range ops {
+		if err := c.Put(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Acked(), c.Sent(); got != want {
+		t.Fatalf("acked %d of %d sent frames", got, want)
+	}
+
+	jsonSum, jsonCDF := renderAPI(t, jsonE)
+	binSum, binCDF := renderAPI(t, binE)
+	if !bytes.Equal(jsonSum, binSum) {
+		t.Fatalf("summary diverged\n--- json ---\n%s\n--- binary ---\n%s", jsonSum, binSum)
+	}
+	if !bytes.Equal(jsonCDF, binCDF) {
+		t.Fatalf("cdf diverged\n--- json ---\n%s\n--- binary ---\n%s", jsonCDF, binCDF)
+	}
+	if binE.Metrics().Records != jsonE.Metrics().Records {
+		t.Fatalf("record counts diverged: binary %d, json %d",
+			binE.Metrics().Records, jsonE.Metrics().Records)
+	}
+}
+
+// dialStream opens one raw protocol connection for hand-rolled frames.
+func dialStream(t *testing.T, addr string) (net.Conn, *wal.FrameReader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, wal.NewFrameReader(conn)
+}
+
+// writeData wraps one ops-codec frame as a DATA stream frame.
+func writeData(t *testing.T, conn net.Conn, frame []byte) {
+	t.Helper()
+	payload := append([]byte{StreamFrameData}, frame...)
+	if _, err := conn.Write(wal.AppendFrame(nil, payload)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEncodeFrame(t *testing.T, source string, seq uint64, ops []Op) []byte {
+	t.Helper()
+	frame, err := EncodeFrame(nil, source, seq, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestStreamCorruptFramesLeaveStateUnchanged sends a valid frame, then
+// torn/corrupt ones, and requires (a) an ERR frame with the right code,
+// (b) the connection to die, and (c) the engine's rendered state and
+// record counters to be exactly what the valid frame left.
+func TestStreamCorruptFramesLeaveStateUnchanged(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	addr := startStreamServer(t, e)
+
+	ops := []Op{
+		EventOp(Record{SwarmID: 1, PeerID: 7, Seed: true, Online: true, Time: 0.5}),
+		EventOp(Record{SwarmID: 2, PeerID: 9, Online: true, Time: 1.5}),
+	}
+	conn, fr := dialStream(t, addr)
+	writeData(t, conn, mustEncodeFrame(t, "mon-a", 1, ops))
+	ack, err := fr.Next()
+	if err != nil || ack[0] != StreamFrameAck {
+		t.Fatalf("want ACK, got %v / %v", ack, err)
+	}
+	baseSum, baseCDF := renderAPI(t, e)
+	baseRecords := e.Metrics().Records
+
+	cases := []struct {
+		name     string
+		corrupt  func(env []byte) []byte
+		wantCode byte
+	}{
+		{"flipped payload bit", func(env []byte) []byte {
+			env[len(env)-1] ^= 0x40
+			return env
+		}, StreamErrProto},
+		{"torn frame then close", func(env []byte) []byte {
+			return env[:len(env)-5]
+		}, StreamErrProto},
+		{"bad ops codec", func(env []byte) []byte {
+			junk := append([]byte{StreamFrameData}, 0xEE, 0xFF, 0x00, 0x01, 0x02)
+			return wal.AppendFrame(nil, junk)
+		}, StreamErrCodec},
+		{"unknown frame type", func(env []byte) []byte {
+			return wal.AppendFrame(nil, []byte{0x7F, 0x00})
+		}, StreamErrProto},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, fr := dialStream(t, addr)
+			env := wal.AppendFrame(nil, append([]byte{StreamFrameData},
+				mustEncodeFrame(t, "mon-bad", 99, ops)...))
+			if _, err := conn.Write(tc.corrupt(env)); err != nil {
+				t.Fatal(err)
+			}
+			conn.(*net.TCPConn).CloseWrite()
+			payload, err := fr.Next()
+			if err != nil {
+				t.Fatalf("want ERR frame, got read error %v", err)
+			}
+			if payload[0] != StreamFrameErr || payload[1] != tc.wantCode {
+				t.Fatalf("got frame %v, want ERR code %d", payload[:2], tc.wantCode)
+			}
+			if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+				t.Fatalf("connection should close after ERR, got %v", err)
+			}
+		})
+	}
+
+	sum, cdf := renderAPI(t, e)
+	if !bytes.Equal(sum, baseSum) || !bytes.Equal(cdf, baseCDF) {
+		t.Fatal("corrupt frames changed engine state")
+	}
+	if got := e.Metrics().Records; got != baseRecords {
+		t.Fatalf("records moved %d -> %d across rejected frames", baseRecords, got)
+	}
+}
+
+// TestStreamKeyedReplayDedups is the exactly-once ledger check on the
+// stream path: a second client replaying an already-applied keyed frame
+// (the lost-ack retry) is acknowledged without re-applying, and the
+// duplicate is visible in ingest_deduped_total.
+func TestStreamKeyedReplayDedups(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	addr := startStreamServer(t, e)
+
+	ops := []Op{
+		EventOp(Record{SwarmID: 3, PeerID: 1, Online: true, Time: 0.25}),
+		EventOp(Record{SwarmID: 4, PeerID: 2, Seed: true, Online: true, Time: 0.75}),
+		EventOp(Record{SwarmID: 3, PeerID: 1, Online: false, Time: 2}),
+	}
+	c1 := NewStreamClient(StreamClientConfig{Addr: addr, Source: "mon-replay"})
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := c1.PushFrame(mustEncodeFrame(t, "mon-replay", seq, ops)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Metrics()
+	if want := uint64(5 * len(ops)); base.Records != want {
+		t.Fatalf("applied %d records, want %d", base.Records, want)
+	}
+
+	// The reconnect-shaped replay: same source, frames 2..4 again.
+	c2 := NewStreamClient(StreamClientConfig{Addr: addr, Source: "mon-replay"})
+	for seq := uint64(2); seq <= 4; seq++ {
+		if err := c2.PushFrame(mustEncodeFrame(t, "mon-replay", seq, ops)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Records != base.Records {
+		t.Fatalf("replay re-applied: records %d -> %d", base.Records, m.Records)
+	}
+	if want := base.Deduped + uint64(3*len(ops)); m.Deduped != want {
+		t.Fatalf("deduped %d, want %d", m.Deduped, want)
+	}
+}
+
+// TestStreamConcurrentClientsWithResets is the -race battery: many
+// clients stream concurrently through a fault-injecting network that
+// resets connections mid-stream; every client rides the resets out by
+// reconnecting and resending its unacked window. Exactly-once must hold
+// to the record: the engine applies each record exactly once, no matter
+// where the resets landed.
+func TestStreamConcurrentClientsWithResets(t *testing.T) {
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := faultnet.New(faultnet.Config{Seed: 7, ResetProb: 0.02})
+	ss := NewStreamServer(e, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ss.Serve(fn.Listener(ln))
+	}()
+	defer func() {
+		ln.Close()
+		ss.Close()
+		<-done
+	}()
+
+	const (
+		clients = 6
+		frames  = 40
+		perOp   = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := NewStreamClient(StreamClientConfig{
+				Source: fmt.Sprintf("mon-%d", ci),
+				Dial: func() (net.Conn, error) {
+					return fn.Dial("tcp", ln.Addr().String(), time.Second)
+				},
+				BatchSize:    perOp,
+				Window:       8,
+				RetryBackoff: 2 * time.Millisecond,
+				MaxAttempts:  100,
+			})
+			for f := 0; f < frames; f++ {
+				for k := 0; k < perOp; k++ {
+					rec := Record{
+						SwarmID: ci*1000 + f,
+						PeerID:  uint64(k + 1),
+						Seed:    k%2 == 0,
+						Online:  true,
+						Time:    float64(f) + float64(k)/float64(perOp),
+					}
+					if err := c.Observe(rec); err != nil {
+						errs <- fmt.Errorf("client %d observe: %w", ci, err)
+						return
+					}
+				}
+			}
+			if err := c.Close(); err != nil {
+				errs <- fmt.Errorf("client %d close: %w", ci, err)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	e.Flush()
+	m := e.Metrics()
+	if want := uint64(clients * frames * perOp); m.Records != want {
+		t.Fatalf("applied %d records, want exactly %d (deduped %d)", m.Records, want, m.Deduped)
+	}
+	st := fn.Stats()
+	t.Logf("faultnet: %d resets, %d dials denied; engine deduped %d replayed records",
+		st.Resets, st.DialsDenied, m.Deduped)
+}
+
+// FuzzStreamFrames feeds arbitrary bytes to a live protocol connection.
+// The server must never panic, and whatever the bytes did, the engine
+// must still accept well-formed work afterwards.
+func FuzzStreamFrames(f *testing.F) {
+	ops := []Op{EventOp(Record{SwarmID: 1, PeerID: 1, Online: true, Time: 1})}
+	valid, err := EncodeFrame(nil, "fuzz", 1, ops)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wal.AppendFrame(nil, append([]byte{StreamFrameData}, valid...)))
+	f.Add(wal.AppendFrame(nil, []byte{StreamFrameClose}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x00})
+	torn := wal.AppendFrame(nil, append([]byte{StreamFrameData}, valid...))
+	f.Add(torn[:len(torn)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := New(Config{Shards: 1})
+		defer e.Close()
+		ss := NewStreamServer(e, nil)
+		srv, cli := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = ss.ServeConn(srv)
+			srv.Close()
+		}()
+		go io.Copy(io.Discard, cli) // drain acks/errs
+		_, _ = cli.Write(data)
+		cli.Close()
+		<-done
+
+		// The engine survived whatever the stream did.
+		frame, err := EncodeFrame(nil, "after", 1, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.SubmitFrame(frame); err != nil {
+			t.Fatalf("engine broken after fuzzed stream: %v", err)
+		}
+		e.Flush()
+		_ = e.Summary()
+	})
+}
+
+// FuzzOpCodec holds the codec to two properties on arbitrary bytes:
+// decoding never panics, and any frame that decodes has a canonical
+// form — re-encoding the decoded value and decoding again reproduces
+// the same bytes (encode∘decode is idempotent).
+func FuzzOpCodec(f *testing.F) {
+	recOps := []Op{
+		EventOp(Record{SwarmID: 5, PeerID: 11, Seed: true, Online: true, Time: 3.5}),
+		EventOp(Record{SwarmID: -1, PeerID: 0, Time: 0}),
+	}
+	metaOps := []Op{MetaOp(trace.SwarmMeta{ID: 9, Title: "m"}, 30)}
+	censusOps := []Op{CensusOp(trace.Snapshot{Meta: trace.SwarmMeta{ID: 2}, Seeds: 1, Leechers: 4})}
+	for _, ops := range [][]Op{recOps, metaOps, censusOps} {
+		plain, err := EncodeFrame(nil, "", 0, ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(plain)
+		keyed, err := EncodeFrame(nil, "source-a", 42, ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(keyed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		source, seq, ops, err := DecodeFrame(data)
+		if err != nil {
+			return // rejected without panicking: all the contract asks
+		}
+		c1, err := EncodeFrame(nil, source, seq, ops)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		s2, q2, ops2, err := DecodeFrame(c1)
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v", err)
+		}
+		if s2 != source || q2 != seq || len(ops2) != len(ops) {
+			t.Fatalf("canonical decode changed key/shape: (%q,%d,%d) -> (%q,%d,%d)",
+				source, seq, len(ops), s2, q2, len(ops2))
+		}
+		c2, err := EncodeFrame(nil, s2, q2, ops2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("encode∘decode not idempotent:\n c1=%x\n c2=%x", c1, c2)
+		}
+	})
+}

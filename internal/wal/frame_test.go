@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("a"),
+		[]byte("hello frame"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, want := range payloads {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameHeaderLayout(t *testing.T) {
+	payload := []byte("layout probe")
+	buf := AppendFrame(nil, payload)
+	if len(buf) != FrameHeaderSize+len(payload) {
+		t.Fatalf("envelope is %d bytes, want %d", len(buf), FrameHeaderSize+len(payload))
+	}
+	if n := binary.LittleEndian.Uint32(buf[0:4]); int(n) != len(payload) {
+		t.Fatalf("length field %d, want %d", n, len(payload))
+	}
+	wantCRC := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	if c := binary.LittleEndian.Uint32(buf[4:8]); c != wantCRC {
+		t.Fatalf("crc field %#x, want %#x", c, wantCRC)
+	}
+	if !bytes.Equal(buf[FrameHeaderSize:], payload) {
+		t.Fatal("payload bytes differ")
+	}
+}
+
+// TestFrameReaderReusesBuffer pins the documented aliasing contract:
+// the slice Next returns is only valid until the following Next.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	buf := AppendFrame(nil, []byte("first"))
+	buf = AppendFrame(buf, []byte("worse"))
+	fr := NewFrameReader(bytes.NewReader(buf))
+	a, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := string(a) // copy before the next frame overwrites
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if keep != "first" {
+		t.Fatalf("copied payload %q, want %q", keep, "first")
+	}
+	if string(a) != "worse" {
+		t.Fatalf("reader did not reuse its buffer: %q", a)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	whole := AppendFrame(nil, []byte("intact payload bytes"))
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"torn header", whole[:FrameHeaderSize-2]},
+		{"torn payload", whole[:len(whole)-3]},
+		{"flipped payload bit", flip(whole, len(whole)-1)},
+		{"flipped crc bit", flip(whole, 5)},
+		{"zero length", AppendFrame(nil, nil)},
+		{"oversized length", oversized()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fr := NewFrameReader(bytes.NewReader(tc.data))
+			_, err := fr.Next()
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestFrameTornHeaderAfterCleanFrames: a trailing partial header is a
+// torn write, reported as corrupt (the WAL repairs it by truncating).
+func TestFrameTornTail(t *testing.T) {
+	buf := AppendFrame(nil, []byte("complete"))
+	buf = append(buf, 0x07, 0x00) // two bytes of a next header
+	fr := NewFrameReader(bytes.NewReader(buf))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn tail: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFinishFrame: building a payload in place after a reserved header
+// must produce byte-identical output to AppendFrame.
+func TestFinishFrame(t *testing.T) {
+	payload := []byte("in-place construction")
+	env := make([]byte, FrameHeaderSize, FrameHeaderSize+len(payload))
+	env = append(env, payload...)
+	env, err := FinishFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := AppendFrame(nil, payload); !bytes.Equal(env, want) {
+		t.Fatalf("FinishFrame produced %x, AppendFrame %x", env, want)
+	}
+	got, err := NewFrameReader(bytes.NewReader(env)).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip got %q", got)
+	}
+}
+
+func TestFinishFrameRejectsBadSizes(t *testing.T) {
+	if _, err := FinishFrame(make([]byte, FrameHeaderSize-1)); err == nil {
+		t.Fatal("short env accepted")
+	}
+	if _, err := FinishFrame(make([]byte, FrameHeaderSize)); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func flip(frame []byte, i int) []byte {
+	out := append([]byte(nil), frame...)
+	out[i] ^= 0x01
+	return out
+}
+
+func oversized() []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(MaxFrameBytes+1))
+	return hdr[:]
+}

@@ -35,7 +35,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -50,21 +49,6 @@ import (
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
-
-// ErrCorrupt marks an invalid frame encountered where the clean-prefix
-// invariant promised a valid one (Open repairs these; Replay should
-// never see one).
-var ErrCorrupt = errors.New("wal: corrupt frame")
-
-// frameHeaderSize is the per-frame overhead: length + CRC.
-const frameHeaderSize = 8
-
-// MaxFrameBytes bounds a single frame's payload; a length field larger
-// than this is treated as corruption rather than an allocation request.
-const MaxFrameBytes = 64 << 20
-
-// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SyncPolicy selects when appended frames are fsynced to stable
 // storage.
@@ -308,40 +292,6 @@ func scanSegment(path string) (frames uint64, validSize, totalSize int64, err er
 		frames++
 		validSize += int64(frameHeaderSize + len(payload))
 	}
-}
-
-// frameReader decodes frames from a byte stream.
-type frameReader struct {
-	r   io.Reader
-	buf []byte
-}
-
-// next returns the next frame's payload. io.EOF marks a clean end;
-// ErrCorrupt (wrapped) marks a torn or invalid frame.
-func (fr *frameReader) next() ([]byte, error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("%w: torn frame header: %v", ErrCorrupt, err)
-	}
-	length := binary.LittleEndian.Uint32(hdr[0:4])
-	sum := binary.LittleEndian.Uint32(hdr[4:8])
-	if length == 0 || length > MaxFrameBytes {
-		return nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
-	}
-	if cap(fr.buf) < int(length) {
-		fr.buf = make([]byte, length)
-	}
-	payload := fr.buf[:length]
-	if _, err := io.ReadFull(fr.r, payload); err != nil {
-		return nil, fmt.Errorf("%w: torn frame payload: %v", ErrCorrupt, err)
-	}
-	if crc32.Checksum(payload, castagnoli) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
-	return payload, nil
 }
 
 // segmentPath names the segment whose first frame has sequence base.
@@ -728,31 +678,6 @@ func (l *Log) Close() error {
 	}
 	return err
 }
-
-// AppendFrame appends payload to dst in the log's frame encoding
-// (length + CRC32-C + payload). Exported so sibling on-disk formats —
-// internal/ingest's checkpoint files — share the framing and its
-// corruption detection.
-func AppendFrame(dst, payload []byte) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
-	return append(dst, payload...)
-}
-
-// FrameReader decodes a stream of frames written by AppendFrame.
-type FrameReader struct {
-	fr frameReader
-}
-
-// NewFrameReader reads frames from r.
-func NewFrameReader(r io.Reader) *FrameReader {
-	return &FrameReader{fr: frameReader{r: r}}
-}
-
-// Next returns the next frame's payload, valid until the following
-// call. io.EOF marks a clean end of stream; a torn or invalid frame
-// returns an error wrapping ErrCorrupt.
-func (r *FrameReader) Next() ([]byte, error) { return r.fr.next() }
 
 // syncDir fsyncs a directory so renames and removals inside it are
 // durable. Best effort: some platforms/filesystems reject it.

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"swarmavail/internal/bittorrent/bencode"
@@ -416,6 +417,61 @@ func BenchmarkIngestParallel(b *testing.B) {
 			b.ReportMetric(float64(total), "records/op")
 		})
 	}
+}
+
+// BenchmarkMixedReadWrite is the read-path-scale acceptance benchmark:
+// GOMAXPROCS producers stream the campaign into an 8-shard engine with
+// a snapshot query interleaved every 128 records — each query a full
+// Snapshot() merge plus summary/windowed-response rendering, i.e. what
+// /v1/summary and /v1/availability/window cost the engine. The
+// interleave makes the query load deterministic (free-running reader
+// goroutines starve unpredictably at low GOMAXPROCS, turning the metric
+// into a scheduler lottery); the actual readers-race-writers
+// concurrency is exercised by TestSnapshotReadersRaceWritersAndClose.
+// Queries ride the lock-free snapshot path and never touch the shard
+// queues, so ingest records/sec must stay within 10% of the write-only
+// BenchmarkIngestParallel/shards=8 number while queries/sec clears 10⁴
+// — both attached as metrics.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	traces := GenerateStudy(DefaultStudyConfig(2000, 42))
+	producers := runtime.GOMAXPROCS(0)
+	parts := make([][]ingest.Op, producers)
+	var total int
+	for i, t := range traces {
+		ops := ingest.TraceOps(t)
+		parts[i%producers] = append(parts[i%producers], ops...)
+		total += len(ops)
+	}
+	const queryEvery = 128
+	b.ReportAllocs()
+	var queries atomic.Int64
+	for i := 0; i < b.N; i++ {
+		e := ingest.New(ingest.Config{Shards: 8})
+		var wg sync.WaitGroup
+		for _, part := range parts {
+			wg.Add(1)
+			go func(part []ingest.Op) {
+				defer wg.Done()
+				w := e.NewWriter()
+				for j, op := range part {
+					w.Put(op)
+					if j%queryEvery == 0 {
+						snap := e.Snapshot()
+						_ = snap.Summary.Headlines()
+						_ = ingest.NewWindowResponse(snap.Window, 1)
+						queries.Add(1)
+					}
+				}
+				w.Flush()
+			}(part)
+		}
+		wg.Wait()
+		e.Flush()
+		e.Close()
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(total), "records/op")
+	b.ReportMetric(float64(queries.Load())/b.Elapsed().Seconds(), "queries/sec")
 }
 
 // benchRecords builds a deterministic monitor-record campaign shared by

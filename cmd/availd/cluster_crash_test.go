@@ -299,11 +299,11 @@ func TestClusterCrashFailover(t *testing.T) {
 		return rec.Body.String()
 	}
 
-	if got, want := fetch("/v1/summary"),
+	if got, want := fetch("/v1/summary?consistent=1"),
 		render(func(w http.ResponseWriter) { ingest.WriteSummary(w, refSum) }); got != want {
 		t.Fatalf("post-failover merged /v1/summary diverged from the acked ledger\n--- cluster ---\n%s--- reference ---\n%s", got, want)
 	}
-	if got, want := fetch("/v1/availability/cdf"),
+	if got, want := fetch("/v1/availability/cdf?consistent=1"),
 		render(func(w http.ResponseWriter) { ingest.WriteCDF(w, refSum, ingest.DefaultCDFQuantiles) }); got != want {
 		t.Fatalf("post-failover merged /v1/availability/cdf diverged\n--- cluster ---\n%s--- reference ---\n%s", got, want)
 	}

@@ -454,25 +454,12 @@ func serve(ctx context.Context, e *ingest.Engine, opts options, ready, adminRead
 }
 
 // registerSummaryMetrics exposes the engine's analytical state —
-// swarm/peer population and busy periods — as gauges. Summary() merges
-// every shard's state, which is too expensive to run once per gauge, so
-// one snapshot is cached across the callbacks for a second (the same
-// trick process.go uses for ReadMemStats).
+// swarm/peer population and busy periods — as gauges. They read the
+// engine's lock-free snapshot (never the shard queues), and
+// back-to-back callbacks within one scrape hit the engine's memoized
+// merge, so scraping costs the write path nothing.
 func registerSummaryMetrics(reg *obs.Registry, e *ingest.Engine) {
-	var (
-		mu   sync.Mutex
-		at   time.Time
-		last *ingest.Summary
-	)
-	get := func() *ingest.Summary {
-		mu.Lock()
-		defer mu.Unlock()
-		if last == nil || time.Since(at) > time.Second {
-			last = e.Summary()
-			at = time.Now()
-		}
-		return last
-	}
+	get := func() *ingest.Summary { return e.Snapshot().Summary }
 	reg.GaugeFunc("availd_swarms", func() float64 { return float64(get().Swarms) })
 	reg.GaugeFunc("availd_study_swarms", func() float64 { return float64(get().StudySwarms) })
 	reg.GaugeFunc("availd_census_swarms", func() float64 { return float64(get().CensusSwarms) })
@@ -726,10 +713,13 @@ func (s *server) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/swarm/{id}", s.handleSwarm)
+	mux.HandleFunc("GET /v1/swarm/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/summary", s.handleSummary)
 	mux.HandleFunc("GET /v1/availability/cdf", s.handleCDF)
+	mux.HandleFunc("GET /v1/availability/window", s.handleWindow)
 	mux.HandleFunc("GET /v1/bundling/summary", s.handleBundling)
 	mux.HandleFunc("GET /v1/state", s.handleState)
+	mux.HandleFunc("GET /v1/window/state", s.handleWindowState)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	if s.dataDir != "" && s.engine.WAL() != nil {
 		// WAL shipping: a follower replicates this node's journal and
@@ -771,10 +761,55 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"state": "serving"})
 }
 
+// wantConsistent reports whether the request opted out of the lock-free
+// snapshot path with ?consistent=1 — a full queue barrier that observes
+// everything submitted before the call, at the cost of touching every
+// shard queue.
+func wantConsistent(r *http.Request) bool {
+	v := r.URL.Query().Get("consistent")
+	return v != "" && v != "0"
+}
+
+// summaryView resolves a read request to a Summary: the engine's
+// epoch-tagged lock-free snapshot by default (at most SnapshotMaxAge
+// stale, served without touching the shard queues), or a queue-barrier
+// read under ?consistent=1. Barrier answers carry no ETag — they are
+// read-your-writes by definition and must not validate a cache.
+func (s *server) summaryView(r *http.Request) (*ingest.Summary, string) {
+	if wantConsistent(r) {
+		return s.engine.Summary(), ""
+	}
+	snap := s.engine.Snapshot()
+	return snap.Summary, snap.ETag
+}
+
+// windowView is summaryView for the windowed aggregate.
+func (s *server) windowView(r *http.Request) (*ingest.WindowState, string) {
+	if wantConsistent(r) {
+		return s.engine.Window(), ""
+	}
+	snap := s.engine.Snapshot()
+	return snap.Window, snap.ETag
+}
+
 // handleState serves the summary's full mergeable wire form — the
 // cluster gateway's scatter-gather payload.
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
-	ingest.WriteState(w, s.engine.Summary())
+	sum, etag := s.summaryView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteState(w, sum)
+}
+
+// handleWindowState serves the windowed aggregate's mergeable wire form
+// — the gateway's scatter-gather payload for windowed queries.
+func (s *server) handleWindowState(w http.ResponseWriter, r *http.Request) {
+	win, etag := s.windowView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	writeJSON(w, win)
 }
 
 func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
@@ -783,7 +818,13 @@ func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad swarm id", http.StatusBadRequest)
 		return
 	}
-	st, ok := s.engine.Swarm(id)
+	var st ingest.SwarmStats
+	var ok bool
+	if wantConsistent(r) {
+		st, ok = s.engine.Swarm(id)
+	} else {
+		st, ok = s.engine.SwarmSnapshot(id)
+	}
 	if !ok {
 		http.Error(w, "unknown swarm", http.StatusNotFound)
 		return
@@ -791,12 +832,33 @@ func (s *server) handleSwarm(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st)
 }
 
+// handleTimeline serves one swarm's windowed history: per-bin
+// availability and busy-period starts at fine resolution plus the
+// downsampled tail.
+func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad swarm id", http.StatusBadRequest)
+		return
+	}
+	win, ok := s.engine.Timeline(id)
+	if !ok {
+		http.Error(w, "unknown swarm", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, ingest.NewTimelineResponse(id, win))
+}
+
 // handleSummary serves the merged engine-wide aggregate: population
 // gauges, headline §2 statistics, and event counters. The rendering
 // lives in internal/ingest's shared httpapi so the cluster gateway's
 // merged answer is byte-identical to this one.
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	ingest.WriteSummary(w, s.engine.Summary())
+	sum, etag := s.summaryView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteSummary(w, sum)
 }
 
 func (s *server) handleCDF(w http.ResponseWriter, r *http.Request) {
@@ -805,7 +867,28 @@ func (s *server) handleCDF(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ingest.WriteCDF(w, s.engine.Summary(), qs)
+	sum, etag := s.summaryView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteCDF(w, sum, qs)
+}
+
+// handleWindow serves the trailing ?d= window of time-binned
+// availability (default 24h): per-bin availability fractions,
+// busy-period starts and event counts, downsampled when the span
+// exceeds the fine ring.
+func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	days, err := ingest.ParseWindowDays(r.URL.Query().Get("d"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	win, etag := s.windowView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteWindow(w, win, days)
 }
 
 type bundlingCategory struct {
@@ -821,7 +904,10 @@ type bundlingCategory struct {
 }
 
 func (s *server) handleBundling(w http.ResponseWriter, r *http.Request) {
-	sum := s.engine.Summary()
+	sum, etag := s.summaryView(r)
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
 	cats := make([]trace.Category, 0, len(sum.Categories))
 	for cat := range sum.Categories {
 		cats = append(cats, cat)

@@ -140,6 +140,29 @@ func TestMetricsScrapeE2E(t *testing.T) {
 		t.Errorf("availd_swarms = %v, want %d", got, first)
 	}
 
+	// Read-path series: two lock-free summary reads of a quiet engine —
+	// the second serves the memoized merge and counts a cache hit. The
+	// flush above published every shard snapshot, so the staleness gauge
+	// reads 0 and the window rings hold the pushed events' bins.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/summary", addr))
+		if err != nil {
+			t.Fatalf("summary read %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	series = scrapeMetrics(t, adminAddr)
+	if got, ok := series["read_cache_hits_total"]; !ok || got < 1 {
+		t.Errorf("read_cache_hits_total = %v ok=%v, want ≥ 1 after repeated snapshot reads", got, ok)
+	}
+	if got, ok := series["ingest_snapshot_age_seconds"]; !ok || got != 0 {
+		t.Errorf("ingest_snapshot_age_seconds = %v ok=%v, want 0 right after a flush", got, ok)
+	}
+	if got, ok := series["ingest_window_bins"]; !ok || got < 1 {
+		t.Errorf("ingest_window_bins = %v ok=%v, want ≥ 1 once events landed in the rings", got, ok)
+	}
+
 	// Acceptance: ≥ 12 distinct series spanning ingest, HTTP and
 	// process metrics on one scrape.
 	fams := metricFamilies(series)

@@ -406,11 +406,11 @@ func TestPartitionChaosFailover(t *testing.T) {
 		write(rec)
 		return rec.Body.String()
 	}
-	if got, want := fetch("/v1/summary"),
+	if got, want := fetch("/v1/summary?consistent=1"),
 		render(func(w http.ResponseWriter) { ingest.WriteSummary(w, refSum) }); got != want {
 		t.Fatalf("post-chaos merged /v1/summary diverged from the exactly-once ledger\n--- cluster ---\n%s--- reference ---\n%s", got, want)
 	}
-	if got, want := fetch("/v1/availability/cdf"),
+	if got, want := fetch("/v1/availability/cdf?consistent=1"),
 		render(func(w http.ResponseWriter) { ingest.WriteCDF(w, refSum, ingest.DefaultCDFQuantiles) }); got != want {
 		t.Fatalf("post-chaos merged /v1/availability/cdf diverged\n--- cluster ---\n%s--- reference ---\n%s", got, want)
 	}

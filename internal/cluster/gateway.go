@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,7 +148,27 @@ type gwNode struct {
 	// fenced it (stamped it with the successor epoch); "" once done.
 	retired atomic.Value // string
 
+	// stateCache/windowCache hold this node's last parsed snapshot-path
+	// answer with its ETag; refreshes send If-None-Match and a 304
+	// reuses the parsed copy without re-decoding. The node's ETag nonce
+	// changes with its engine incarnation, so a promoted follower can
+	// never validate the old leader's cache entry.
+	stateCache  atomic.Pointer[nodeState]
+	windowCache atomic.Pointer[nodeWindow]
+
 	unhealthy *obs.Gauge
+}
+
+// nodeState is one node's cached mergeable summary state.
+type nodeState struct {
+	etag string
+	sum  *ingest.Summary
+}
+
+// nodeWindow is one node's cached mergeable windowed aggregate.
+type nodeWindow struct {
+	etag string
+	win  *ingest.WindowState
 }
 
 func (n *gwNode) currentURL() string { return n.url.Load().(string) }
@@ -201,6 +222,28 @@ type Gateway struct {
 
 	streamConns  *obs.Counter
 	streamFrames *obs.Counter
+
+	// readCacheHits counts node answers served from the conditional-GET
+	// caches (304); collapsedReads counts scatter-gathers that rode an
+	// identical in-flight one instead of fanning out again.
+	readCacheHits  *obs.Counter
+	collapsedReads *obs.Counter
+
+	// flights holds the in-flight snapshot-path scatter-gathers by kind
+	// ("state"/"window"); concurrent identical reads wait for the leader
+	// instead of each hitting every node. Consistent reads never
+	// collapse — each must observe its own prior writes.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// flight is one in-flight collapsed scatter-gather.
+type flight struct {
+	done chan struct{}
+	sum  *ingest.Summary
+	win  *ingest.WindowState
+	etag string
+	err  error
 }
 
 // NewGateway builds and starts a gateway: senders and the health loop
@@ -219,6 +262,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ring:         ring,
 		healthClient: cfg.HealthClient,
 		stop:         make(chan struct{}),
+		flights:      make(map[string]*flight),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		g.records = reg.Counter("gateway_ingest_records_total")
@@ -227,6 +271,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		g.failovers = reg.Counter("gateway_failovers_total")
 		g.streamConns = reg.Counter("gateway_stream_conns_total")
 		g.streamFrames = reg.Counter("gateway_stream_frames_total")
+		g.readCacheHits = reg.Counter("read_cache_hits_total")
+		g.collapsedReads = reg.Counter("gateway_collapsed_reads_total")
 	}
 	for i, nc := range cfg.Nodes {
 		if nc.URL == "" {
@@ -543,6 +589,10 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/summary", g.handleSummary)
 	mux.HandleFunc("GET /v1/availability/cdf", g.handleCDF)
 	mux.HandleFunc("GET /v1/state", g.handleState)
+	mux.HandleFunc("GET /v1/availability/window", g.handleWindow)
+	mux.HandleFunc("GET /v1/window/state", g.handleWindowState)
+	mux.HandleFunc("GET /v1/swarm/{id}", g.proxySwarm)
+	mux.HandleFunc("GET /v1/swarm/{id}/timeline", g.proxySwarm)
 	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
 	if reg := g.cfg.Metrics; reg != nil {
 		mux.Handle("GET /metrics", obs.MetricsHandler(reg))
@@ -640,18 +690,124 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ingest.WriteJSON(w, map[string]int{"accepted": n})
 }
 
+// wantConsistent mirrors availd's ?consistent=1 escape hatch: the
+// barrier read path on every node, bypassing snapshot caches,
+// conditional GETs and scatter-gather collapsing.
+func wantConsistent(r *http.Request) bool {
+	v := r.URL.Query().Get("consistent")
+	return v != "" && v != "0"
+}
+
+// learnEpoch folds an epoch-conflict verdict from node i into the slot
+// so the next read is stamped correctly.
+func (g *Gateway) learnEpoch(i int, err error) error {
+	var conflict *ingest.EpochConflictError
+	if errors.As(err, &conflict) && conflict.NodeEpoch > g.nodes[i].epoch.Load() {
+		g.adoptEpoch(g.nodes[i], conflict.NodeEpoch)
+	}
+	return fmt.Errorf("node %s: %w", g.nodes[i].cfg.name(), err)
+}
+
+// joinETags derives the gateway's validator from the per-node ones: the
+// merged answer is a pure function of the node states, so the
+// concatenation of their validators validates it. Empty when any node
+// did not tag its answer (consistent reads, pre-ETag nodes).
+func joinETags(etags []string) string {
+	parts := make([]string, len(etags))
+	for i, e := range etags {
+		if e == "" {
+			return ""
+		}
+		parts[i] = strings.Trim(e, `"`)
+	}
+	return `"` + strings.Join(parts, "+") + `"`
+}
+
+// collapse runs fetch under the named singleflight: concurrent calls
+// with the same key wait for the leader's result instead of fanning out
+// themselves. A follower whose leader was cancelled retries as its own
+// leader (a cancelled leader must not fail an unrelated caller).
+func (g *Gateway) collapse(ctx context.Context, key string, fetch func() *flight) (*flight, error) {
+	for {
+		g.flightMu.Lock()
+		if f, ok := g.flights[key]; ok {
+			g.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+					continue
+				}
+				g.collapsedReads.Inc()
+				return f, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		g.flights[key] = f
+		g.flightMu.Unlock()
+		res := fetch()
+		f.sum, f.win, f.etag, f.err = res.sum, res.win, res.etag, res.err
+		g.flightMu.Lock()
+		delete(g.flights, key)
+		g.flightMu.Unlock()
+		close(f.done)
+		return f, f.err
+	}
+}
+
 // merged scatter-gathers every node's /v1/state and merges in slot
 // order. All-or-nothing: a partial merge would silently undercount, so
-// one unreachable node fails the read.
-func (g *Gateway) merged(ctx context.Context) (*ingest.Summary, error) {
+// one unreachable node fails the read. Snapshot-path reads (the
+// default) ride the per-node conditional-GET caches — an unchanged node
+// answers 304 and its parsed state is reused — and concurrent identical
+// scatter-gathers collapse into one. The returned etag validates the
+// merged answer (empty on the consistent path).
+func (g *Gateway) merged(ctx context.Context, consistent bool) (*ingest.Summary, string, error) {
+	if consistent {
+		f := g.fetchState(ctx, true)
+		return f.sum, "", f.err
+	}
+	f, err := g.collapse(ctx, "state", func() *flight { return g.fetchState(ctx, false) })
+	if err != nil {
+		return nil, "", err
+	}
+	return f.sum, f.etag, nil
+}
+
+func (g *Gateway) fetchState(ctx context.Context, consistent bool) *flight {
 	sums := make([]*ingest.Summary, len(g.nodes))
+	etags := make([]string, len(g.nodes))
 	errs := make([]error, len(g.nodes))
 	var wg sync.WaitGroup
 	for i, n := range g.nodes {
 		wg.Add(1)
 		go func(i int, n *gwNode) {
 			defer wg.Done()
-			sums[i], errs[i] = n.client.Load().FetchState(ctx)
+			c := n.client.Load()
+			if consistent {
+				sums[i], _, _, errs[i] = c.FetchStateTagged(ctx, true, "")
+				return
+			}
+			var inm string
+			cached := n.stateCache.Load()
+			if cached != nil {
+				inm = cached.etag
+			}
+			sum, etag, notModified, err := c.FetchStateTagged(ctx, false, inm)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if notModified {
+				g.readCacheHits.Inc()
+				sums[i], etags[i] = cached.sum, cached.etag
+				return
+			}
+			if etag != "" {
+				n.stateCache.Store(&nodeState{etag: etag, sum: sum})
+			}
+			sums[i], etags[i] = sum, etag
 		}(i, n)
 	}
 	wg.Wait()
@@ -659,24 +815,96 @@ func (g *Gateway) merged(ctx context.Context) (*ingest.Summary, error) {
 		if err != nil {
 			// A stale-epoch answer must never be merged — but learn the
 			// newer epoch so the next read is stamped correctly.
-			var conflict *ingest.EpochConflictError
-			if errors.As(err, &conflict) && conflict.NodeEpoch > g.nodes[i].epoch.Load() {
-				g.adoptEpoch(g.nodes[i], conflict.NodeEpoch)
-			}
-			return nil, fmt.Errorf("node %s: %w", g.nodes[i].cfg.name(), err)
+			return &flight{err: g.learnEpoch(i, err)}
 		}
 	}
 	merged := ingest.NewSummary()
 	for _, s := range sums {
 		merged.Merge(s)
 	}
-	return merged, nil
+	return &flight{sum: merged, etag: joinETags(etags)}
+}
+
+// mergedWindow is merged for the windowed aggregate
+// (GET /v1/window/state on every node, WindowState.Merge — exact
+// integer algebra, so the answer is byte-identical to a single engine
+// over the whole stream).
+func (g *Gateway) mergedWindow(ctx context.Context, consistent bool) (*ingest.WindowState, string, error) {
+	if consistent {
+		f := g.fetchWindow(ctx, true)
+		return f.win, "", f.err
+	}
+	f, err := g.collapse(ctx, "window", func() *flight { return g.fetchWindow(ctx, false) })
+	if err != nil {
+		return nil, "", err
+	}
+	return f.win, f.etag, nil
+}
+
+func (g *Gateway) fetchWindow(ctx context.Context, consistent bool) *flight {
+	wins := make([]*ingest.WindowState, len(g.nodes))
+	etags := make([]string, len(g.nodes))
+	errs := make([]error, len(g.nodes))
+	var wg sync.WaitGroup
+	for i, n := range g.nodes {
+		wg.Add(1)
+		go func(i int, n *gwNode) {
+			defer wg.Done()
+			c := n.client.Load()
+			if consistent {
+				wins[i], _, _, errs[i] = c.FetchWindowState(ctx, true, "")
+				return
+			}
+			var inm string
+			cached := n.windowCache.Load()
+			if cached != nil {
+				inm = cached.etag
+			}
+			win, etag, notModified, err := c.FetchWindowState(ctx, false, inm)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if notModified {
+				g.readCacheHits.Inc()
+				wins[i], etags[i] = cached.win, cached.etag
+				return
+			}
+			if etag != "" {
+				n.windowCache.Store(&nodeWindow{etag: etag, win: win})
+			}
+			wins[i], etags[i] = win, etag
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return &flight{err: g.learnEpoch(i, err)}
+		}
+	}
+	// Merge into a fresh state carrying the cluster's shared geometry —
+	// node caches must never be mutated.
+	merged := &ingest.WindowState{
+		BinDays:    wins[0].BinDays,
+		FoldFactor: wins[0].FoldFactor,
+		FineBins:   wins[0].FineBins,
+		CoarseBins: wins[0].CoarseBins,
+	}
+	for i, win := range wins {
+		if err := merged.Merge(win); err != nil {
+			return &flight{err: fmt.Errorf("node %s: %w", g.nodes[i].cfg.name(), err)}
+		}
+	}
+	return &flight{win: merged, etag: joinETags(etags)}
 }
 
 func (g *Gateway) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum, err := g.merged(r.Context())
+	sum, etag, err := g.merged(r.Context(), wantConsistent(r))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if ingest.NotModified(w, r, etag) {
 		return
 	}
 	ingest.WriteSummary(w, sum)
@@ -688,21 +916,93 @@ func (g *Gateway) handleCDF(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	sum, merr := g.merged(r.Context())
+	sum, etag, merr := g.merged(r.Context(), wantConsistent(r))
 	if merr != nil {
 		http.Error(w, merr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if ingest.NotModified(w, r, etag) {
 		return
 	}
 	ingest.WriteCDF(w, sum, qs)
 }
 
 func (g *Gateway) handleState(w http.ResponseWriter, r *http.Request) {
-	sum, err := g.merged(r.Context())
+	sum, etag, err := g.merged(r.Context(), wantConsistent(r))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
 	ingest.WriteState(w, sum)
+}
+
+func (g *Gateway) handleWindow(w http.ResponseWriter, r *http.Request) {
+	days, err := ingest.ParseWindowDays(r.URL.Query().Get("d"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	win, etag, merr := g.mergedWindow(r.Context(), wantConsistent(r))
+	if merr != nil {
+		http.Error(w, merr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteWindow(w, win, days)
+}
+
+func (g *Gateway) handleWindowState(w http.ResponseWriter, r *http.Request) {
+	win, etag, err := g.mergedWindow(r.Context(), wantConsistent(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if ingest.NotModified(w, r, etag) {
+		return
+	}
+	ingest.WriteJSON(w, win)
+}
+
+// proxySwarm forwards a per-swarm read (GET /v1/swarm/{id} and its
+// /timeline) to the swarm's home node by ring slot, verbatim — the home
+// node owns the swarm outright, so there is nothing to merge.
+func (g *Gateway) proxySwarm(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad swarm id", http.StatusBadRequest)
+		return
+	}
+	slot := g.ring.Node(id)
+	target := g.nodes[slot].currentURL() + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := g.healthClient.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("node %s: %v", g.nodes[slot].cfg.name(), err), http.StatusServiceUnavailable)
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "ETag"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
 }
 
 // clusterNodeStatus is one slot in the GET /v1/cluster body.

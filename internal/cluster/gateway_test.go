@@ -16,10 +16,12 @@ import (
 // testNode is an in-process stand-in for one availd: engine plus the
 // slice of the API the gateway talks to.
 type testNode struct {
-	e       *ingest.Engine
-	srv     *httptest.Server
-	healthy atomic.Bool
-	failAll atomic.Bool // 500 every ingest, for partial-failure tests
+	e         *ingest.Engine
+	srv       *httptest.Server
+	healthy   atomic.Bool
+	failAll   atomic.Bool  // 500 every ingest, for partial-failure tests
+	readDelay atomic.Int64 // ns to stall reads, for collapse tests
+	reads     atomic.Int64 // full (non-304) read bodies served
 }
 
 func newTestNode(t *testing.T) *testNode {
@@ -53,9 +55,40 @@ func startTestNode(cfg ingest.Config) *testNode {
 		}
 		ingest.WriteJSON(w, map[string]int{"accepted": len(ops)})
 	})
+	// The read handlers mirror availd's: the default path serves the
+	// ETag-tagged lock-free snapshot, ?consistent=1 the queue barrier.
+	// The mock flushes up front so either path sees every acked push —
+	// the read-your-writes discipline the older gateway tests assume.
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		if d := n.readDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		n.e.Flush()
-		ingest.WriteState(w, n.e.Summary())
+		if r.URL.Query().Get("consistent") != "" {
+			n.reads.Add(1)
+			ingest.WriteState(w, n.e.Summary())
+			return
+		}
+		snap := n.e.Snapshot()
+		if ingest.NotModified(w, r, snap.ETag) {
+			return
+		}
+		n.reads.Add(1)
+		ingest.WriteState(w, snap.Summary)
+	})
+	mux.HandleFunc("GET /v1/window/state", func(w http.ResponseWriter, r *http.Request) {
+		n.e.Flush()
+		if r.URL.Query().Get("consistent") != "" {
+			n.reads.Add(1)
+			ingest.WriteJSON(w, n.e.Window())
+			return
+		}
+		snap := n.e.Snapshot()
+		if ingest.NotModified(w, r, snap.ETag) {
+			return
+		}
+		n.reads.Add(1)
+		ingest.WriteJSON(w, snap.Window)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !n.healthy.Load() {

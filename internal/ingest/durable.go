@@ -19,10 +19,11 @@ import (
 
 // checkpointVersion versions the checkpoint file layout. Version 2
 // appends one mandatory dedup frame (the per-source exactly-once
-// windows, JSON) after the shard frames; version 1 files — written
-// before idempotency keys existed — are still loaded, with empty
-// windows.
-const checkpointVersion = 2
+// windows, JSON) after the shard frames; version 3 adds the window-ring
+// bins to each swarm record (win_fine/win_coarse, sparse). Older files
+// still load: version 1 with empty dedup windows, versions 1–2 with
+// empty window rings that re-seed from subsequent events.
+const checkpointVersion = 3
 
 // checkpointsKept is how many checkpoint files survive pruning: the
 // newest plus one fallback in case the newest is torn by a crash
@@ -440,7 +441,7 @@ func loadCheckpoint(path string, wantSeq uint64, shards []*shard) (int, []dedupR
 	if err := json.Unmarshal(frame, &hdr); err != nil {
 		return 0, nil, fmt.Errorf("ingest: checkpoint header: %w", err)
 	}
-	if hdr.Version != 1 && hdr.Version != checkpointVersion {
+	if hdr.Version < 1 || hdr.Version > checkpointVersion {
 		return 0, nil, fmt.Errorf("ingest: checkpoint version %d not supported", hdr.Version)
 	}
 	if hdr.Seq != wantSeq {

@@ -112,9 +112,19 @@ type Engine struct {
 	// user may enter. inflight counts producers and readers currently
 	// touching the shard queues; Close waits for it to reach zero
 	// before closing the queues, so a queue can never be written after
-	// it is closed.
+	// it is closed. drained carries the wakeup from the exit that takes
+	// inflight to zero after closed is set, so Close can sleep instead
+	// of spinning (buffered so the sender never blocks; a stale token
+	// costs Close one extra loop iteration).
 	closed   atomic.Bool
 	inflight atomic.Int64
+	drained  chan struct{}
+
+	// snapCache memoizes the merged engine-wide read snapshot keyed by
+	// the per-shard snapshot pointers, and snapNonce makes ETags unique
+	// per engine incarnation (see snapshot.go).
+	snapCache atomic.Pointer[mergedSnap]
+	snapNonce string
 
 	// closeMu serialises Close (slow path only — never touched by
 	// writes or reads). stopped (under closeMu) records a completed
@@ -139,21 +149,25 @@ func New(cfg Config) *Engine {
 func newEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults(runtime.GOMAXPROCS(0))
 	e := &Engine{
-		cfg:     cfg,
-		metrics: newMetrics(cfg.Metrics, cfg.Shards),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		metrics:   newMetrics(cfg.Metrics, cfg.Shards),
+		done:      make(chan struct{}),
+		drained:   make(chan struct{}, 1),
+		snapNonce: snapNonce(),
 	}
 	// Enough parked buffers for every queue slot plus the batches being
 	// filled and decoded at the edges.
 	e.pool.init(cfg.Shards*cfg.QueueDepth + 2*cfg.Shards + 8)
 	e.shards = make([]*shard, cfg.Shards)
+	wc := cfg.windowConfig()
 	for i := range e.shards {
-		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics, &e.pool)
+		e.shards[i] = newShard(i, cfg.QueueDepth, e.metrics, &e.pool, wc, cfg.SnapshotMaxAge)
 		s := e.shards[i]
 		e.metrics.reg.GaugeFunc("ingest_shard_queue_depth",
 			func() float64 { return float64(len(s.in)) },
 			obs.L("shard", strconv.Itoa(i)))
 	}
+	e.registerSnapshotGauges()
 	return e
 }
 
@@ -190,14 +204,26 @@ func (e *Engine) shardFor(swarmID int) *shard {
 func (e *Engine) enter() bool {
 	e.inflight.Add(1)
 	if e.closed.Load() {
-		e.inflight.Add(-1)
+		// Bounce through exit so a bouncing entrant still wakes a
+		// Close that observed its increment.
+		e.exit()
 		return false
 	}
 	return true
 }
 
-// exit releases the in-flight registration taken by enter.
-func (e *Engine) exit() { e.inflight.Add(-1) }
+// exit releases the in-flight registration taken by enter. The exit
+// that takes inflight to zero after Close set the flag sends the drain
+// wakeup (non-blocking: the channel is buffered and Close re-checks the
+// count, so a stale token is harmless).
+func (e *Engine) exit() {
+	if e.inflight.Add(-1) == 0 && e.closed.Load() {
+		select {
+		case e.drained <- struct{}{}:
+		default:
+		}
+	}
+}
 
 // enqueue delivers one pool-owned batch to shard i under the configured
 // overflow policy. The caller must hold an enter() registration and
@@ -367,9 +393,12 @@ func (e *Engine) Close() {
 	e.closed.Store(true)
 	// Wait the in-flight queue users out. New entrants bounce off the
 	// closed flag; the ones already inside finish their sends against
-	// still-open queues and live shard goroutines.
+	// still-open queues and live shard goroutines. Every decrement to
+	// zero after the flag store sends a drained token, so this wait
+	// sleeps instead of burning a core; the count is re-checked per
+	// token because tokens can be stale.
 	for e.inflight.Load() != 0 {
-		runtime.Gosched()
+		<-e.drained
 	}
 	for _, s := range e.shards {
 		close(s.in)

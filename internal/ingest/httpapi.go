@@ -9,9 +9,11 @@ package ingest
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"swarmavail/internal/measure"
 )
@@ -95,4 +97,174 @@ func ParseQuantiles(arg string) ([]float64, error) {
 // payload served on GET /v1/state.
 func WriteState(w http.ResponseWriter, sum *Summary) {
 	WriteJSON(w, sum.State())
+}
+
+// ParseWindowDays parses a ?d= window length: a Go duration ("24h",
+// "30m") or a bare number of days ("7"). Empty selects one day.
+func ParseWindowDays(arg string) (float64, error) {
+	if arg == "" {
+		return 1, nil
+	}
+	if dur, err := time.ParseDuration(arg); err == nil {
+		if dur <= 0 {
+			return 0, fmt.Errorf("window must be positive")
+		}
+		return dur.Hours() / 24, nil
+	}
+	d, err := strconv.ParseFloat(arg, 64)
+	if err != nil || d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+		return 0, fmt.Errorf("bad window %q (want a duration like 24h or a number of days)", arg)
+	}
+	return d, nil
+}
+
+// WindowBin is one rendered time bin of a windowed response. Day spans
+// and availabilities are derived from the integer WindowState sums at
+// render time, so identical states render to identical bytes.
+type WindowBin struct {
+	Index    int64   `json:"index"`
+	StartDay float64 `json:"start_day"`
+	EndDay   float64 `json:"end_day"`
+	// Availability is covered/tracked within the bin (0 when nothing
+	// was tracked); TrackedDays and CoveredDays are the underlying
+	// observed and seeded time.
+	Availability float64 `json:"availability"`
+	TrackedDays  float64 `json:"tracked_days"`
+	CoveredDays  float64 `json:"covered_days"`
+	BusyStarts   uint64  `json:"busy_starts,omitempty"`
+	Events       uint64  `json:"events,omitempty"`
+	Swarms       uint64  `json:"swarms,omitempty"`
+}
+
+// renderBins converts the trailing n state bins (ending at the newest
+// present index) to their rendered form; binDays is the bin width of
+// the slice being rendered.
+func renderBins(bins []WindowBinState, binDays float64, n int64) []WindowBin {
+	if len(bins) == 0 || n <= 0 {
+		return nil
+	}
+	hi := bins[len(bins)-1].Index
+	lo := hi - n + 1
+	out := make([]WindowBin, 0, n)
+	for _, b := range bins {
+		if b.Index < lo {
+			continue
+		}
+		rb := WindowBin{
+			Index:       b.Index,
+			StartDay:    float64(b.Index) * binDays,
+			EndDay:      float64(b.Index+1) * binDays,
+			TrackedDays: float64(b.Tracked) / winUnitsPerBin * binDays,
+			CoveredDays: float64(b.Covered) / winUnitsPerBin * binDays,
+			BusyStarts:  b.BusyStarts,
+			Events:      b.Events,
+			Swarms:      b.Swarms,
+		}
+		if b.Tracked > 0 {
+			rb.Availability = float64(b.Covered) / float64(b.Tracked)
+		}
+		out = append(out, rb)
+	}
+	return out
+}
+
+// WindowResponse is the GET /v1/availability/window body: the trailing
+// window of time bins at the finest resolution that covers the
+// requested span, plus the aggregate availability over it.
+type WindowResponse struct {
+	// WindowDays is the requested span; BinDays the width of the bins
+	// actually served; Resolution names which ring they came from.
+	WindowDays float64 `json:"window_days"`
+	BinDays    float64 `json:"bin_days"`
+	Resolution string  `json:"resolution"` // "fine" or "coarse"
+	// Availability is covered/tracked summed over the returned bins.
+	Availability float64     `json:"availability"`
+	Bins         []WindowBin `json:"bins"`
+}
+
+// NewWindowResponse renders the trailing days-long window of win. Spans
+// that fit in the fine ring serve full-resolution bins; longer spans
+// fall back to the coarse (downsampled) ring, clamped to retention.
+func NewWindowResponse(win *WindowState, days float64) WindowResponse {
+	resp := WindowResponse{WindowDays: days, BinDays: win.BinDays, Resolution: "fine"}
+	bins, n := win.Fine, int64(math.Ceil(days/win.BinDays))
+	if n > int64(win.FineBins) {
+		resp.Resolution = "coarse"
+		resp.BinDays = win.BinDays * float64(win.FoldFactor)
+		bins, n = win.Coarse, int64(math.Ceil(days/resp.BinDays))
+		if n > int64(win.CoarseBins) {
+			n = int64(win.CoarseBins)
+		}
+	}
+	resp.Bins = renderBins(bins, resp.BinDays, n)
+	resp.Availability = windowAvailability(bins, n)
+	return resp
+}
+
+// windowAvailability is covered/tracked over the trailing n state bins.
+func windowAvailability(bins []WindowBinState, n int64) float64 {
+	if len(bins) == 0 || n <= 0 {
+		return 0
+	}
+	lo := bins[len(bins)-1].Index - n + 1
+	var covered, tracked uint64
+	for _, b := range bins {
+		if b.Index < lo {
+			continue
+		}
+		covered += b.Covered
+		tracked += b.Tracked
+	}
+	if tracked == 0 {
+		return 0
+	}
+	return float64(covered) / float64(tracked)
+}
+
+// WriteWindow renders win's trailing window as a
+// /v1/availability/window response.
+func WriteWindow(w http.ResponseWriter, win *WindowState, days float64) {
+	WriteJSON(w, NewWindowResponse(win, days))
+}
+
+// TimelineResponse is the GET /v1/swarm/{id}/timeline body: one swarm's
+// full windowed history — per-bin availability and busy-period starts
+// at fine resolution, plus the downsampled tail.
+type TimelineResponse struct {
+	SwarmID       int         `json:"swarm_id"`
+	BinDays       float64     `json:"bin_days"`
+	Bins          []WindowBin `json:"bins"`
+	CoarseBinDays float64     `json:"coarse_bin_days"`
+	CoarseBins    []WindowBin `json:"coarse_bins,omitempty"`
+}
+
+// NewTimelineResponse renders a per-swarm WindowState (from
+// Engine.Timeline) in full.
+func NewTimelineResponse(id int, win *WindowState) TimelineResponse {
+	coarseDays := win.BinDays * float64(win.FoldFactor)
+	return TimelineResponse{
+		SwarmID:       id,
+		BinDays:       win.BinDays,
+		Bins:          renderBins(win.Fine, win.BinDays, int64(win.FineBins)),
+		CoarseBinDays: coarseDays,
+		CoarseBins:    renderBins(win.Coarse, coarseDays, int64(win.CoarseBins)),
+	}
+}
+
+// NotModified handles HTTP conditional GETs: it stamps etag on the
+// response and, when the request's If-None-Match already holds it,
+// writes 304 and reports true (the caller skips the body).
+func NotModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	if etag == "" {
+		return false
+	}
+	w.Header().Set("ETag", etag)
+	for _, cand := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		cand = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cand), "W/"))
+		if cand == etag || cand == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
 }

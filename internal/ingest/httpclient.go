@@ -366,6 +366,16 @@ func (c *HTTPClient) checkEpoch(resp *http.Response) error {
 // same retry discipline as Push: transport errors, 5xx and 429 are
 // retried with capped jittered backoff; other 4xx are fatal.
 func (c *HTTPClient) getJSON(ctx context.Context, path string, v any) error {
+	_, _, err := c.getJSONTagged(ctx, path, "", v)
+	return err
+}
+
+// getJSONTagged is getJSON with HTTP conditional-GET support: inm, when
+// non-empty, travels as If-None-Match, and a 304 answer reports
+// notModified=true with v left untouched. The returned etag is the
+// server's validator for whatever state the answer reflects (the echoed
+// inm on a 304).
+func (c *HTTPClient) getJSONTagged(ctx context.Context, path, inm string, v any) (etag string, notModified bool, err error) {
 	target := c.cfg.BaseURL + path
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
@@ -375,71 +385,117 @@ func (c *HTTPClient) getJSON(ctx context.Context, path string, v any) error {
 				path, attempt-1, c.cfg.MaxAttempts, wait, lastErr)
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return "", false, ctx.Err()
 			case <-time.After(wait):
 			}
 		}
-		err := c.getOnce(ctx, target, v)
+		etag, notModified, err = c.getOnce(ctx, target, inm, v)
 		if err == nil {
-			return nil
+			return etag, notModified, nil
 		}
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return "", false, ctx.Err()
 		}
 		if errors.Is(err, context.Canceled) {
-			return err
+			return "", false, err
 		}
 		var fatal *fatalPushError
 		if errors.As(err, &fatal) {
-			return fatal.err
+			return "", false, fatal.err
 		}
 		lastErr = err
 	}
-	return fmt.Errorf("ingest: get %s failed after %d attempts: %w", path, c.cfg.MaxAttempts, lastErr)
+	return "", false, fmt.Errorf("ingest: get %s failed after %d attempts: %w", path, c.cfg.MaxAttempts, lastErr)
 }
 
-func (c *HTTPClient) getOnce(ctx context.Context, target string, v any) error {
+func (c *HTTPClient) getOnce(ctx context.Context, target, inm string, v any) (string, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
-		return &fatalPushError{err: err}
+		return "", false, &fatalPushError{err: err}
 	}
 	if c.cfg.Epoch != 0 {
 		req.Header.Set(HeaderEpoch, strconv.FormatUint(c.cfg.Epoch, 10))
 	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
-		return err // transport error: retryable
+		return "", false, err // transport error: retryable
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 	}()
 	if err := c.checkEpoch(resp); err != nil {
-		return err
+		return "", false, err
+	}
+	if inm != "" && resp.StatusCode == http.StatusNotModified {
+		return inm, true, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		statusErr := fmt.Errorf("ingest: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-			return statusErr
+			return "", false, statusErr
 		}
-		return &fatalPushError{err: statusErr}
+		return "", false, &fatalPushError{err: statusErr}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		return fmt.Errorf("ingest: bad response body: %w", err)
+		return "", false, fmt.Errorf("ingest: bad response body: %w", err)
 	}
-	return nil
+	return resp.Header.Get("ETag"), false, nil
 }
 
 // FetchState fetches the server's full mergeable summary state
 // (GET /v1/state) — the scatter-gather payload the cluster gateway
 // merges across nodes via Summary.Merge.
 func (c *HTTPClient) FetchState(ctx context.Context) (*Summary, error) {
-	var st SummaryState
-	if err := c.getJSON(ctx, "/v1/state", &st); err != nil {
-		return nil, err
+	sum, _, _, err := c.FetchStateTagged(ctx, false, "")
+	return sum, err
+}
+
+// consistentQuery appends the ?consistent=1 barrier flag.
+func consistentQuery(path string, consistent bool) string {
+	if consistent {
+		return path + "?consistent=1"
 	}
-	return st.Summary()
+	return path
+}
+
+// FetchStateTagged is FetchState with the read-path controls:
+// consistent selects the queue-barrier path on the node (default is the
+// lock-free snapshot, at most its SnapshotMaxAge stale), and inm makes
+// the fetch conditional — on 304 it returns (nil, inm, true, nil) and
+// the caller reuses its cached copy.
+func (c *HTTPClient) FetchStateTagged(ctx context.Context, consistent bool, inm string) (*Summary, string, bool, error) {
+	var st SummaryState
+	etag, notModified, err := c.getJSONTagged(ctx, consistentQuery("/v1/state", consistent), inm, &st)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if notModified {
+		return nil, etag, true, nil
+	}
+	sum, err := st.Summary()
+	if err != nil {
+		return nil, "", false, err
+	}
+	return sum, etag, false, nil
+}
+
+// FetchWindowState fetches the server's mergeable windowed aggregate
+// (GET /v1/window/state) with the same controls as FetchStateTagged.
+func (c *HTTPClient) FetchWindowState(ctx context.Context, consistent bool, inm string) (*WindowState, string, bool, error) {
+	var win WindowState
+	etag, notModified, err := c.getJSONTagged(ctx, consistentQuery("/v1/window/state", consistent), inm, &win)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if notModified {
+		return nil, etag, true, nil
+	}
+	return &win, etag, false, nil
 }
 
 // FetchSummary fetches the server's rendered GET /v1/summary response

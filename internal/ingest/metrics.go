@@ -29,6 +29,7 @@ type Metrics struct {
 	batchLatency  *obs.Histogram // batch apply seconds
 	batchSize     *obs.Histogram // ops per batch
 	batchSizeMax  *obs.Gauge     // high-water batch size
+	readCacheHits *obs.Counter   // merged-snapshot reads served from cache
 
 	// checkpointSeconds times Engine.Checkpoint end to end. Registered
 	// unconditionally (zero-valued on non-durable engines) so the
@@ -55,6 +56,7 @@ func newMetrics(reg *obs.Registry, shards int) *Metrics {
 		batchLatency:  reg.Histogram("ingest_batch_apply_seconds", obs.LatencyBuckets),
 		batchSize:     reg.Histogram("ingest_batch_size", obs.SizeBuckets),
 		batchSizeMax:  reg.Gauge("ingest_batch_size_max"),
+		readCacheHits: reg.Counter("read_cache_hits_total"),
 
 		checkpointSeconds: reg.Histogram("checkpoint_duration_seconds", obs.LatencyBuckets),
 	}
@@ -92,6 +94,9 @@ type MetricsSnapshot struct {
 	// under Block. OverflowPolicy names the active policy.
 	Shed           uint64  `json:"shed"`
 	OverflowPolicy string  `json:"overflow_policy"`
+	// ReadCacheHits counts Snapshot() reads served from the memoized
+	// merged snapshot (no per-shard re-merge).
+	ReadCacheHits uint64 `json:"read_cache_hits"`
 	MeanBatchSize  float64 `json:"mean_batch_size"`
 	MaxBatchSize   float64 `json:"max_batch_size"`
 	// Batch apply latency quantiles in seconds (histogram-accurate:
@@ -125,6 +130,7 @@ func (m *Metrics) snapshot(depths []int, policy OverflowPolicy) MetricsSnapshot 
 		Batches:        m.batches.Value(),
 		Shed:           m.shed.Value(),
 		OverflowPolicy: policy.String(),
+		ReadCacheHits:  m.readCacheHits.Value(),
 		MeanBatchSize:  m.batchSize.Mean(),
 		MaxBatchSize:   m.batchSizeMax.Value(),
 		LatencyP50:     m.batchLatency.Quantile(0.5),

@@ -46,6 +46,10 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 		t.Fatalf("duplicate keyed submit: applied=%v err=%v", applied, err)
 	}
 	e.Flush()
+	// Exercise the snapshot read cache: back-to-back lock-free reads of
+	// a quiet engine serve the memoized merge, populating ReadCacheHits.
+	e.Snapshot()
+	e.Snapshot()
 
 	snap := e.Metrics()
 	v := reflect.ValueOf(snap)

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"sync/atomic"
 	"time"
 
 	"swarmavail/internal/measure"
@@ -23,7 +24,23 @@ type shardMsg struct {
 	swarmID int
 	swarm   chan<- *SwarmStats // per-swarm snapshot request (nil reply = unknown)
 
+	window chan<- *WindowState // windowed-aggregate request (consistent path)
+
+	timelineID int
+	timeline   chan<- *WindowState // per-swarm window ring (nil reply = unknown)
+
 	persist chan<- *shardSnapshot // checkpoint state capture request
+}
+
+// shardSnap is one shard's immutable published read snapshot. Readers
+// load it with a single atomic pointer load and never touch the shard
+// queue; the shard goroutine replaces it wholesale, never mutates it.
+type shardSnap struct {
+	epoch  uint64    // apply watermark the snapshot reflects
+	built  time.Time // publish time, for the staleness bound
+	sum    *Summary
+	win    *WindowState
+	swarms map[int]SwarmStats
 }
 
 // shard owns a partition of the swarm keyspace. Only its goroutine
@@ -33,19 +50,45 @@ type shard struct {
 	in      chan shardMsg
 	metrics *Metrics
 	pool    *batchPool
+	wc      windowConfig
+	maxAge  time.Duration
 	swarms  map[int]*swarmState
 	cats    map[trace.Category]*CategoryCounters
+
+	// applied is the shard's apply watermark (ops applied since start);
+	// snap is the latest published read snapshot. Together they give
+	// readers the freshness test: snap.epoch == applied ⇒ nothing
+	// unpublished.
+	applied atomic.Uint64
+	snap    atomic.Pointer[shardSnap]
+
+	// Publish bookkeeping, touched only by the shard goroutine (or
+	// before it starts).
+	dirty   bool
+	lastPub time.Time
 }
 
-func newShard(idx, queueDepth int, m *Metrics, pool *batchPool) *shard {
-	return &shard{
+func newShard(idx, queueDepth int, m *Metrics, pool *batchPool, wc windowConfig, maxAge time.Duration) *shard {
+	s := &shard{
 		idx:     idx,
 		in:      make(chan shardMsg, queueDepth),
 		metrics: m,
 		pool:    pool,
+		wc:      wc,
+		maxAge:  maxAge,
 		swarms:  make(map[int]*swarmState),
 		cats:    make(map[trace.Category]*CategoryCounters),
 	}
+	// Publish an empty snapshot up front so readers never observe nil.
+	s.publish()
+	return s
+}
+
+// publish replaces the read snapshot with the current state.
+func (s *shard) publish() {
+	s.snap.Store(s.buildSnap())
+	s.dirty = false
+	s.lastPub = time.Now()
 }
 
 // run drains the queue until the channel closes.
@@ -57,11 +100,24 @@ func (s *shard) run() {
 			for _, op := range msg.ops {
 				s.apply(op)
 			}
+			s.applied.Add(uint64(len(msg.ops)))
+			s.dirty = true
 			s.metrics.observeBatch(s.idx, len(msg.ops), time.Since(start))
 			// The batch buffer's ownership ends here: recycle it for
 			// the next Submit/Writer fill.
 			s.pool.put(msg.ops)
+			// Throttled republish: under sustained writes the snapshot
+			// trails the stream by at most maxAge.
+			if s.dirty && time.Since(s.lastPub) >= s.maxAge {
+				s.publish()
+			}
 		case msg.ack != nil:
+			// Publish before acknowledging, so Flush ⇒ snapshots are
+			// fresh — in-process flush-then-read stays read-your-writes
+			// even on the lock-free path.
+			if s.dirty {
+				s.publish()
+			}
 			msg.ack <- struct{}{}
 		case msg.summary != nil:
 			msg.summary <- s.summarize()
@@ -72,10 +128,16 @@ func (s *shard) run() {
 			} else {
 				msg.swarm <- nil
 			}
+		case msg.window != nil:
+			msg.window <- s.windowize()
+		case msg.timeline != nil:
+			msg.timeline <- s.timelineOf(msg.timelineID)
 		case msg.persist != nil:
 			msg.persist <- s.snapshot()
 		}
 	}
+	// Final publish: after Close the snapshot is the complete state.
+	s.publish()
 }
 
 func (s *shard) state(id int) *swarmState {
@@ -90,7 +152,7 @@ func (s *shard) state(id int) *swarmState {
 func (s *shard) apply(op Op) {
 	switch op.kind {
 	case opEvent:
-		s.state(op.rec.SwarmID).apply(op.rec)
+		s.state(op.rec.SwarmID).apply(op.rec, &s.wc)
 	case opMeta:
 		st := s.state(op.aux.meta.ID)
 		st.meta = op.aux.meta
@@ -144,8 +206,11 @@ func (s *shard) snapshot() *shardSnapshot {
 // Only safe before the shard goroutine starts (recovery) — swarm ids
 // must already be routed to this shard by the current hash.
 func (s *shard) install(snap *shardSnapshot) {
+	// The installed state is unpublished; the recovery flush (or the
+	// first write) publishes it to the read snapshot.
+	s.dirty = true
 	for _, r := range snap.Swarms {
-		s.swarms[r.ID] = r.state()
+		s.swarms[r.ID] = r.state(&s.wc)
 	}
 	for _, cr := range snap.Cats {
 		cc, ok := s.cats[cr.Category]
@@ -188,6 +253,87 @@ func (s *shard) summarize() *Summary {
 		sum.Categories[cat] = merged
 	}
 	return sum
+}
+
+// buildSnap captures the shard's complete read state in one pass:
+// the mergeable Summary (same arithmetic as summarize — integer sums
+// plus per-swarm availabilities computed deterministically here, on the
+// swarm's home shard), the per-swarm stats map, and the windowed
+// aggregate.
+func (s *shard) buildSnap() *shardSnap {
+	sum := NewSummary()
+	sum.Swarms = len(s.swarms)
+	swarms := make(map[int]SwarmStats, len(s.swarms))
+	fine := make(map[int64]*WindowBinState)
+	coarse := make(map[int64]*WindowBinState)
+	for id, st := range s.swarms {
+		stats := st.stats()
+		swarms[id] = stats
+		sum.SeedsOnline += st.seedsOnline
+		sum.LeechersOnline += st.leechersOnline
+		sum.BusyPeriods += st.busyPeriods
+		sum.Events += st.events
+		if st.events > 0 || st.hasMeta {
+			sum.FirstMonth.Add(stats.FirstMonth)
+			sum.Full.Add(stats.Full)
+			if measure.IsFullyAvailable(stats.FirstMonth) {
+				sum.FullyAvailableFirstMonth++
+			}
+			if measure.IsMostlyUnavailable(stats.Full) {
+				sum.MostlyUnavailable++
+			}
+			sum.StudySwarms++
+		}
+		if st.hasCensus {
+			sum.CensusSwarms++
+		}
+		st.win.fold(fine, coarse)
+	}
+	for cat, cc := range s.cats {
+		merged := sum.Categories[cat]
+		merged.merge(*cc)
+		sum.Categories[cat] = merged
+	}
+	win := newWindowState(&s.wc)
+	win.Fine = sortedBins(fine)
+	win.Coarse = sortedBins(coarse)
+	return &shardSnap{
+		epoch:  s.applied.Load(),
+		built:  time.Now(),
+		sum:    sum,
+		win:    win,
+		swarms: swarms,
+	}
+}
+
+// windowize folds the shard's swarm rings into a mergeable windowed
+// aggregate (the consistent-path counterpart of the snapshot's win).
+func (s *shard) windowize() *WindowState {
+	fine := make(map[int64]*WindowBinState)
+	coarse := make(map[int64]*WindowBinState)
+	for _, st := range s.swarms {
+		st.win.fold(fine, coarse)
+	}
+	w := newWindowState(&s.wc)
+	w.Fine = sortedBins(fine)
+	w.Coarse = sortedBins(coarse)
+	return w
+}
+
+// timelineOf folds one swarm's ring into a WindowState of its own
+// (nil when the swarm is unknown to this shard).
+func (s *shard) timelineOf(id int) *WindowState {
+	st, ok := s.swarms[id]
+	if !ok {
+		return nil
+	}
+	fine := make(map[int64]*WindowBinState)
+	coarse := make(map[int64]*WindowBinState)
+	st.win.fold(fine, coarse)
+	w := newWindowState(&s.wc)
+	w.Fine = sortedBins(fine)
+	w.Coarse = sortedBins(coarse)
+	return w
 }
 
 // Summary is the engine-wide (or per-shard, pre-merge) aggregate

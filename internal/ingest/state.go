@@ -30,6 +30,11 @@ type swarmState struct {
 	censusLeechers int
 	downloads      int
 	hasCensus      bool
+
+	// win is the swarm's windowed history (see window.go). It is a pure
+	// function of the swarm's own event stream, which is what makes
+	// clustered windowed answers merge exactly.
+	win winRing
 }
 
 // windows returns the two availability windows. Before registration the
@@ -63,34 +68,35 @@ func (s *swarmState) addCovered(lo, hi float64) {
 }
 
 // apply processes one monitor event.
-func (s *swarmState) apply(rec Record) {
+func (s *swarmState) apply(rec Record, wc *windowConfig) {
 	s.events++
 	if rec.Time > s.lastEvent {
+		// Accrue windowed observed/seeded time over the span up to this
+		// event using the seed state in effect *before* its transition.
+		s.win.accrue(wc, s.lastEvent, rec.Time, s.seedsOnline > 0)
 		s.lastEvent = rec.Time
 	}
+	busyStart := false
 	if !rec.Seed {
 		if rec.Online {
 			s.leechersOnline++
 		} else if s.leechersOnline > 0 {
 			s.leechersOnline--
 		}
-		return
-	}
-	if rec.Online {
+	} else if rec.Online {
 		if s.seedsOnline == 0 {
 			s.upSince = rec.Time
 			s.busyPeriods++
+			busyStart = true
 		}
 		s.seedsOnline++
-		return
+	} else if s.seedsOnline > 0 { // seedsOnline == 0: spurious offline; ignore
+		s.seedsOnline--
+		if s.seedsOnline == 0 {
+			s.addCovered(s.upSince, rec.Time)
+		}
 	}
-	if s.seedsOnline == 0 {
-		return // spurious offline; ignore
-	}
-	s.seedsOnline--
-	if s.seedsOnline == 0 {
-		s.addCovered(s.upSince, rec.Time)
-	}
+	s.win.mark(wc, rec.Time, busyStart)
 }
 
 // availability returns the online first-month and whole-trace
@@ -147,10 +153,16 @@ type swarmRecord struct {
 	CensusLeechers int             `json:"census_leechers,omitempty"`
 	Downloads      int             `json:"downloads,omitempty"`
 	HasCensus      bool            `json:"has_census,omitempty"`
+	// WinFine/WinCoarse are the nonempty window-ring bins (checkpoint
+	// v3; absent in v1/v2 frames). The ring head is not serialized — it
+	// is recomputed from LastEvent on restore.
+	WinFine   []winBinRecord `json:"win_fine,omitempty"`
+	WinCoarse []winBinRecord `json:"win_coarse,omitempty"`
 }
 
 // record converts the state to its wire form.
 func (s *swarmState) record(id int) swarmRecord {
+	fine, coarse := s.win.records()
 	return swarmRecord{
 		ID:             id,
 		Meta:           s.meta,
@@ -168,12 +180,14 @@ func (s *swarmState) record(id int) swarmRecord {
 		CensusLeechers: s.censusLeechers,
 		Downloads:      s.downloads,
 		HasCensus:      s.hasCensus,
+		WinFine:        fine,
+		WinCoarse:      coarse,
 	}
 }
 
 // state converts the wire form back to live state.
-func (r swarmRecord) state() *swarmState {
-	return &swarmState{
+func (r swarmRecord) state(wc *windowConfig) *swarmState {
+	st := &swarmState{
 		meta:           r.Meta,
 		horizon:        r.Horizon,
 		hasMeta:        r.HasMeta,
@@ -190,6 +204,8 @@ func (r swarmRecord) state() *swarmState {
 		downloads:      r.Downloads,
 		hasCensus:      r.HasCensus,
 	}
+	st.win.restore(wc, r.LastEvent, r.WinFine, r.WinCoarse, r.Events > 0)
+	return st
 }
 
 // categoryRecord is the checkpoint wire form of CategoryCounters; the

@@ -1,0 +1,459 @@
+// Time-windowed availability aggregates: each swarm keeps a small ring
+// of time bins recording how much of each bin the swarm was observed
+// (tracked), how much of that time it was seeded (covered), how many
+// busy periods started in it, and how many monitor events landed in it.
+// Old fine bins downsample into coarser bins and eventually age out, so
+// resident window state is bounded per swarm regardless of stream
+// length.
+//
+// # Merge algebra
+//
+// Bin contents are integer fixed-point: a contribution of d days to a
+// bin of width binDays is quantized once, on the swarm's home shard, to
+// round(d/binDays · winUnitsPerBin) units. Everything downstream —
+// folding fine bins into coarse ones, folding swarms into a shard
+// WindowState, merging shard states into an engine state, merging node
+// states at the cluster gateway — is integer addition keyed by absolute
+// bin index, which commutes and associates exactly. Because a swarm's
+// ring is a function of that swarm's own event stream alone (eviction
+// included), and cluster partitioning keeps swarms whole, a merged
+// clustered WindowState is identical — and renders byte-identical — to
+// the WindowState of a single engine that saw the whole stream.
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// winUnitsPerBin is the fixed-point scale: the number of integer units
+// in one full bin width. 2^30 units ≈ 0.08ms resolution on a one-day
+// bin — far below the float64 noise floor of the inputs.
+const winUnitsPerBin = 1 << 30
+
+// winBin is one time bin of one swarm's ring.
+type winBin struct {
+	covered uint64 // seeded time, in winUnitsPerBin-ths of the bin width
+	tracked uint64 // observed time, same units
+	busy    uint64 // busy periods (0→1 seed transitions) starting here
+	events  uint64 // monitor events timestamped here
+}
+
+func (b *winBin) zero() bool {
+	return b.covered|b.tracked|b.busy|b.events == 0
+}
+
+// winRing is one swarm's windowed history: fine bins at full
+// resolution, coarse bins (fold× wider) behind them, nothing beyond.
+// Slots are addressed modularly by absolute bin index; fineHi/coarseHi
+// are the newest absolute indices currently represented, so the live
+// fine window is [fineHi-len(fine)+1, fineHi].
+type winRing struct {
+	fine     []winBin
+	coarse   []winBin
+	fineHi   int64
+	coarseHi int64 // in coarse-bin units (fine index / fold)
+}
+
+func (r *winRing) inited() bool { return r.fine != nil }
+
+// binIndex maps a time in days to its absolute fine-bin index
+// (negative times clamp to bin 0).
+func (c *windowConfig) binIndex(t float64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return int64(t / c.binDays)
+}
+
+// quantize converts a span of d days to integer bin units; one rounding
+// per contribution, on the swarm's home shard, so downstream sums are
+// exact.
+func (c *windowConfig) quantize(d float64) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	u := math.Round(d / c.binDays * winUnitsPerBin)
+	if u <= 0 {
+		return 0
+	}
+	return uint64(u)
+}
+
+// advance moves the ring head to absolute fine bin nb, folding fine
+// bins that leave the window into their coarse bins and dropping coarse
+// bins that age out of retention. Allocates the rings on first touch.
+func (r *winRing) advance(c *windowConfig, nb int64) {
+	if nb < 0 {
+		nb = 0
+	}
+	if !r.inited() {
+		r.fine = make([]winBin, c.fine)
+		r.coarse = make([]winBin, c.coarse)
+		r.fineHi = nb
+		r.coarseHi = nb / int64(c.fold)
+		return
+	}
+	if nb <= r.fineHi {
+		return
+	}
+	nFine, nCoarse := int64(len(r.fine)), int64(len(r.coarse))
+	// Advance the coarse ring first so evicted fine bins fold into
+	// slots that are already positioned (and zeroed) for their index.
+	if nc := nb / int64(c.fold); nc > r.coarseHi {
+		steps := nc - r.coarseHi
+		if steps > nCoarse {
+			steps = nCoarse
+		}
+		for i := int64(1); i <= steps; i++ {
+			r.coarse[(r.coarseHi+i)%nCoarse] = winBin{}
+		}
+		r.coarseHi = nc
+	}
+	// Fold the fine bins that fall out of [nb-nFine+1, nb]. Only live
+	// indices need visiting, which bounds the loop at len(fine) no
+	// matter how far the head jumps.
+	lo := r.fineHi - nFine + 1
+	if lo < 0 {
+		lo = 0
+	}
+	evictTo := nb - nFine
+	for b := lo; b <= evictTo && b <= r.fineHi; b++ {
+		slot := &r.fine[b%nFine]
+		if slot.zero() {
+			continue
+		}
+		if cb := b / int64(c.fold); cb > r.coarseHi-nCoarse {
+			cs := &r.coarse[cb%nCoarse]
+			cs.covered += slot.covered
+			cs.tracked += slot.tracked
+			cs.busy += slot.busy
+			cs.events += slot.events
+		}
+		*slot = winBin{}
+	}
+	r.fineHi = nb
+}
+
+// add lands units on absolute fine bin b: in the fine window directly,
+// behind it via the covering coarse bin, beyond retention nowhere. The
+// head must already be advanced past b.
+func (r *winRing) add(c *windowConfig, b int64, bin winBin) {
+	if b < 0 {
+		b = 0
+	}
+	nFine := int64(len(r.fine))
+	if b > r.fineHi-nFine { // b <= fineHi by the advance contract
+		s := &r.fine[b%nFine]
+		s.covered += bin.covered
+		s.tracked += bin.tracked
+		s.busy += bin.busy
+		s.events += bin.events
+		return
+	}
+	nCoarse := int64(len(r.coarse))
+	cb := b / int64(c.fold)
+	if cb > r.coarseHi-nCoarse && cb <= r.coarseHi {
+		s := &r.coarse[cb%nCoarse]
+		s.covered += bin.covered
+		s.tracked += bin.tracked
+		s.busy += bin.busy
+		s.events += bin.events
+	}
+}
+
+// accrue advances the swarm's observed clock from lo to hi days,
+// crediting tracked time (and covered time when the swarm was seeded
+// throughout — the caller passes the seed state in effect over the
+// span) to every bin the span touches.
+func (r *winRing) accrue(c *windowConfig, lo, hi float64, seeded bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	head := c.binIndex(hi)
+	r.advance(c, head)
+	if hi <= lo {
+		return
+	}
+	b0 := c.binIndex(lo)
+	// Time below the retention horizon lands nowhere; skip straight to
+	// the oldest bin that can still hold it.
+	if floor := head - int64(c.fine) - int64(c.coarse)*int64(c.fold); b0 < floor {
+		b0 = floor
+	}
+	for b := b0; b <= head; b++ {
+		s := math.Max(lo, float64(b)*c.binDays)
+		e := math.Min(hi, float64(b+1)*c.binDays)
+		if e <= s {
+			continue
+		}
+		u := c.quantize(e - s)
+		bin := winBin{tracked: u}
+		if seeded {
+			bin.covered = u
+		}
+		r.add(c, b, bin)
+	}
+}
+
+// mark lands per-event counters (one event, optionally one busy-period
+// start) on the bin containing t. The ring is initialized if this is
+// the swarm's first touch.
+func (r *winRing) mark(c *windowConfig, t float64, busyStart bool) {
+	b := c.binIndex(t)
+	if !r.inited() || b > r.fineHi {
+		r.advance(c, b)
+	}
+	bin := winBin{events: 1}
+	if busyStart {
+		bin.busy = 1
+	}
+	r.add(c, b, bin)
+}
+
+// fold adds the ring's live bins into the per-index aggregation maps
+// (fine and coarse keyed separately; coarse keys are coarse-bin
+// indices). Each nonempty bin counts this swarm once.
+func (r *winRing) fold(fine, coarse map[int64]*WindowBinState) {
+	if !r.inited() {
+		return
+	}
+	nFine := int64(len(r.fine))
+	for b := r.fineHi - nFine + 1; b <= r.fineHi; b++ {
+		if b < 0 {
+			continue
+		}
+		slot := &r.fine[b%nFine]
+		if slot.zero() {
+			continue
+		}
+		foldBin(fine, b, slot)
+	}
+	nCoarse := int64(len(r.coarse))
+	for cb := r.coarseHi - nCoarse + 1; cb <= r.coarseHi; cb++ {
+		if cb < 0 {
+			continue
+		}
+		slot := &r.coarse[cb%nCoarse]
+		if slot.zero() {
+			continue
+		}
+		foldBin(coarse, cb, slot)
+	}
+}
+
+func foldBin(m map[int64]*WindowBinState, idx int64, slot *winBin) {
+	agg := m[idx]
+	if agg == nil {
+		agg = &WindowBinState{Index: idx}
+		m[idx] = agg
+	}
+	agg.Covered += slot.covered
+	agg.Tracked += slot.tracked
+	agg.BusyStarts += slot.busy
+	agg.Events += slot.events
+	agg.Swarms++
+}
+
+// winBinRecord is the checkpoint wire form of one live ring bin.
+type winBinRecord struct {
+	Index   int64  `json:"i"`
+	Covered uint64 `json:"c,omitempty"`
+	Tracked uint64 `json:"t,omitempty"`
+	Busy    uint64 `json:"b,omitempty"`
+	Events  uint64 `json:"e,omitempty"`
+}
+
+// records returns the ring's nonempty bins in index order (nil when the
+// ring was never touched). The head position is not serialized: it is
+// always binIndex(lastEvent), which the swarm record carries already.
+func (r *winRing) records() (fine, coarse []winBinRecord) {
+	if !r.inited() {
+		return nil, nil
+	}
+	nFine := int64(len(r.fine))
+	for b := r.fineHi - nFine + 1; b <= r.fineHi; b++ {
+		if b < 0 {
+			continue
+		}
+		if slot := &r.fine[b%nFine]; !slot.zero() {
+			fine = append(fine, winBinRecord{Index: b, Covered: slot.covered, Tracked: slot.tracked, Busy: slot.busy, Events: slot.events})
+		}
+	}
+	nCoarse := int64(len(r.coarse))
+	for cb := r.coarseHi - nCoarse + 1; cb <= r.coarseHi; cb++ {
+		if cb < 0 {
+			continue
+		}
+		if slot := &r.coarse[cb%nCoarse]; !slot.zero() {
+			coarse = append(coarse, winBinRecord{Index: cb, Covered: slot.covered, Tracked: slot.tracked, Busy: slot.busy, Events: slot.events})
+		}
+	}
+	return fine, coarse
+}
+
+// restore rebuilds the ring from checkpointed bins. The head comes from
+// lastEvent, so a load under the same geometry reproduces the ring
+// exactly; under a different geometry, out-of-window fine bins fold
+// into coarse and out-of-retention bins drop — the same rules live
+// eviction applies.
+func (r *winRing) restore(c *windowConfig, lastEvent float64, fine, coarse []winBinRecord, touched bool) {
+	if !touched && len(fine) == 0 && len(coarse) == 0 {
+		return
+	}
+	r.advance(c, c.binIndex(lastEvent))
+	nCoarse := int64(len(r.coarse))
+	for _, rec := range coarse {
+		if rec.Index > r.coarseHi-nCoarse && rec.Index <= r.coarseHi {
+			s := &r.coarse[rec.Index%nCoarse]
+			s.covered += rec.Covered
+			s.tracked += rec.Tracked
+			s.busy += rec.Busy
+			s.events += rec.Events
+		}
+	}
+	for _, rec := range fine {
+		r.add(c, rec.Index, winBin{covered: rec.Covered, tracked: rec.Tracked, busy: rec.Busy, events: rec.Events})
+	}
+}
+
+// WindowBinState is one time bin of a mergeable WindowState: integer
+// unit sums across the contributing swarms. Index is the absolute bin
+// index (fine-bin units in Fine, coarse-bin units in Coarse); bin b
+// covers [b·width, (b+1)·width) days.
+type WindowBinState struct {
+	Index      int64  `json:"i"`
+	Covered    uint64 `json:"covered,omitempty"`
+	Tracked    uint64 `json:"tracked,omitempty"`
+	BusyStarts uint64 `json:"busy_starts,omitempty"`
+	Events     uint64 `json:"events,omitempty"`
+	Swarms     uint64 `json:"swarms,omitempty"`
+}
+
+// WindowState is the mergeable wire form of the windowed aggregates —
+// what a node serves on GET /v1/window/state and the gateway's
+// scatter-gather merges. Merging is integer addition keyed by bin
+// index, so any merge order over any partition of the swarms
+// reproduces the single-engine state exactly.
+type WindowState struct {
+	// BinDays, FoldFactor, FineBins and CoarseBins are the window
+	// geometry; states only merge when all four agree.
+	BinDays    float64          `json:"bin_days"`
+	FoldFactor int              `json:"fold_factor"`
+	FineBins   int              `json:"fine_bins"`
+	CoarseBins int              `json:"coarse_bins"`
+	Fine       []WindowBinState `json:"fine,omitempty"`
+	Coarse     []WindowBinState `json:"coarse,omitempty"`
+}
+
+// newWindowState returns an empty state carrying c's geometry.
+func newWindowState(c *windowConfig) *WindowState {
+	return &WindowState{BinDays: c.binDays, FoldFactor: c.fold, FineBins: c.fine, CoarseBins: c.coarse}
+}
+
+func (w *WindowState) geometryEqual(o *WindowState) bool {
+	return w.BinDays == o.BinDays && w.FoldFactor == o.FoldFactor &&
+		w.FineBins == o.FineBins && w.CoarseBins == o.CoarseBins
+}
+
+// Merge folds other into w. States must share geometry; a foreign
+// geometry is an error, not a panic, because the inputs may come off
+// the wire.
+func (w *WindowState) Merge(other *WindowState) error {
+	if other == nil {
+		return nil
+	}
+	if !w.geometryEqual(other) {
+		return fmt.Errorf("ingest: merging window states with different geometry (%v/%d/%d/%d vs %v/%d/%d/%d)",
+			w.BinDays, w.FoldFactor, w.FineBins, w.CoarseBins,
+			other.BinDays, other.FoldFactor, other.FineBins, other.CoarseBins)
+	}
+	w.Fine = mergeBins(w.Fine, other.Fine)
+	w.Coarse = mergeBins(w.Coarse, other.Coarse)
+	return nil
+}
+
+func mergeBins(a, b []WindowBinState) []WindowBinState {
+	if len(b) == 0 {
+		return a
+	}
+	m := make(map[int64]*WindowBinState, len(a)+len(b))
+	for _, lists := range [2][]WindowBinState{a, b} {
+		for i := range lists {
+			bin := lists[i]
+			agg := m[bin.Index]
+			if agg == nil {
+				cp := bin
+				m[bin.Index] = &cp
+				continue
+			}
+			agg.Covered += bin.Covered
+			agg.Tracked += bin.Tracked
+			agg.BusyStarts += bin.BusyStarts
+			agg.Events += bin.Events
+			agg.Swarms += bin.Swarms
+		}
+	}
+	return sortedBins(m)
+}
+
+func sortedBins(m map[int64]*WindowBinState) []WindowBinState {
+	out := make([]WindowBinState, 0, len(m))
+	for _, bin := range m {
+		out = append(out, *bin)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Downsample folds every fine bin at or below cutoff (an absolute
+// fine-bin index) into its coarse bin — the retention operation, made
+// explicit so the property tests can check it commutes with Merge.
+func (w *WindowState) Downsample(cutoff int64) {
+	if len(w.Fine) == 0 {
+		return
+	}
+	keep := w.Fine[:0]
+	coarse := make(map[int64]*WindowBinState, len(w.Coarse)+len(w.Fine))
+	for i := range w.Coarse {
+		cp := w.Coarse[i]
+		coarse[cp.Index] = &cp
+	}
+	for _, bin := range w.Fine {
+		if bin.Index > cutoff {
+			keep = append(keep, bin)
+			continue
+		}
+		cb := bin.Index / int64(w.FoldFactor)
+		agg := coarse[cb]
+		if agg == nil {
+			agg = &WindowBinState{Index: cb}
+			coarse[cb] = agg
+		}
+		agg.Covered += bin.Covered
+		agg.Tracked += bin.Tracked
+		agg.BusyStarts += bin.BusyStarts
+		agg.Events += bin.Events
+		agg.Swarms += bin.Swarms
+	}
+	w.Fine = keep
+	w.Coarse = sortedBins(coarse)
+}
+
+// MaxIndex returns the newest absolute fine-bin index the state covers
+// (coarse bins are converted to the upper edge of their span), and
+// false when the state is empty.
+func (w *WindowState) MaxIndex() (int64, bool) {
+	var hi int64
+	ok := false
+	if n := len(w.Fine); n > 0 {
+		hi, ok = w.Fine[n-1].Index, true
+	}
+	if n := len(w.Coarse); n > 0 {
+		if c := (w.Coarse[n-1].Index+1)*int64(w.FoldFactor) - 1; !ok || c > hi {
+			hi, ok = c, true
+		}
+	}
+	return hi, ok
+}

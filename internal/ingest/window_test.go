@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"swarmavail/internal/trace"
+	"swarmavail/internal/wal"
+)
+
+// windowJSON is the byte-level identity the merge algebra promises:
+// equal WindowStates render to equal bytes.
+func windowJSON(t *testing.T, w *WindowState) string {
+	t.Helper()
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// studyOpsBySwarm generates a study and groups each swarm's ops; the
+// partition tests route whole swarms, which is the invariant cluster
+// sharding maintains.
+func studyOpsBySwarm(numSwarms int, seed int64) [][]Op {
+	traces := trace.GenerateStudy(trace.DefaultStudyConfig(numSwarms, seed))
+	groups := make([][]Op, 0, len(traces))
+	for _, tr := range traces {
+		groups = append(groups, TraceOps(tr))
+	}
+	return groups
+}
+
+// TestWindowMergePartitionInvariant is the clustering property behind
+// the gateway's byte-identical windowed answers: split the swarms over
+// K engines any way, merge the K WindowStates in any order, and the
+// result is byte-identical to the WindowState of one engine that saw
+// the whole stream.
+func TestWindowMergePartitionInvariant(t *testing.T) {
+	groups := studyOpsBySwarm(60, 7)
+	cfg := Config{Shards: 3, WindowFineBins: 16, WindowFoldFactor: 4, WindowCoarseBins: 8}
+
+	ref := New(cfg)
+	for _, ops := range groups {
+		if err := ref.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refWin := ref.Window()
+	want := windowJSON(t, refWin)
+	ref.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 5} {
+		parts := make([]*WindowState, k)
+		for i := 0; i < k; i++ {
+			e := New(cfg)
+			for gi, ops := range groups {
+				if gi%k != i {
+					continue
+				}
+				if err := e.Submit(ops); err != nil {
+					t.Fatal(err)
+				}
+			}
+			parts[i] = e.Window()
+			e.Close()
+		}
+		// Any merge order must agree: try a few random permutations.
+		for trial := 0; trial < 4; trial++ {
+			order := rng.Perm(k)
+			wc := cfg.withDefaults(1).windowConfig()
+			merged := newWindowState(&wc)
+			for _, i := range order {
+				if err := merged.Merge(parts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := windowJSON(t, merged); got != want {
+				t.Fatalf("K=%d order %v: merged window diverged from single-engine reference\n--- merged ---\n%s\n--- reference ---\n%s", k, order, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowDownsampleMergeCommute pins the retention algebra:
+// downsampling each partition and then merging gives the same state as
+// merging first and downsampling the result, for any cutoff.
+func TestWindowDownsampleMergeCommute(t *testing.T) {
+	groups := studyOpsBySwarm(40, 13)
+	cfg := Config{Shards: 2, WindowFineBins: 16, WindowFoldFactor: 4, WindowCoarseBins: 8}
+
+	const k = 3
+	parts := make([]*WindowState, k)
+	for i := 0; i < k; i++ {
+		e := New(cfg)
+		for gi, ops := range groups {
+			if gi%k != i {
+				continue
+			}
+			if err := e.Submit(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		parts[i] = e.Window()
+		e.Close()
+	}
+
+	clone := func(w *WindowState) *WindowState {
+		b, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out WindowState
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+	wc := cfg.withDefaults(1).windowConfig()
+	hi := int64(0)
+	for _, p := range parts {
+		if m, ok := p.MaxIndex(); ok && m > hi {
+			hi = m
+		}
+	}
+	for _, cutoff := range []int64{-1, 0, hi / 2, hi, hi + 10} {
+		mergeFirst := newWindowState(&wc)
+		for _, p := range parts {
+			if err := mergeFirst.Merge(clone(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mergeFirst.Downsample(cutoff)
+
+		downFirst := newWindowState(&wc)
+		for _, p := range parts {
+			c := clone(p)
+			c.Downsample(cutoff)
+			if err := downFirst.Merge(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := windowJSON(t, downFirst), windowJSON(t, mergeFirst); got != want {
+			t.Fatalf("cutoff %d: downsample/merge do not commute\n--- downsample-then-merge ---\n%s\n--- merge-then-downsample ---\n%s", cutoff, got, want)
+		}
+	}
+}
+
+// TestCheckpointWindowRoundTripExact pins the checkpoint-v3 frame: the
+// window rings survive a checkpoint/recover cycle bit-for-bit, so a
+// restarted (or promoted) node serves the same windowed answers.
+func TestCheckpointWindowRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 3, WindowFineBins: 16, WindowFoldFactor: 4, WindowCoarseBins: 8}
+	e, _, err := OpenDurable(cfg, DurabilityConfig{Dir: dir, Fsync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range studyOpsBySwarm(50, 21) {
+		if err := e.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	want := windowJSON(t, e.Window())
+	wantSnap := windowJSON(t, e.Snapshot().Window)
+	if want != wantSnap {
+		t.Fatalf("flushed snapshot window diverged from barrier window\n--- snapshot ---\n%s\n--- barrier ---\n%s", wantSnap, want)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e2, _, err := OpenDurable(cfg, DurabilityConfig{Dir: dir, Fsync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := windowJSON(t, e2.Window()); got != want {
+		t.Fatalf("window state did not survive checkpoint recovery\n--- recovered ---\n%s\n--- original ---\n%s", got, want)
+	}
+	if got := windowJSON(t, e2.Snapshot().Window); got != want {
+		t.Fatalf("recovered snapshot window diverged\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

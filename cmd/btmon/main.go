@@ -1,28 +1,57 @@
 // Command btmon is the §2-style monitoring agent: it joins a swarm's
-// control plane, records the bitfields peers advertise, and reports seed
-// availability over time — without uploading or downloading content.
+// control plane (HTTP or BEP 15 UDP tracker), records the bitfields
+// peers advertise, and reports seed availability over time — without
+// uploading or downloading content.
+//
+// The default is one interactive monitor printing per-round lines.
+// With -fleet N it becomes the paper's measurement infrastructure in
+// miniature: N concurrent lightweight monitors with jittered probe
+// phases and a shared dial budget, each streaming its observations into
+// availd/availgw over the binary ingest protocol (-stream) with
+// exactly-once keys.
 //
 // Usage:
 //
 //	btmon -torrent bundle.torrent [-interval 10s] [-count 0]
+//	btmon -torrent bundle.torrent -fleet 64 -stream 127.0.0.1:9400 -swarm 1
+//
+// Probing runs on a ticker, so the cadence is independent of probe
+// duration, and SIGINT/SIGTERM flushes a final summary (and any
+// buffered stream records) before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"swarmavail/internal/bittorrent/metainfo"
 	"swarmavail/internal/bittorrent/peer"
+	"swarmavail/internal/ingest"
+	"swarmavail/internal/monitor"
+	"swarmavail/internal/obs"
 )
 
 func main() {
 	var (
-		torrentPath = flag.String("torrent", "", "torrent file to monitor (required)")
-		interval    = flag.Duration("interval", 10*time.Second, "probe interval")
-		count       = flag.Int("count", 0, "number of probes (0 = forever)")
-		timeout     = flag.Duration("timeout", 3*time.Second, "per-peer connect timeout")
+		torrentPath  = flag.String("torrent", "", "torrent file to monitor (required)")
+		interval     = flag.Duration("interval", 10*time.Second, "probe interval")
+		count        = flag.Int("count", 0, "number of probe rounds per monitor (0 = forever)")
+		timeout      = flag.Duration("timeout", 3*time.Second, "per-peer connect timeout")
+		bitfieldWait = flag.Duration("bitfield-wait", 0, "max wait for a peer's first message (default: -timeout)")
+		fleet        = flag.Int("fleet", 1, "number of concurrent monitors")
+		dialBudget   = flag.Int("dial-budget", 0, "fleet-wide concurrent probe cap (0 = fleet size)")
+		pex          = flag.Bool("pex", false, "expand each probe with BEP-11 peer exchange gossip")
+		streamAddr   = flag.String("stream", "", "availd/availgw binary ingest address to stream records to")
+		swarmID      = flag.Int("swarm", 1, "swarm id for streamed records")
+		source       = flag.String("source", "", "exactly-once source id prefix (default: random)")
+		admin        = flag.String("admin", "", "admin listen address for /metrics and /debug/vars")
 	)
 	flag.Parse()
 	if *torrentPath == "" {
@@ -39,12 +68,97 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btmon: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("btmon: monitoring %q via %s\n", tor.Info.Name, tor.Announce)
 
-	probes := 0
-	withSeed := 0
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "btmon: admin listen: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			srv := &http.Server{Handler: obs.AdminHandler(reg, false), ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "btmon: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("btmon: admin on %s\n", ln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *fleet > 1 || *streamAddr != "" {
+		runFleet(ctx, tor, fleetConfig{
+			interval: *interval, count: *count, timeout: *timeout,
+			bitfieldWait: *bitfieldWait, fleet: *fleet, dialBudget: *dialBudget,
+			pex: *pex, streamAddr: *streamAddr, swarmID: *swarmID,
+			source: *source, reg: reg,
+		})
+		return
+	}
+	runSingle(ctx, tor, *interval, *count, *timeout, *bitfieldWait, *pex)
+}
+
+type fleetConfig struct {
+	interval     time.Duration
+	count        int
+	timeout      time.Duration
+	bitfieldWait time.Duration
+	fleet        int
+	dialBudget   int
+	pex          bool
+	streamAddr   string
+	swarmID      int
+	source       string
+	reg          *obs.Registry
+}
+
+// runFleet drives N monitors and prints the final tally; ctx
+// cancellation (Ctrl-C) still flushes every stream.
+func runFleet(ctx context.Context, tor *metainfo.Torrent, fc fleetConfig) {
+	fmt.Printf("btmon: fleet of %d monitoring %q via %s\n", fc.fleet, tor.Info.Name, tor.Announce)
+	f, err := monitor.New(monitor.Config{
+		Torrent:      tor,
+		SwarmID:      fc.swarmID,
+		Monitors:     fc.fleet,
+		Interval:     fc.interval,
+		Rounds:       fc.count,
+		DialTimeout:  fc.timeout,
+		BitfieldWait: fc.bitfieldWait,
+		PEX:          fc.pex,
+		DialBudget:   fc.dialBudget,
+		Stream:       ingest.StreamClientConfig{Addr: fc.streamAddr, Source: fc.source},
+		Metrics:      fc.reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "btmon: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btmon: %v\n", err)
+		os.Exit(1)
+	}
+	stats, err := f.Run(ctx)
+	fmt.Printf("btmon: fleet done  monitors=%d rounds=%d failures=%d peers-observed=%d records=%d seed-availability=%.2f\n",
+		stats.Monitors, stats.Rounds, stats.ProbeFailures, stats.PeersObserved,
+		stats.RecordsEmitted, seedAvailability(stats.SeedRounds, stats.Rounds-stats.ProbeFailures))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btmon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSingle is the interactive one-monitor mode: one line per round on
+// a drift-free ticker, summary on exit or Ctrl-C.
+func runSingle(ctx context.Context, tor *metainfo.Torrent, interval time.Duration, count int, timeout, bitfieldWait time.Duration, pex bool) {
+	fmt.Printf("btmon: monitoring %q via %s\n", tor.Info.Name, tor.Announce)
+	pc := peer.ProbeConfig{DialTimeout: timeout, BitfieldWait: bitfieldWait, PEX: pex}
+	probes, withSeed := 0, 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
 	for {
-		results, err := peer.Probe(tor, peer.ProbeConfig{DialTimeout: *timeout})
+		results, err := peer.Probe(tor, pc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "btmon: probe failed: %v\n", err)
 		} else {
@@ -62,11 +176,26 @@ func main() {
 			}
 			fmt.Printf("%s  peers=%d seeds=%d leechers=%d  seed-availability=%.2f\n",
 				time.Now().Format(time.TimeOnly), len(results), seeds, leechers,
-				float64(withSeed)/float64(probes))
+				seedAvailability(withSeed, probes))
 		}
-		if *count > 0 && probes >= *count {
+		if count > 0 && probes >= count {
+			break
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			fmt.Printf("btmon: interrupted  probes=%d rounds-with-seed=%d seed-availability=%.2f\n",
+				probes, withSeed, seedAvailability(withSeed, probes))
 			return
 		}
-		time.Sleep(*interval)
 	}
+	fmt.Printf("btmon: done  probes=%d rounds-with-seed=%d seed-availability=%.2f\n",
+		probes, withSeed, seedAvailability(withSeed, probes))
+}
+
+func seedAvailability(withSeed, probes int) float64 {
+	if probes <= 0 {
+		return 0
+	}
+	return float64(withSeed) / float64(probes)
 }

@@ -1,10 +1,11 @@
-// Command tracker runs the HTTP BitTorrent tracker used by the
-// repository's private swarms (announce on /announce, scrape on
-// /scrape).
+// Command tracker runs the BitTorrent tracker used by the repository's
+// private swarms: HTTP announce/scrape on -addr, and optionally the
+// BEP 15 UDP protocol on -udp. Both front ends serve the same swarm
+// state, so peers may mix schemes freely.
 //
 // Usage:
 //
-//	tracker [-addr 127.0.0.1:7070]
+//	tracker [-addr 127.0.0.1:7070] [-udp 127.0.0.1:7071]
 package main
 
 import (
@@ -17,7 +18,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	addr := flag.String("addr", "127.0.0.1:7070", "HTTP listen address")
+	udpAddr := flag.String("udp", "", "UDP (BEP 15) listen address (empty = HTTP only)")
 	flag.Parse()
 
 	srv := tracker.NewServer()
@@ -28,9 +30,23 @@ func main() {
 	}
 	fmt.Printf("tracker listening on http://%s/announce\n", ln.Addr())
 
+	var closeUDP func() error
+	if *udpAddr != "" {
+		pc, cf, err := srv.ListenUDP(*udpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracker: %v\n", err)
+			os.Exit(1)
+		}
+		closeUDP = cf
+		fmt.Printf("tracker listening on udp://%s\n", pc.LocalAddr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("tracker: shutting down")
+	if closeUDP != nil {
+		_ = closeUDP()
+	}
 	_ = closeFn()
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/rand"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"swarmavail/internal/bittorrent/metainfo"
@@ -23,12 +25,35 @@ type ProbeResult struct {
 
 // ProbeConfig parameterises a monitoring probe with the same networking
 // knobs a Node has: the dial timeout (DefaultDialTimeout if 0, and also
-// the per-peer I/O deadline), an optional dialer override, and an
-// optional HTTP client for the announce.
+// the per-peer I/O deadline), an optional dialer override, and optional
+// HTTP/UDP clients for the announce (whichever matches the tracker URL
+// scheme is used).
 type ProbeConfig struct {
 	DialTimeout time.Duration
 	Dial        DialFunc
 	HTTPClient  *http.Client
+	UDP         *tracker.UDPClient
+
+	// BitfieldWait bounds how long probeOne waits for the first
+	// post-handshake message before classifying a quiet peer as a
+	// zero-piece leecher (DialTimeout if 0). Newly-joined leechers hold
+	// nothing and legitimately skip the bitfield message, so silence is
+	// data, not failure.
+	BitfieldWait time.Duration
+
+	// PEX keeps each probed connection open long enough to collect
+	// BEP-11 gossip and expands the probe frontier with the addresses
+	// learned — the §2 methodology's answer to trackers that return
+	// only a sample of the swarm.
+	PEX bool
+	// MaxPeers caps the total peers probed per Probe call, PEX
+	// discoveries included (256 if 0).
+	MaxPeers int
+	// NumWant is the announce's peer-count request (200 if 0).
+	NumWant int
+	// Port is the advisory port announced (6881 if 0); the agent never
+	// accepts connections.
+	Port int
 }
 
 func (c ProbeConfig) withDefaults() ProbeConfig {
@@ -38,13 +63,27 @@ func (c ProbeConfig) withDefaults() ProbeConfig {
 	if c.Dial == nil {
 		c.Dial = net.DialTimeout
 	}
+	if c.BitfieldWait <= 0 {
+		c.BitfieldWait = c.DialTimeout
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 256
+	}
+	if c.NumWant <= 0 {
+		c.NumWant = 200
+	}
+	if c.Port <= 0 {
+		c.Port = 6881
+	}
 	return c
 }
 
 // Probe is the §2 monitoring methodology in miniature: join the swarm's
-// control plane (announce to the tracker), connect to each reported
-// peer, record the bitfield it advertises, and classify seeds — without
-// uploading or downloading any content. The probe deregisters itself
+// control plane (announce to the tracker, HTTP or UDP), connect to each
+// reported peer, record the bitfield it advertises, and classify seeds —
+// without uploading or downloading any content. With cfg.PEX the
+// frontier grows with gossip learned from probed peers, reaching swarm
+// members the tracker's sample missed. The probe deregisters itself
 // afterwards.
 func Probe(t *metainfo.Torrent, cfg ProbeConfig) ([]ProbeResult, error) {
 	cfg = cfg.withDefaults()
@@ -62,58 +101,162 @@ func Probe(t *metainfo.Torrent, cfg ProbeConfig) ([]ProbeResult, error) {
 		TrackerURL: t.Announce,
 		InfoHash:   ih,
 		PeerID:     id,
-		Port:       6881, // advisory; the agent never accepts connections
+		Port:       cfg.Port,
 		Left:       info.TotalLength(),
-		NumWant:    200,
+		NumWant:    cfg.NumWant,
 		IP:         "127.0.0.1",
 	}
-	resp, err := tracker.Announce(cfg.HTTPClient, req)
+	resp, err := tracker.AnnounceWith(cfg.HTTPClient, cfg.UDP, req)
 	if err != nil {
 		return nil, err
 	}
 	defer func() {
 		req.Event = "stopped"
-		_, _ = tracker.Announce(cfg.HTTPClient, req)
+		_, _ = tracker.AnnounceWith(cfg.HTTPClient, cfg.UDP, req)
 	}()
 
-	var out []ProbeResult
+	frontier := make([]string, 0, len(resp.Peers))
 	for _, p := range resp.Peers {
-		r, err := probeOne(cfg, p.String(), ih, id, info.NumPieces())
+		frontier = append(frontier, p.String())
+	}
+	seen := make(map[string]bool, len(frontier))
+	var out []ProbeResult
+	for i := 0; i < len(frontier) && len(seen) < cfg.MaxPeers; i++ {
+		addr := frontier[i]
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		r, discovered, err := probeOne(cfg, addr, ih, id, info.NumPieces())
 		if err != nil {
 			continue // unreachable peers are simply skipped, as on PlanetLab
 		}
 		out = append(out, r)
+		// Deterministic expansion order keeps probe traces reproducible.
+		sort.Strings(discovered)
+		for _, d := range discovered {
+			if !seen[d] {
+				frontier = append(frontier, d)
+			}
+		}
 	}
 	return out, nil
 }
 
-func probeOne(cfg ProbeConfig, addr string, ih metainfo.InfoHash, id [20]byte, numPieces int) (ProbeResult, error) {
+// probeOne handshakes with one peer and classifies it from what it
+// volunteers. A complete bitfield is a seed. Anything else — a partial
+// bitfield, bare have messages, or post-handshake silence until
+// BitfieldWait — is a leecher with the observed piece count: peers that
+// hold zero pieces legitimately never send a bitfield, and dropping
+// them (the old behavior) inflated measured seed fractions. With
+// cfg.PEX the connection also collects gossiped addresses until the
+// wait expires.
+func probeOne(cfg ProbeConfig, addr string, ih metainfo.InfoHash, id [20]byte, numPieces int) (ProbeResult, []string, error) {
 	res := ProbeResult{Addr: addr}
 	c, err := cfg.Dial("tcp", addr, cfg.DialTimeout)
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 	defer c.Close()
 	_ = c.SetDeadline(time.Now().Add(cfg.DialTimeout))
-	if err := wire.WriteHandshake(c, wire.Handshake{InfoHash: ih, PeerID: id}); err != nil {
-		return res, err
+	hs := wire.Handshake{InfoHash: ih, PeerID: id, Extensions: cfg.PEX}
+	if err := wire.WriteHandshake(c, hs); err != nil {
+		return res, nil, err
 	}
-	if _, err := wire.ReadHandshake(c); err != nil {
-		return res, err
+	remote, err := wire.ReadHandshake(c)
+	if err != nil {
+		return res, nil, err
 	}
-	// The first real message from a well-behaved peer is its bitfield.
+
+	// From here on, the peer is reachable: every exit path below is an
+	// observation, not an error.
+	deadline := time.Now().Add(cfg.BitfieldWait)
+	_ = c.SetDeadline(deadline)
+	have := wire.NewBitfield(numPieces)
+	count := 0
+	var discovered []string
+	var pexID int64
+	sawBitfield := false
+
+	if cfg.PEX && remote.Extensions {
+		body, err := wire.MarshalExtendedHandshake(wire.ExtendedHandshake{PexID: wire.ExtPexID})
+		if err == nil {
+			_ = wire.WriteMessage(c, &wire.Message{
+				Type:  wire.MsgExtended,
+				Block: wire.ExtendedPayload(wire.ExtHandshakeID, body),
+			})
+		}
+	}
+
+	finish := func() (ProbeResult, []string, error) {
+		res.Pieces = count
+		res.Seed = numPieces > 0 && count == numPieces
+		return res, discovered, nil
+	}
 	for {
 		m, err := wire.ReadMessage(c)
 		if err != nil {
-			return res, err
+			return finish() // silence or teardown: classify from what we saw
 		}
 		if m == nil {
-			continue
+			continue // keep-alive
 		}
-		if m.Type == wire.MsgBitfield {
-			res.Pieces = m.Bitfield.Count(numPieces)
-			res.Seed = m.Bitfield.Complete(numPieces)
-			return res, nil
+		switch m.Type {
+		case wire.MsgBitfield:
+			have = m.Bitfield.Clone()
+			count = have.Count(numPieces)
+			sawBitfield = true
+		case wire.MsgHave:
+			if idx := int(m.Index); idx >= 0 && idx < numPieces && !have.Has(idx) {
+				have.Set(idx)
+				count++
+			}
+		case wire.MsgExtended:
+			if !cfg.PEX {
+				continue
+			}
+			subID, body, err := wire.SplitExtendedPayload(m.Block)
+			if err != nil {
+				continue
+			}
+			switch subID {
+			case wire.ExtHandshakeID:
+				if eh, err := wire.ParseExtendedHandshake(body); err == nil {
+					pexID = eh.PexID
+					if eh.Port > 0 {
+						if host, _, err := net.SplitHostPort(addr); err == nil {
+							listen := net.JoinHostPort(host, strconv.FormatInt(eh.Port, 10))
+							if listen != addr {
+								discovered = append(discovered, listen)
+							}
+						}
+					}
+				}
+			case wire.ExtPexID, pexSubID(pexID):
+				// Accept both our advertised sub-ID and the one the
+				// remote declared for itself.
+				if pex, err := wire.ParsePex(body); err == nil {
+					for _, p := range pex.Added {
+						discovered = append(discovered, p.String())
+					}
+				}
+			}
+		}
+		// A bitfield settles the classification; without PEX there is
+		// nothing more to learn, so return early rather than idling out
+		// the deadline on every probed peer.
+		if sawBitfield && !cfg.PEX {
+			return finish()
 		}
 	}
+}
+
+// pexSubID folds the remote-advertised PEX sub-ID into the switch above.
+// An unset (or out-of-range) id maps to wire.ExtPexID, which the
+// constant case already covers, so it never widens the match.
+func pexSubID(id int64) byte {
+	if id <= 0 || id > 255 {
+		return wire.ExtPexID
+	}
+	return byte(id)
 }

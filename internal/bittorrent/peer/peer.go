@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swarmavail/internal/bittorrent/metainfo"
@@ -87,6 +88,10 @@ type Config struct {
 	// HTTPClient performs tracker announces (nil = http.DefaultClient);
 	// inject a faulty http.RoundTripper to exercise announce retry.
 	HTTPClient *http.Client
+	// UDP performs announces when the torrent's tracker URL is udp://
+	// (nil = tracker.DefaultUDP). A client with a faultnet Dial hook
+	// goes here to announce through injected datagram faults.
+	UDP *tracker.UDPClient
 	// Logf, when set, receives classified lifecycle events: announce
 	// failures (temporary vs. fatal) and dial backoff decisions. Leave
 	// nil for silence.
@@ -128,6 +133,11 @@ type Node struct {
 	doneCh   chan struct{}
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+
+	// Cumulative transfer totals reported to the tracker (BEP 3
+	// "uploaded"/"downloaded", payload bytes).
+	uploaded   atomic.Int64
+	downloaded atomic.Int64
 
 	// Tit-for-tat state.
 	connSeq       int
@@ -347,7 +357,7 @@ func (n *Node) Stop() {
 		_ = c.c.Close()
 	}
 	// Best-effort goodbye to the tracker.
-	_, _ = tracker.Announce(n.cfg.HTTPClient, n.announceReq("stopped"))
+	_, _ = n.announce("stopped")
 	n.wg.Wait()
 }
 
@@ -367,15 +377,30 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 	return dial("tcp", addr, n.cfg.DialTimeout)
 }
 
+// minBackoff is the floor backoffAfter clamps a non-positive (or
+// sub-floor) base to; rng.Int63n needs a positive argument, so a
+// caller-supplied base of 0 would otherwise panic.
+const minBackoff = time.Millisecond
+
 // backoffAfter returns the capped-exponential-with-jitter delay to wait
 // after the given consecutive-failure count (1 = first failure).
 func backoffAfter(failures int, base, cap time.Duration, rng *mrand.Rand) time.Duration {
 	if failures < 1 {
 		failures = 1
 	}
+	if base < minBackoff {
+		base = minBackoff
+	}
+	if cap < base {
+		cap = base
+	}
 	d := base
 	for i := 1; i < failures && d < cap; i++ {
 		d *= 2
+		if d <= 0 { // doubling overflowed; the cap is the answer
+			d = cap
+			break
+		}
 	}
 	if d > cap {
 		d = cap
@@ -397,11 +422,19 @@ func (n *Node) announceReq(event string) tracker.AnnounceRequest {
 		InfoHash:   n.infoHash,
 		PeerID:     n.peerID,
 		Port:       n.Port(),
+		Uploaded:   n.uploaded.Load(),
+		Downloaded: n.downloaded.Load(),
 		Left:       n.BytesLeft(),
 		Event:      event,
 		NumWant:    n.cfg.MaxPeers,
 		IP:         "127.0.0.1",
 	}
+}
+
+// announce performs one tracker exchange over whichever scheme the
+// torrent's announce URL names (http(s):// or udp://).
+func (n *Node) announce(event string) (*tracker.AnnounceResponse, error) {
+	return tracker.AnnounceWith(n.cfg.HTTPClient, n.cfg.UDP, n.announceReq(event))
 }
 
 // announceLoop announces on the tracker interval, retrying failures
@@ -415,7 +448,7 @@ func (n *Node) announceLoop() {
 	event := "started"
 	failures := 0
 	for {
-		resp, err := tracker.Announce(n.cfg.HTTPClient, n.announceReq(event))
+		resp, err := n.announce(event)
 		if err == nil {
 			n.m.announceOK.Inc()
 			if failures > 0 {
@@ -937,6 +970,7 @@ func (n *Node) servePiece(c *conn, m *wire.Message) error {
 	c.mu.Lock()
 	c.bytesToPeer += int64(len(block))
 	c.mu.Unlock()
+	n.uploaded.Add(int64(len(block)))
 	n.m.bytesTx.Add(uint64(len(block)))
 	return nil
 }
@@ -950,6 +984,7 @@ func (n *Node) receivePiece(c *conn, m *wire.Message) error {
 	c.mu.Lock()
 	c.bytesFromPeer += int64(len(m.Block))
 	c.mu.Unlock()
+	n.downloaded.Add(int64(len(m.Block)))
 	n.m.bytesRx.Add(uint64(len(m.Block)))
 	if !n.info.VerifyPiece(idx, m.Block) {
 		n.m.hashFailures.Inc()
@@ -1000,7 +1035,7 @@ func (n *Node) receivePiece(c *conn, m *wire.Message) error {
 	if complete {
 		n.signalDone()
 		// Tell the tracker we are now a seed (best effort, async).
-		go func() { _, _ = tracker.Announce(n.cfg.HTTPClient, n.announceReq("completed")) }()
+		go func() { _, _ = n.announce("completed") }()
 	}
 	n.requestMore(c)
 	return nil

@@ -13,11 +13,17 @@ import "swarmavail/internal/obs"
 //	tracker_downloads_total            "completed" events seen
 //	tracker_swarms                     swarms currently tracked (gauge)
 //	tracker_peers                      peers currently registered (gauge)
+//	tracker_udp_packets_total          BEP 15 datagrams handled
+//	tracker_udp_connects_total         BEP 15 connect exchanges served
+//	tracker_udp_errors_total           BEP 15 error packets sent
 func (s *Server) Instrument(reg *obs.Registry) {
 	s.mAnnounces = reg.Counter("tracker_announces_total")
 	s.mAnnounceFailures = reg.Counter("tracker_announce_failures_total")
 	s.mScrapes = reg.Counter("tracker_scrapes_total")
 	s.mDownloads = reg.Counter("tracker_downloads_total")
+	s.mUDPPackets = reg.Counter("tracker_udp_packets_total")
+	s.mUDPConnects = reg.Counter("tracker_udp_connects_total")
+	s.mUDPErrors = reg.Counter("tracker_udp_errors_total")
 	reg.GaugeFunc("tracker_swarms", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -1,14 +1,16 @@
-// Package tracker implements a BitTorrent HTTP tracker and the matching
-// client announcer. The tracker keeps per-swarm peer lists, counts seeds
-// ("complete") and leechers ("incomplete"), serves compact peer lists,
-// and answers scrape requests — the §2 monitoring pipeline and the
-// runnable examples both use it over localhost.
+// Package tracker implements a BitTorrent tracker — HTTP and UDP
+// (BEP 15) front ends over one shared swarm registry — and the matching
+// client announcers. The tracker keeps per-swarm peer lists, counts
+// seeds ("complete") and leechers ("incomplete"), serves compact peer
+// lists, and answers scrape requests — the §2 monitoring pipeline and
+// the runnable examples both use it over localhost.
 package tracker
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/url"
@@ -39,8 +41,10 @@ type swarmState struct {
 	downloads int64                 // completed-download counter
 }
 
-// Server is an HTTP tracker. Create with NewServer, mount its Handler,
-// or use Serve to run a standalone listener.
+// Server is a BitTorrent tracker. Create with NewServer, mount its
+// HTTP Handler (or use Serve), and/or attach a BEP 15 UDP front end
+// with ServeUDP/ListenUDP — both speak to the same swarm registry, so
+// a swarm announced over one protocol is visible over the other.
 type Server struct {
 	mu       sync.Mutex
 	swarms   map[metainfo.InfoHash]*swarmState
@@ -49,11 +53,19 @@ type Server struct {
 	peerTTL time.Duration
 	now     func() time.Time
 
+	// UDP connection-id table (BEP 15): id → expiry. Guarded by udpMu,
+	// not mu — connect storms must not contend with announce handling.
+	udpMu  sync.Mutex
+	udpIDs map[uint64]time.Time
+
 	// Instruments, set by Instrument; nil (no-op) until then.
 	mAnnounces        *obs.Counter
 	mAnnounceFailures *obs.Counter
 	mScrapes          *obs.Counter
 	mDownloads        *obs.Counter
+	mUDPPackets       *obs.Counter
+	mUDPConnects      *obs.Counter
+	mUDPErrors        *obs.Counter
 }
 
 // NewServer returns a tracker with the default announce interval.
@@ -63,6 +75,7 @@ func NewServer() *Server {
 		interval: DefaultInterval,
 		peerTTL:  4 * DefaultInterval,
 		now:      time.Now,
+		udpIDs:   make(map[uint64]time.Time),
 	}
 }
 
@@ -137,44 +150,88 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	var key [20]byte
 	copy(key[:], peerIDRaw)
 
+	res := s.applyAnnounce(announceArgs{
+		ih:      ih,
+		peerID:  key,
+		ip:      ip,
+		port:    uint16(port),
+		left:    left,
+		event:   event,
+		numWant: numWant,
+	})
+
+	resp := map[string]any{
+		"interval":   int64(res.interval / time.Second),
+		"complete":   int64(res.seeds),
+		"incomplete": int64(res.leechers),
+		"peers":      string(res.compact),
+	}
+	body, _ := bencode.Encode(resp)
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write(body)
+}
+
+// announceArgs is one announce, protocol-independent — both the HTTP
+// handler and the BEP 15 UDP handler reduce their requests to this.
+type announceArgs struct {
+	ih      metainfo.InfoHash
+	peerID  [20]byte
+	ip      net.IP
+	port    uint16
+	left    int64
+	event   string // "", "started", "completed", "stopped"
+	numWant int
+}
+
+// announceResult is the protocol-independent announce answer.
+type announceResult struct {
+	interval        time.Duration
+	seeds, leechers int
+	compact         []byte // 6-byte IPv4+port entries, announcer excluded
+}
+
+// applyAnnounce registers (or removes) the peer and computes the reply.
+// Sharing this core between the HTTP and UDP front ends is what makes
+// the two protocols answer identically for identical swarm state.
+func (s *Server) applyAnnounce(a announceArgs) announceResult {
 	s.mu.Lock()
-	sw := s.swarms[ih]
+	defer s.mu.Unlock()
+	sw := s.swarms[a.ih]
 	if sw == nil {
 		sw = &swarmState{peers: make(map[string]*peerEntry)}
-		s.swarms[ih] = sw
+		s.swarms[a.ih] = sw
 	}
 	s.expireLocked(sw)
-	switch event {
+	switch a.event {
 	case "stopped":
-		delete(sw.peers, string(key[:]))
+		delete(sw.peers, string(a.peerID[:]))
 	default:
-		if event == "completed" {
+		if a.event == "completed" {
 			sw.downloads++
 			s.mDownloads.Inc()
 		}
-		sw.peers[string(key[:])] = &peerEntry{
-			id:       key,
-			ip:       ip,
-			port:     uint16(port),
-			seed:     left == 0,
+		sw.peers[string(a.peerID[:])] = &peerEntry{
+			id:       a.peerID,
+			ip:       a.ip,
+			port:     a.port,
+			seed:     a.left == 0,
 			lastSeen: s.now(),
 		}
 	}
-	seeds, leechers := 0, 0
-	var compact []byte
+	res := announceResult{interval: s.interval}
 	for _, p := range sw.peers {
 		if p.seed {
-			seeds++
+			res.seeds++
 		} else {
-			leechers++
+			res.leechers++
 		}
 	}
 	// Hand out up to numWant peers other than the announcer itself.
 	for idStr, p := range sw.peers {
-		if len(compact) >= numWant*6 {
+		if len(res.compact) >= a.numWant*6 {
 			break
 		}
-		if idStr == string(key[:]) {
+		if idStr == string(a.peerID[:]) {
 			continue
 		}
 		ip4 := p.ip.To4()
@@ -184,19 +241,28 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 		entry := make([]byte, 6)
 		copy(entry, ip4)
 		binary.BigEndian.PutUint16(entry[4:], p.port)
-		compact = append(compact, entry...)
+		res.compact = append(res.compact, entry...)
 	}
-	s.mu.Unlock()
+	return res
+}
 
-	resp := map[string]any{
-		"interval":   int64(s.interval / time.Second),
-		"complete":   int64(seeds),
-		"incomplete": int64(leechers),
-		"peers":      string(compact),
+// scrapeCounts answers one scrape entry: seeds, leechers, downloads.
+func (s *Server) scrapeCounts(ih metainfo.InfoHash) (seeds, leechers int, downloads int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.swarms[ih]
+	if sw == nil {
+		return 0, 0, 0
 	}
-	body, _ := bencode.Encode(resp)
-	w.Header().Set("Content-Type", "text/plain")
-	_, _ = w.Write(body)
+	s.expireLocked(sw)
+	for _, p := range sw.peers {
+		if p.seed {
+			seeds++
+		} else {
+			leechers++
+		}
+	}
+	return seeds, leechers, sw.downloads
 }
 
 func (s *Server) handleScrape(w http.ResponseWriter, r *http.Request) {
@@ -207,21 +273,7 @@ func (s *Server) handleScrape(w http.ResponseWriter, r *http.Request) {
 		failure(w, err.Error())
 		return
 	}
-	s.mu.Lock()
-	sw := s.swarms[ih]
-	seeds, leechers, downloads := 0, 0, int64(0)
-	if sw != nil {
-		s.expireLocked(sw)
-		downloads = sw.downloads
-		for _, p := range sw.peers {
-			if p.seed {
-				seeds++
-			} else {
-				leechers++
-			}
-		}
-	}
-	s.mu.Unlock()
+	seeds, leechers, downloads := s.scrapeCounts(ih)
 	resp := map[string]any{
 		"files": map[string]any{
 			string(ih[:]): map[string]any{
@@ -330,6 +382,10 @@ type AnnounceRequest struct {
 	PeerID     [20]byte
 	Port       int
 	Left       int64
+	// Uploaded and Downloaded are the session's cumulative transfer
+	// counters, reported verbatim to the tracker.
+	Uploaded   int64
+	Downloaded int64
 	Event      string // "", "started", "completed", "stopped"
 	NumWant    int
 	// IP optionally overrides the address the tracker registers (needed
@@ -346,26 +402,51 @@ type AnnounceResponse struct {
 	FailureMsg string
 }
 
-// Announce performs one announce over HTTP. Failures come back as a
-// classified *Error: transport problems, 5xx statuses, and unparseable
-// responses are Temporary; an in-band "failure reason" (also surfaced
-// in the response's FailureMsg for compatibility) or a non-5xx HTTP
-// error status is fatal.
+// maxAnnounceBody caps an HTTP announce response; anything larger is a
+// misbehaving (or malicious) tracker, not a peer list.
+const maxAnnounceBody = 1 << 20
+
+// Announce performs one announce, dispatching on the tracker URL's
+// scheme: http/https go over HTTP, udp:// uses DefaultUDP's BEP 15
+// exchange (use AnnounceWith to supply a custom UDPClient). Failures
+// come back as a classified *Error: transport problems, timeouts, 5xx
+// statuses, and unparseable responses are Temporary; an in-band
+// "failure reason" / UDP error packet (also surfaced in the response's
+// FailureMsg for compatibility) or a non-5xx HTTP error status is
+// fatal.
 func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
+	return AnnounceWith(client, nil, req)
+}
+
+// AnnounceWith is Announce with an explicit UDP client for udp://
+// tracker URLs (nil = DefaultUDP). The HTTP client is used only for
+// http(s) URLs, the UDP client only for udp ones, so callers can wire
+// both unconditionally.
+func AnnounceWith(client *http.Client, uc *UDPClient, req AnnounceRequest) (*AnnounceResponse, error) {
 	u, err := url.Parse(req.TrackerURL)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: bad URL: %w", err)
+	}
+	if u.Scheme == "udp" {
+		if uc == nil {
+			uc = DefaultUDP
+		}
+		return uc.Announce(req)
+	}
+	return announceHTTP(client, u, req)
+}
+
+func announceHTTP(client *http.Client, u *url.URL, req AnnounceRequest) (*AnnounceResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
 	}
 	q := u.Query()
 	q.Set("info_hash", string(req.InfoHash[:]))
 	q.Set("peer_id", string(req.PeerID[:]))
 	q.Set("port", strconv.Itoa(req.Port))
 	q.Set("left", strconv.FormatInt(req.Left, 10))
-	q.Set("uploaded", "0")
-	q.Set("downloaded", "0")
+	q.Set("uploaded", strconv.FormatInt(req.Uploaded, 10))
+	q.Set("downloaded", strconv.FormatInt(req.Downloaded, 10))
 	q.Set("compact", "1")
 	if req.Event != "" {
 		q.Set("event", req.Event)
@@ -390,18 +471,19 @@ func Announce(client *http.Client, req AnnounceRequest) (*AnnounceResponse, erro
 			Err:       fmt.Errorf("http status %s", httpResp.Status),
 		}
 	}
-	body := make([]byte, 0, 4096)
-	buf := make([]byte, 4096)
-	for {
-		n, err := httpResp.Body.Read(buf)
-		body = append(body, buf[:n]...)
-		if err != nil {
-			break
-		}
-		if len(body) > 1<<20 {
-			return nil, &Error{URL: req.TrackerURL, Temporary: true,
-				Err: errors.New("response too large")}
-		}
+	// Read through a LimitReader one byte past the cap: a body of
+	// exactly maxAnnounceBody+1 readable bytes means the tracker sent
+	// too much, detected deterministically even when the oversized
+	// final chunk arrives together with io.EOF (the old hand-rolled
+	// loop only checked the cap on nil-error reads, so such a chunk
+	// was appended past the cap unchecked).
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, maxAnnounceBody+1))
+	if err != nil {
+		return nil, &Error{URL: req.TrackerURL, Temporary: true, Err: err}
+	}
+	if len(body) > maxAnnounceBody {
+		return nil, &Error{URL: req.TrackerURL, Temporary: true,
+			Err: errors.New("response too large")}
 	}
 	resp, err := ParseAnnounceResponse(body)
 	if err != nil {

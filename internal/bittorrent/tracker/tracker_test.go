@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -354,5 +356,64 @@ func TestNumWantLimitsPeerList(t *testing.T) {
 	}
 	if len(resp.Peers) != 3 {
 		t.Fatalf("numwant ignored: %d peers", len(resp.Peers))
+	}
+}
+
+// TestAnnounceBodyCapExactEOF is the regression for the hand-rolled
+// read loop that only checked the 1 MiB cap when Read returned a nil
+// error: a final chunk delivered together with io.EOF was appended past
+// the cap unchecked. The LimitReader-based read must reject an
+// oversize body regardless of how the transport frames its chunks.
+func TestAnnounceBodyCapExactEOF(t *testing.T) {
+	oversize := make([]byte, maxAnnounceBody+10)
+	for i := range oversize {
+		oversize[i] = 'd' // never a valid bencode response
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Content-Length set: the whole body (cap overflow included)
+		// arrives in final chunks paired with io.EOF.
+		w.Header().Set("Content-Length", strconv.Itoa(len(oversize)))
+		_, _ = w.Write(oversize)
+	}))
+	defer ts.Close()
+	_, err := Announce(ts.Client(), AnnounceRequest{
+		TrackerURL: ts.URL, InfoHash: testHash(21), PeerID: testPeerID(1),
+		Port: 7000, IP: "127.0.0.1",
+	})
+	if err == nil {
+		t.Fatal("oversize announce body accepted")
+	}
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatalf("want *tracker.Error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("want a too-large rejection, got %v", err)
+	}
+}
+
+// TestAnnounceThreadsUploadedDownloaded verifies the client reports the
+// request's real transfer counters instead of the old hardcoded "0"s.
+func TestAnnounceThreadsUploadedDownloaded(t *testing.T) {
+	var gotUploaded, gotDownloaded string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotUploaded = r.URL.Query().Get("uploaded")
+		gotDownloaded = r.URL.Query().Get("downloaded")
+		resp, _ := bencode.Encode(map[string]any{
+			"interval": int64(60), "peers": "",
+		})
+		_, _ = w.Write(resp)
+	}))
+	defer ts.Close()
+	_, err := Announce(ts.Client(), AnnounceRequest{
+		TrackerURL: ts.URL, InfoHash: testHash(22), PeerID: testPeerID(2),
+		Port: 7000, IP: "127.0.0.1", Uploaded: 12345, Downloaded: 67890,
+	})
+	if err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	if gotUploaded != "12345" || gotDownloaded != "67890" {
+		t.Fatalf("tracker saw uploaded=%q downloaded=%q, want 12345/67890",
+			gotUploaded, gotDownloaded)
 	}
 }

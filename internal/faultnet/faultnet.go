@@ -58,6 +58,14 @@ type Config struct {
 	// the buffer is written before the connection is reset — the
 	// partial-transfer failure mode.
 	TruncateProb float64
+
+	// Datagram faults, applied by PacketConn and Datagram wrappers to
+	// each outgoing datagram independently (UDP has no stream to reset):
+	// LossProb drops it silently, DupProb sends it twice, ReorderProb
+	// holds it back one slot so it arrives behind the next send.
+	LossProb    float64
+	DupProb     float64
+	ReorderProb float64
 }
 
 // Stats counts the faults a Network has injected.
@@ -67,6 +75,11 @@ type Stats struct {
 	Resets      uint64 // mid-stream resets injected
 	Truncations uint64 // truncated writes injected
 	Conns       uint64 // connections wrapped
+
+	Datagrams          uint64 // datagrams sent through packet wrappers
+	DatagramsLost      uint64 // datagrams dropped by LossProb
+	DatagramsDuped     uint64 // datagrams duplicated by DupProb
+	DatagramsReordered uint64 // datagrams delayed one slot by ReorderProb
 }
 
 // errInjected distinguishes injected failures from real ones.

@@ -1,0 +1,170 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+)
+
+// Datagram faults are applied on the send side only: loss reports the
+// write as successful without transmitting (exactly what a dropped UDP
+// datagram looks like to the sender), duplication transmits twice, and
+// reordering holds a datagram back one slot so it departs behind the
+// next send (flushed on Close so nothing is stranded). Drawing from the
+// shared decision stream keeps a fixed seed reproducible across the
+// TCP and UDP fault paths alike.
+
+// PacketConn wraps pc so every WriteTo passes through the Network's
+// datagram faults. Reads are untouched — faulting one side of each
+// exchange is enough to exercise loss, and keeps stats interpretable.
+func (n *Network) PacketConn(pc net.PacketConn) net.PacketConn {
+	return &packetConn{PacketConn: pc, net: n}
+}
+
+// Datagram wraps a connected datagram socket (e.g. from
+// net.Dial("udp", ...)) so every Write passes through the Network's
+// datagram faults. The tracker.UDPClient's Dial hook is the intended
+// splice point.
+func (n *Network) Datagram(c net.Conn) net.Conn {
+	return &datagramConn{Conn: c, net: n}
+}
+
+// sendVerdict draws the per-datagram decision triple. Exactly one of
+// the injections applies per datagram, tested in a fixed order, so the
+// decision stream stays aligned across runs.
+type sendVerdict int
+
+const (
+	sendDeliver sendVerdict = iota
+	sendDrop
+	sendDup
+	sendHold
+)
+
+func (n *Network) datagramVerdict() sendVerdict {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Datagrams++
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.stats.DatagramsLost++
+		return sendDrop
+	}
+	if n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb {
+		n.stats.DatagramsDuped++
+		return sendDup
+	}
+	if n.cfg.ReorderProb > 0 && n.rng.Float64() < n.cfg.ReorderProb {
+		n.stats.DatagramsReordered++
+		return sendHold
+	}
+	return sendDeliver
+}
+
+// packetConn applies datagram faults to WriteTo.
+type packetConn struct {
+	net.PacketConn
+	net *Network
+
+	mu       sync.Mutex
+	held     []byte   // one datagram delayed by ReorderProb
+	heldAddr net.Addr // its destination
+}
+
+func (c *packetConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	switch c.net.datagramVerdict() {
+	case sendDrop:
+		c.flush()
+		return len(p), nil
+	case sendDup:
+		if _, err := c.PacketConn.WriteTo(p, addr); err != nil {
+			return 0, err
+		}
+		n, err := c.PacketConn.WriteTo(p, addr)
+		c.flush()
+		return n, err
+	case sendHold:
+		c.mu.Lock()
+		prev, prevAddr := c.held, c.heldAddr
+		c.held = append([]byte(nil), p...)
+		c.heldAddr = addr
+		c.mu.Unlock()
+		if prev != nil {
+			if _, err := c.PacketConn.WriteTo(prev, prevAddr); err != nil {
+				return 0, err
+			}
+		}
+		return len(p), nil
+	}
+	n, err := c.PacketConn.WriteTo(p, addr)
+	c.flush()
+	return n, err
+}
+
+// flush releases a held datagram behind whatever triggered the call —
+// delivering it after the current send is what makes it a reorder.
+func (c *packetConn) flush() {
+	c.mu.Lock()
+	held, addr := c.held, c.heldAddr
+	c.held, c.heldAddr = nil, nil
+	c.mu.Unlock()
+	if held != nil {
+		_, _ = c.PacketConn.WriteTo(held, addr)
+	}
+}
+
+func (c *packetConn) Close() error {
+	c.flush()
+	return c.PacketConn.Close()
+}
+
+// datagramConn applies datagram faults to Write on a connected socket.
+type datagramConn struct {
+	net.Conn
+	net *Network
+
+	mu   sync.Mutex
+	held []byte
+}
+
+func (c *datagramConn) Write(p []byte) (int, error) {
+	switch c.net.datagramVerdict() {
+	case sendDrop:
+		c.flush()
+		return len(p), nil
+	case sendDup:
+		if _, err := c.Conn.Write(p); err != nil {
+			return 0, err
+		}
+		n, err := c.Conn.Write(p)
+		c.flush()
+		return n, err
+	case sendHold:
+		c.mu.Lock()
+		prev := c.held
+		c.held = append([]byte(nil), p...)
+		c.mu.Unlock()
+		if prev != nil {
+			if _, err := c.Conn.Write(prev); err != nil {
+				return 0, err
+			}
+		}
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(p)
+	c.flush()
+	return n, err
+}
+
+func (c *datagramConn) flush() {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	c.mu.Unlock()
+	if held != nil {
+		_, _ = c.Conn.Write(held)
+	}
+}
+
+func (c *datagramConn) Close() error {
+	c.flush()
+	return c.Conn.Close()
+}

@@ -1,0 +1,184 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// udpPair builds a connected client socket (wrapped by Datagram) and a
+// raw server socket that records the datagrams it receives.
+func udpPair(t *testing.T, n *Network) (client net.Conn, recv <-chan []byte) {
+	t.Helper()
+	server, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	ch := make(chan []byte, 64)
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			rn, _, err := server.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			ch <- append([]byte(nil), buf[:rn]...)
+		}
+	}()
+	raw, err := net.Dial("udp", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Datagram(raw)
+	t.Cleanup(func() { _ = c.Close() })
+	return c, ch
+}
+
+func collect(recv <-chan []byte, want int, timeout time.Duration) [][]byte {
+	var out [][]byte
+	deadline := time.After(timeout)
+	for len(out) < want {
+		select {
+		case p := <-recv:
+			out = append(out, p)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestDatagramLoss(t *testing.T) {
+	n := New(Config{Seed: 1, LossProb: 1.0})
+	c, recv := udpPair(t, n)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err) // loss must look like success
+		}
+	}
+	if got := collect(recv, 1, 200*time.Millisecond); len(got) != 0 {
+		t.Fatalf("LossProb=1 delivered %d datagrams", len(got))
+	}
+	st := n.Stats()
+	if st.Datagrams != 5 || st.DatagramsLost != 5 {
+		t.Fatalf("stats %+v, want 5 sent / 5 lost", st)
+	}
+}
+
+func TestDatagramDuplication(t *testing.T) {
+	n := New(Config{Seed: 1, DupProb: 1.0})
+	c, recv := udpPair(t, n)
+	if _, err := c.Write([]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(recv, 2, time.Second)
+	if len(got) != 2 || got[0][0] != 42 || got[1][0] != 42 {
+		t.Fatalf("DupProb=1 delivered %d copies, want 2", len(got))
+	}
+	if st := n.Stats(); st.DatagramsDuped != 1 {
+		t.Fatalf("stats %+v, want 1 dup", st)
+	}
+}
+
+func TestDatagramReorder(t *testing.T) {
+	// First send is held, second flushes behind it: B then A.
+	n := New(Config{Seed: 1, ReorderProb: 1.0})
+	c, recv := udpPair(t, n)
+	if _, err := c.Write([]byte{'A'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{'B'}); err != nil {
+		t.Fatal(err)
+	}
+	// With ReorderProb=1 every write is held one slot: A is held, B's
+	// write releases A and holds B, Close flushes B. Both arrive, each
+	// one slot late; the strict swap is covered separately below.
+	_ = c.Close()
+	got := collect(recv, 2, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(got))
+	}
+	if st := n.Stats(); st.DatagramsReordered != 2 {
+		t.Fatalf("stats %+v, want 2 reorders", st)
+	}
+}
+
+func TestDatagramReorderSwapsOrder(t *testing.T) {
+	// Seeded so exactly the first verdict is a hold: A is held, B
+	// delivers and flushes A behind it → receive B, A.
+	n := New(Config{Seed: 3, ReorderProb: 0.5})
+	c, recv := udpPair(t, n)
+
+	// Find a seed/offset where the first write holds and the second
+	// delivers, by probing the decision stream clone.
+	probe := New(Config{Seed: 3, ReorderProb: 0.5})
+	first := probe.datagramVerdict()
+	second := probe.datagramVerdict()
+	if first != sendHold || second != sendDeliver {
+		t.Skipf("seed 3 draws %v,%v — vector moved; adjust seed", first, second)
+	}
+
+	if _, err := c.Write([]byte{'A'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{'B'}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(recv, 2, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(got))
+	}
+	if got[0][0] != 'B' || got[1][0] != 'A' {
+		t.Fatalf("order %c,%c — want the held A behind B", got[0][0], got[1][0])
+	}
+}
+
+func TestPacketConnFaults(t *testing.T) {
+	n := New(Config{Seed: 1, LossProb: 1.0})
+	server, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := n.PacketConn(raw)
+	defer pc.Close()
+	if _, err := pc.WriteTo([]byte{1}, server.LocalAddr()); err != nil {
+		t.Fatalf("lost WriteTo must report success, got %v", err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, _, err := server.ReadFrom(buf); err == nil {
+		t.Fatal("LossProb=1 still delivered via PacketConn")
+	}
+	if st := n.Stats(); st.DatagramsLost != 1 {
+		t.Fatalf("stats %+v, want 1 lost", st)
+	}
+}
+
+func TestDatagramZeroConfigPassesThrough(t *testing.T) {
+	n := New(Config{Seed: 1})
+	c, recv := udpPair(t, n)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(recv, 3, time.Second)
+	if len(got) != 3 {
+		t.Fatalf("zero config delivered %d/3", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("zero config reordered: got %d at %d", p[0], i)
+		}
+	}
+	st := n.Stats()
+	if st.DatagramsLost+st.DatagramsDuped+st.DatagramsReordered != 0 {
+		t.Fatalf("zero config injected faults: %+v", st)
+	}
+}

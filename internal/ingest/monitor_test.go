@@ -1,0 +1,132 @@
+package ingest
+
+import (
+	"testing"
+)
+
+func obsOf(keys ...uint64) []PeerObservation {
+	out := make([]PeerObservation, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, PeerObservation{Key: k})
+	}
+	return out
+}
+
+func recOf(op Op, t *testing.T) Record {
+	t.Helper()
+	rec, ok := op.EventRecord()
+	if !ok {
+		t.Fatalf("op %+v is not an event", op)
+	}
+	return rec
+}
+
+func TestProbeDiffTransitions(t *testing.T) {
+	d := NewProbeDiff(7)
+
+	// Round 1: two leechers and a seed appear — three arrivals.
+	ops := d.Ops(0.1, []PeerObservation{{Key: 1}, {Key: 2}, {Key: 3, Seed: true}})
+	if len(ops) != 3 {
+		t.Fatalf("round 1: %d ops, want 3 arrivals", len(ops))
+	}
+	for _, op := range ops {
+		rec := recOf(op, t)
+		if !rec.Online || rec.SwarmID != 7 || rec.Time != 0.1 {
+			t.Fatalf("round 1 op %+v, want online at t=0.1 in swarm 7", rec)
+		}
+	}
+
+	// Round 2: peer 1 still there, peer 2 gone, peer 4 new,
+	// peer 3 still a seed (no-op).
+	ops = d.Ops(0.2, []PeerObservation{{Key: 1}, {Key: 4}, {Key: 3, Seed: true}})
+	if len(ops) != 2 {
+		t.Fatalf("round 2: %d ops (%+v), want arrival of 4 + departure of 2", len(ops), ops)
+	}
+	arr := recOf(ops[0], t)
+	dep := recOf(ops[1], t)
+	if arr.PeerID != 4 || !arr.Online {
+		t.Fatalf("round 2 first op %+v, want peer 4 online", arr)
+	}
+	if dep.PeerID != 2 || dep.Online {
+		t.Fatalf("round 2 second op %+v, want peer 2 offline", dep)
+	}
+
+	// Round 3: peer 1 completes (leecher → seed) — offline as leecher,
+	// online as seed, at the same instant.
+	ops = d.Ops(0.3, []PeerObservation{{Key: 1, Seed: true}, {Key: 4}, {Key: 3, Seed: true}})
+	if len(ops) != 2 {
+		t.Fatalf("round 3: %d ops (%+v), want the seed flip pair", len(ops), ops)
+	}
+	off, on := recOf(ops[0], t), recOf(ops[1], t)
+	if off.PeerID != 1 || off.Online || off.Seed {
+		t.Fatalf("flip first half %+v, want peer 1 offline as leecher", off)
+	}
+	if on.PeerID != 1 || !on.Online || !on.Seed {
+		t.Fatalf("flip second half %+v, want peer 1 online as seed", on)
+	}
+
+	// Close: everyone still online departs.
+	ops = d.Close(0.4)
+	if len(ops) != 3 {
+		t.Fatalf("close: %d ops, want 3 departures", len(ops))
+	}
+	for _, op := range ops {
+		rec := recOf(op, t)
+		if rec.Online || rec.Time != 0.4 {
+			t.Fatalf("close op %+v, want offline at t=0.4", rec)
+		}
+	}
+
+	// After Close the differ restarts from empty.
+	ops = d.Ops(0.5, obsOf(9))
+	if len(ops) != 1 || !recOf(ops[0], t).Online {
+		t.Fatalf("post-close round: %+v, want one arrival", ops)
+	}
+}
+
+func TestProbeDiffDedupsWithinRound(t *testing.T) {
+	d := NewProbeDiff(1)
+	ops := d.Ops(0.1, []PeerObservation{{Key: 5}, {Key: 5, Seed: true}, {Key: 5}})
+	if len(ops) != 1 {
+		t.Fatalf("duplicated observation produced %d ops, want 1", len(ops))
+	}
+	if rec := recOf(ops[0], t); rec.Seed {
+		t.Fatalf("dedup should keep the first observation, got %+v", rec)
+	}
+}
+
+func TestProbeDiffDeterministicDepartures(t *testing.T) {
+	mkops := func() []Op {
+		d := NewProbeDiff(1)
+		d.Ops(0.1, obsOf(9, 3, 7, 1, 5))
+		return d.Ops(0.2, nil)
+	}
+	a, b := mkops(), mkops()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("want 5 departures, got %d and %d", len(a), len(b))
+	}
+	var prev uint64
+	for i := range a {
+		ra, rb := recOf(a[i], t), recOf(b[i], t)
+		if ra != rb {
+			t.Fatalf("departure order differs at %d: %+v vs %+v", i, ra, rb)
+		}
+		if ra.PeerID < prev {
+			t.Fatalf("departures not sorted: %d after %d", ra.PeerID, prev)
+		}
+		prev = ra.PeerID
+	}
+}
+
+func TestObservationKeyStable(t *testing.T) {
+	a := ObservationKey("10.0.0.1:6881")
+	if a != ObservationKey("10.0.0.1:6881") {
+		t.Fatal("same address hashed differently")
+	}
+	if a == ObservationKey("10.0.0.2:6881") {
+		t.Fatal("distinct addresses collided (FNV should separate these)")
+	}
+	if a == 0 {
+		t.Fatal("zero key would collide with unset ids")
+	}
+}
